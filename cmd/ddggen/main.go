@@ -1,0 +1,45 @@
+// Command ddggen emits the synthetic SPECfp95 stand-in corpus (or a single
+// benchmark) in the ddgio text format, for use with cmd/gpsched or external
+// tools.
+//
+// Usage:
+//
+//	ddggen [-bench name] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/ddgio"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "emit only this benchmark (default: all)")
+	list := flag.Bool("list", false, "list benchmark names and stats instead of emitting loops")
+	flag.Parse()
+
+	corpus := gpsched.SPECfp95Corpus()
+	if *list {
+		fmt.Printf("%-10s %6s %6s %6s %6s %6s\n", "benchmark", "loops", "ops", "mem", "fp", "recs")
+		for _, b := range corpus {
+			s := workload.Summarize(b)
+			fmt.Printf("%-10s %6d %6d %6d %6d %6d\n", b.Name, s.Loops, s.Ops, s.MemOps, s.FPOps, s.Recurrences)
+		}
+		return
+	}
+	for _, b := range corpus {
+		if *bench != "" && b.Name != *bench {
+			continue
+		}
+		for _, l := range b.Loops {
+			if err := ddgio.Write(os.Stdout, l.G); err != nil {
+				fmt.Fprintf(os.Stderr, "ddggen: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

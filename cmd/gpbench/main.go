@@ -1,0 +1,156 @@
+// Command gpbench regenerates the paper's evaluation: Table 1 (machine
+// configurations), Figure 2 (IPC on 2- and 4-cluster machines, 1-cycle
+// bus), Figure 3 (4-cluster, 2-cycle bus), Table 2 (scheduling time) and
+// the headline summary (GP speedup over URACAM and Fixed Partition).
+//
+// Usage:
+//
+//	gpbench [-table1] [-figure2] [-figure3] [-table2] [-summary] [-ablations] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/bench"
+	"repro/internal/partition"
+	"repro/internal/workload"
+)
+
+func main() {
+	t1 := flag.Bool("table1", false, "print Table 1 (configurations)")
+	f2 := flag.Bool("figure2", false, "run Figure 2 (1-cycle bus, 2 and 4 clusters)")
+	f3 := flag.Bool("figure3", false, "run Figure 3 (2-cycle bus, 4 clusters)")
+	t2 := flag.Bool("table2", false, "run Table 2 (scheduling time)")
+	sum := flag.Bool("summary", false, "print the headline speedups")
+	abl := flag.Bool("ablations", false, "run the DESIGN.md ablations")
+	csvPath := flag.String("csv", "", "also write every panel as CSV to this file")
+	all := flag.Bool("all", false, "everything")
+	flag.Parse()
+	if !(*t1 || *f2 || *f3 || *t2 || *sum || *abl || *all) {
+		*all = true
+	}
+
+	corpus := gpsched.SPECfp95Corpus()
+	names := make([]string, 0, len(corpus))
+	for _, b := range corpus {
+		names = append(names, b.Name)
+	}
+
+	var reports []*bench.Report
+	run := func(cfg bench.Config) *bench.Report {
+		rep, err := bench.Run(corpus, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpbench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.SortRowsLike(rep, names)
+		reports = append(reports, rep)
+		return rep
+	}
+
+	if *t1 || *all {
+		fmt.Println("=== Table 1: clustered VLIW configurations ===")
+		fmt.Println(bench.RenderTable1(64, 1, 1))
+	}
+	if *f2 || *all {
+		fmt.Println("=== Figure 2: IPC, 1 bus, latency 1 ===")
+		for _, cfg := range bench.Figure2Configs() {
+			fmt.Println(run(cfg).Render())
+		}
+	}
+	if *f3 || *all {
+		fmt.Println("=== Figure 3: IPC, 1 bus, latency 2 ===")
+		for _, cfg := range bench.Figure3Configs() {
+			fmt.Println(run(cfg).Render())
+		}
+	}
+	if (*t2 || *sum || *all) && len(reports) == 0 {
+		// Need at least the headline configuration.
+		run(bench.Config{Clusters: 2, TotalRegs: 32, NBus: 1, LatBus: 1})
+		run(bench.Config{Clusters: 4, TotalRegs: 32, NBus: 1, LatBus: 1})
+	}
+	if *t2 || *all {
+		fmt.Println("=== Table 2: scheduling time per scheme ===")
+		fmt.Println(bench.RenderTable2(reports))
+	}
+	if *sum || *all {
+		fmt.Println("=== Headline summary ===")
+		for _, rep := range reports {
+			fmt.Printf("%-28s GP vs URACAM %+6.1f%%   GP vs Fixed %+6.1f%%   URACAM/GP time %.1fx\n",
+				rep.Machine.Name, rep.Speedup(bench.SchemeURACAM), rep.Speedup(bench.SchemeFixed), rep.TimeRatio())
+		}
+		fmt.Println()
+	}
+	if *abl || *all {
+		fmt.Println("=== Ablations (2-cluster, 32 regs, 1 bus, latency 1; GP mean IPC) ===")
+		base := bench.Config{Clusters: 2, TotalRegs: 32, NBus: 1, LatBus: 1}
+		ablations := []struct {
+			name string
+			opts *partition.Options
+		}{
+			{"paper (delay/slack weights, refined, exact matching)", nil},
+			{"A1 uniform edge weights", &partition.Options{Weights: partition.UniformWeights}},
+			{"A2 refinement off", &partition.Options{SkipRefinement: true}},
+			{"A4 greedy-only matching", &partition.Options{GreedyMatchingOnly: true}},
+			{"A6 register-aware partitioning (paper future work)", &partition.Options{RegisterAware: true}},
+		}
+		for _, a := range ablations {
+			cfg := base
+			if a.opts != nil {
+				cfg.PartitionOpts = &gpsched.Options{Partition: a.opts}
+			}
+			rep, err := bench.Run(corpus, cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gpbench: ablation %s: %v\n", a.name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-55s GP IPC %.3f (vs URACAM %+5.1f%%)\n",
+				a.name, rep.MeanIPC[bench.SchemeGP], rep.Speedup(bench.SchemeURACAM))
+		}
+		fmt.Println()
+	}
+
+	if *csvPath != "" && len(reports) > 0 {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, rep := range reports {
+			if err := rep.WriteCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "gpbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if err := bench.WriteTimesCSV(f, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "gpbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "gpbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("CSV series written to %s\n", *csvPath)
+	}
+
+	if err := workloadSanity(corpus); err != nil {
+		fmt.Fprintf(os.Stderr, "gpbench: corpus sanity: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// workloadSanity re-validates the corpus after the run (paranoia: the
+// schedulers must never mutate the input graphs).
+func workloadSanity(corpus []*workload.Benchmark) error {
+	for _, b := range corpus {
+		for _, l := range b.Loops {
+			if err := l.G.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

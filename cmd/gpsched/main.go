@@ -1,0 +1,92 @@
+// Command gpsched schedules loops from a ddgio text file (or stdin) on a
+// chosen clustered VLIW configuration and prints the resulting modulo
+// schedules.
+//
+// Usage:
+//
+//	gpsched [-clusters N] [-regs R] [-nbus B] [-latbus L] [-alg GP|Fixed|URACAM] [file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/core"
+)
+
+func main() {
+	clusters := flag.Int("clusters", 2, "number of clusters (1 = unified)")
+	regs := flag.Int("regs", 64, "total registers")
+	nbus := flag.Int("nbus", 1, "number of inter-cluster buses")
+	latbus := flag.Int("latbus", 1, "bus latency in cycles")
+	alg := flag.String("alg", "GP", "algorithm: GP, Fixed or URACAM")
+	verbose := flag.Bool("v", false, "print the full placement of every operation")
+	flag.Parse()
+
+	var algorithm core.Algorithm
+	switch strings.ToLower(*alg) {
+	case "gp":
+		algorithm = gpsched.GP
+	case "fixed":
+		algorithm = gpsched.FixedPartition
+	case "uracam":
+		algorithm = gpsched.URACAM
+	default:
+		fmt.Fprintf(os.Stderr, "gpsched: unknown algorithm %q\n", *alg)
+		os.Exit(2)
+	}
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpsched: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	loops, err := gpsched.ReadLoops(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpsched: %v\n", err)
+		os.Exit(1)
+	}
+
+	var m *gpsched.Machine
+	if *clusters == 1 {
+		m = gpsched.Unified(*regs)
+	} else {
+		m = gpsched.Clustered(*clusters, *regs, *nbus, *latbus)
+	}
+	fmt.Printf("machine: %s   algorithm: %v\n\n", m, algorithm)
+
+	for _, g := range loops {
+		res, err := gpsched.Run(g, m, &gpsched.Options{Algorithm: algorithm})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpsched: %s: %v\n", g.Name, err)
+			os.Exit(1)
+		}
+		s := res.Schedule
+		kind := "modulo"
+		if res.ListFallback {
+			kind = "list (fallback)"
+		}
+		fmt.Printf("%-24s ops=%-4d MII=%-3d II=%-3d SL=%-4d stages=%d  %s\n",
+			g.Name, g.N(), res.MII, s.II, s.SL, s.Stages(), kind)
+		fmt.Printf("%-24s comms=%d spills=%d memroutes=%d maxlive=%v IPC=%.3f cycles=%d\n",
+			"", len(s.Comms), s.Spills, s.MemRoutes, s.MaxLive, res.IPC(g), s.Cycles(g.Niter))
+		if *verbose {
+			for v, n := range g.Nodes {
+				fmt.Printf("  op %-3d %-8s cluster %d cycle %-4d (slot %d)\n",
+					v, n.Op, s.Cluster[v], s.Time[v], s.Time[v]%s.II)
+			}
+			for _, c := range s.Comms {
+				fmt.Printf("  bus transfer of op %d at cycle %d\n", c.Producer, c.Start)
+			}
+		}
+		fmt.Println()
+	}
+}

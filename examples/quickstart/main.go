@@ -1,0 +1,62 @@
+// Quickstart: build a small loop by hand, schedule it with the paper's GP
+// scheme on a 2-cluster machine, and compare against the URACAM baseline
+// and the unified upper bound.
+//
+// The loop is a DAXPY-like body with a loop-carried accumulator:
+//
+//	for i { s = s + a*x[i]; y[i] = s }
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	g := gpsched.NewLoop("daxpy-acc", 1000)
+	x := g.AddNode(gpsched.Load, "x[i]")
+	mul := g.AddNode(gpsched.FPMul, "a*x[i]")
+	acc := g.AddNode(gpsched.FPAdd, "s+=")
+	st := g.AddNode(gpsched.Store, "y[i]=s")
+	g.AddDep(x, mul, 0)
+	g.AddDep(mul, acc, 0)
+	g.AddDep(acc, st, 0)
+	g.AddDep(acc, acc, 1) // the accumulator recurrence: s depends on last iteration's s
+
+	twoCluster := gpsched.Clustered(2, 64, 1, 1)
+	unified := gpsched.Unified(64)
+
+	fmt.Printf("loop %q: %d ops, MII=%d on %s\n\n", g.Name, g.N(), gpsched.MII(g, twoCluster), twoCluster)
+
+	for _, run := range []struct {
+		label string
+		m     *gpsched.Machine
+		alg   gpsched.Algorithm
+	}{
+		{"unified upper bound", unified, gpsched.GP},
+		{"URACAM baseline    ", twoCluster, gpsched.URACAM},
+		{"Fixed Partition    ", twoCluster, gpsched.FixedPartition},
+		{"GP (paper's scheme)", twoCluster, gpsched.GP},
+	} {
+		res, err := gpsched.Run(g, run.m, &gpsched.Options{Algorithm: run.alg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Schedule
+		fmt.Printf("%s  II=%d SL=%d comms=%d IPC=%.3f cycles=%d\n",
+			run.label, s.II, s.SL, len(s.Comms), res.IPC(g), s.Cycles(g.Niter))
+	}
+
+	// Inspect the GP placement.
+	res, err := gpsched.Run(g, twoCluster, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nGP placement:")
+	for v, n := range g.Nodes {
+		fmt.Printf("  %-8s %-8s cluster %d, cycle %d (modulo slot %d)\n",
+			n.Name, n.Op, res.Schedule.Cluster[v], res.Schedule.Time[v], res.Schedule.Time[v]%res.Schedule.II)
+	}
+}

@@ -1,0 +1,25 @@
+// specfp reproduces one panel of the paper's Figure 2 from the public API:
+// the synthetic SPECfp95 corpus scheduled on the 2-cluster, 32-register,
+// 1-bus/1-cycle configuration by all four schemes, reported as IPC per
+// benchmark — the paper's headline +23%-over-URACAM setting.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/bench"
+)
+
+func main() {
+	corpus := gpsched.SPECfp95Corpus()
+	rep, err := bench.Run(corpus, bench.Config{Clusters: 2, TotalRegs: 32, NBus: 1, LatBus: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Render())
+	fmt.Printf("\nGP speedup over URACAM: %+.1f%%   over Fixed Partition: %+.1f%%\n",
+		rep.Speedup(bench.SchemeURACAM), rep.Speedup(bench.SchemeFixed))
+	fmt.Printf("scheduling time, URACAM/GP: %.1fx (paper: 2-7x)\n", rep.TimeRatio())
+}

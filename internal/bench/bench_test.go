@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// smallCorpus trims the corpus so unit tests stay fast; the full corpus
+// runs in bench_test.go at the repository root and in cmd/gpbench.
+func smallCorpus() []*workload.Benchmark {
+	full := workload.SPECfp95()
+	small := make([]*workload.Benchmark, 0, 3)
+	for _, b := range full {
+		switch b.Name {
+		case "tomcatv", "mgrid", "hydro2d":
+			trimmed := &workload.Benchmark{Name: b.Name, Loops: b.Loops}
+			if len(trimmed.Loops) > 4 {
+				trimmed.Loops = trimmed.Loops[:4]
+			}
+			small = append(small, trimmed)
+		}
+	}
+	return small
+}
+
+func TestRunPanelShape(t *testing.T) {
+	rep, err := Run(smallCorpus(), Config{Clusters: 2, TotalRegs: 32, NBus: 1, LatBus: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("got %d rows", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		for _, s := range Schemes {
+			ipc := row.IPC[s]
+			if ipc <= 0 || ipc > 12 {
+				t.Errorf("%s/%s: IPC %v out of range", row.Benchmark, s, ipc)
+			}
+		}
+		// The unified machine is an upper bound for every scheme.
+		for _, s := range []string{SchemeURACAM, SchemeFixed, SchemeGP} {
+			if row.IPC[s] > row.IPC[SchemeUnified]*1.0001 {
+				t.Errorf("%s: %s IPC %v exceeds unified bound %v",
+					row.Benchmark, s, row.IPC[s], row.IPC[SchemeUnified])
+			}
+		}
+	}
+	for _, s := range Schemes {
+		if rep.MeanIPC[s] <= 0 {
+			t.Errorf("mean IPC for %s missing", s)
+		}
+		if rep.SchedTime[s] <= 0 {
+			t.Errorf("scheduling time for %s missing", s)
+		}
+	}
+}
+
+func TestGPBeatsOrMatchesFixedOnAverage(t *testing.T) {
+	rep, err := Run(smallCorpus(), Config{Clusters: 2, TotalRegs: 32, NBus: 1, LatBus: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's ordering: GP ≥ Fixed on average (GP only adds freedom).
+	if rep.MeanIPC[SchemeGP] < rep.MeanIPC[SchemeFixed]*0.98 {
+		t.Errorf("GP mean %.3f below Fixed mean %.3f", rep.MeanIPC[SchemeGP], rep.MeanIPC[SchemeFixed])
+	}
+}
+
+func TestRenderContainsAllRows(t *testing.T) {
+	rep, err := Run(smallCorpus(), Config{Clusters: 2, TotalRegs: 64, NBus: 1, LatBus: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Render()
+	for _, name := range []string{"tomcatv", "mgrid", "hydro2d", "MEAN", "unified", "URACAM", "Fixed", "GP"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("render missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	out := RenderTable1(64, 1, 1)
+	for _, want := range []string{"unified", "2-cluster", "4-cluster"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTable2(t *testing.T) {
+	rep, err := Run(smallCorpus(), Config{Clusters: 2, TotalRegs: 32, NBus: 1, LatBus: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTable2([]*Report{rep})
+	if !strings.Contains(out, "URACAM") || !strings.Contains(out, "x") {
+		t.Errorf("Table 2 malformed:\n%s", out)
+	}
+}
+
+func TestConfigsMatchPaper(t *testing.T) {
+	f2 := Figure2Configs()
+	if len(f2) != 4 {
+		t.Fatalf("Figure 2 has %d panels, want 4", len(f2))
+	}
+	for _, cfg := range f2 {
+		if cfg.LatBus != 1 || cfg.NBus != 1 {
+			t.Errorf("Figure 2 config %+v: want 1 bus latency 1", cfg)
+		}
+	}
+	f3 := Figure3Configs()
+	if len(f3) != 2 {
+		t.Fatalf("Figure 3 has %d panels, want 2", len(f3))
+	}
+	for _, cfg := range f3 {
+		if cfg.LatBus != 2 || cfg.Clusters != 4 {
+			t.Errorf("Figure 3 config %+v: want 4 clusters latency 2", cfg)
+		}
+	}
+}
+
+func TestSortRowsLike(t *testing.T) {
+	rep := &Report{Rows: []Row{{Benchmark: "b"}, {Benchmark: "a"}}}
+	SortRowsLike(rep, []string{"a", "b"})
+	if rep.Rows[0].Benchmark != "a" {
+		t.Error("sort failed")
+	}
+}
+
+func TestSpeedupAndRatio(t *testing.T) {
+	rep := &Report{MeanIPC: map[string]float64{SchemeGP: 4, SchemeURACAM: 3.2}}
+	if got := rep.Speedup(SchemeURACAM); got < 24.9 || got > 25.1 {
+		t.Errorf("Speedup = %v, want 25", got)
+	}
+	if got := rep.Speedup("missing"); got != 0 {
+		t.Errorf("Speedup over missing scheme = %v", got)
+	}
+	empty := &Report{SchedTime: map[string]time.Duration{}}
+	if empty.TimeRatio() != 0 {
+		t.Error("TimeRatio on empty report should be 0")
+	}
+}

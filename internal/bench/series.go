@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV emits a report as comma-separated values — one row per
+// benchmark, one column per scheme — so the paper's bar charts (Figures 2
+// and 3) can be re-plotted directly from the harness output.
+func (r *Report) WriteCSV(w io.Writer) error {
+	header := append([]string{"config", "program"}, Schemes...)
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		fields := []string{r.Machine.Name, row.Benchmark}
+		for _, s := range Schemes {
+			fields = append(fields, fmt.Sprintf("%.4f", row.IPC[s]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
+			return err
+		}
+	}
+	fields := []string{r.Machine.Name, "MEAN"}
+	for _, s := range Schemes {
+		fields = append(fields, fmt.Sprintf("%.4f", r.MeanIPC[s]))
+	}
+	_, err := fmt.Fprintln(w, strings.Join(fields, ","))
+	return err
+}
+
+// WriteTimesCSV emits Table 2's scheduling-time series for several reports.
+func WriteTimesCSV(w io.Writer, reports []*Report) error {
+	if _, err := fmt.Fprintln(w, "config,scheme,seconds"); err != nil {
+		return err
+	}
+	for _, r := range reports {
+		for _, s := range Schemes {
+			if s == SchemeUnified {
+				continue // the paper's Table 2 compares the clustered schemes
+			}
+			if _, err := fmt.Fprintf(w, "%s,%s,%.4f\n", r.Machine.Name, s, r.SchedTime[s].Seconds()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

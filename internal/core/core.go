@@ -1,0 +1,168 @@
+// Package core implements the paper's primary contribution: the GP code
+// generation framework (Figure 1) that couples the multilevel
+// graph-partitioning cluster assignment with the URACAM-based modulo
+// scheduler.
+//
+// The control flow follows §3.1 exactly:
+//
+//  1. Compute the MII and partition the DDG at that II; the partition also
+//     yields IIbus, the bus-imposed II bound.
+//  2. Try to schedule at the current II — which starts at the MII even when
+//     IIbus is larger, "on the hope that some communications will be
+//     performed through memory instead of the bus".
+//  3. On failure, increase the II. The GP scheme recomputes the partition
+//     only when IIbus > II (the partition, not the machine resources, is
+//     the binding constraint); the Fixed Partition variant never
+//     recomputes; URACAM never had a partition.
+//  4. Loops whose II escalates past a limit fall back to acyclic list
+//     scheduling, as the paper does for the few loops where modulo
+//     scheduling becomes inappropriate (§4.1).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/schedule"
+)
+
+// Algorithm selects one of the compared schedulers.
+type Algorithm int8
+
+const (
+	// GP is the paper's scheme: graph partitioning, flexible scheduling,
+	// selective repartitioning.
+	GP Algorithm = iota
+	// FixedPartition follows the initial partition rigidly and only ever
+	// raises the II.
+	FixedPartition
+	// URACAM is the best previously published scheme: integrated per-node
+	// cluster assignment with no global partition.
+	URACAM
+)
+
+var algNames = [...]string{"GP", "Fixed", "URACAM"}
+
+// String returns the algorithm's short name as used in tables.
+func (a Algorithm) String() string {
+	if a < 0 || int(a) >= len(algNames) {
+		return fmt.Sprintf("Algorithm(%d)", int8(a))
+	}
+	return algNames[a]
+}
+
+// Options configures ScheduleLoop. The zero value is the paper-faithful GP
+// configuration.
+type Options struct {
+	// Algorithm selects the scheduling scheme.
+	Algorithm Algorithm
+	// Partition tunes the graph partitioner (ablations); nil for defaults.
+	Partition *partition.Options
+	// MeritThreshold is forwarded to the scheduler's figure of merit.
+	MeritThreshold float64
+	// IIWindow bounds how far past the MII the II may escalate before the
+	// list-scheduling fallback engages. Zero means the default MII+64.
+	IIWindow int
+}
+
+func (o *Options) window() int {
+	if o.IIWindow > 0 {
+		return o.IIWindow
+	}
+	return 64
+}
+
+// Result is the outcome of scheduling one loop.
+type Result struct {
+	// Schedule is the final schedule (modulo or list).
+	Schedule *schedule.Schedule
+	// Assign is the cluster assignment actually used (nil for URACAM with
+	// list fallback).
+	Assign []int
+	// MII is the lower bound the search started from.
+	MII int
+	// IIBus is the bus bound of the final partition (0 for URACAM).
+	IIBus int
+	// Partitions counts partition computations (≥ 1 for GP/Fixed).
+	Partitions int
+	// Attempts counts scheduling attempts (II values tried).
+	Attempts int
+	// ListFallback reports that modulo scheduling was abandoned.
+	ListFallback bool
+	// Elapsed is the wall-clock scheduling time, the paper's Table 2 metric.
+	Elapsed time.Duration
+}
+
+// IPC returns executed operations per cycle for the loop's profiled trip
+// count, counting the loop's original operations (spill code and
+// communications are overhead, not useful work).
+func (r *Result) IPC(g *ddg.Graph) float64 {
+	cyc := r.Schedule.Cycles(g.Niter)
+	if cyc <= 0 {
+		return 0
+	}
+	return float64(int64(g.N())*int64(g.Niter)) / float64(cyc)
+}
+
+// ScheduleLoop schedules one loop on machine m with the selected algorithm.
+func ScheduleLoop(g *ddg.Graph, m *machine.Config, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	start := time.Now()
+	res := &Result{MII: g.MII(m)}
+
+	var assign []int
+	var part *partition.Result
+	partitioner := partition.New(g, m, opts.Partition)
+	mode := schedule.ModeURACAM
+	switch opts.Algorithm {
+	case GP, FixedPartition:
+		part = partitioner.Partition(res.MII)
+		res.Partitions++
+		assign = part.Assign
+		res.IIBus = part.IIBus
+		mode = schedule.ModeGP
+		if opts.Algorithm == FixedPartition {
+			mode = schedule.ModeFixed
+		}
+	case URACAM:
+		// no partition phase
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
+	}
+
+	limit := res.MII + opts.window()
+	for ii := res.MII; ii <= limit; ii++ {
+		res.Attempts++
+		sopts := &schedule.Options{Mode: mode, Assign: assign, MeritThreshold: opts.MeritThreshold}
+		s, fail := schedule.TrySchedule(g, m, ii, sopts)
+		if fail == nil {
+			res.Schedule = s
+			res.Assign = assign
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		// II will be raised; the GP scheme recomputes the partition when
+		// the bus bound exceeds the raised II (§3.1).
+		if opts.Algorithm == GP && part != nil && part.IIBus > ii+1 {
+			part = partitioner.Partition(ii + 1)
+			res.Partitions++
+			assign = part.Assign
+			res.IIBus = part.IIBus
+		}
+	}
+
+	// Modulo scheduling inappropriate for this loop: list-schedule it.
+	res.ListFallback = true
+	res.Schedule = schedule.ListSchedule(g, m, assign)
+	res.Assign = assign
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

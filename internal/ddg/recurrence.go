@@ -1,0 +1,153 @@
+package ddg
+
+// Recurrence analysis: strongly connected components of the full dependence
+// graph (including loop-carried edges) identify the recurrences that bound
+// the initiation interval. The Swing Modulo Scheduling ordering (paper
+// §3.3.3, Llosa et al.) processes recurrences in decreasing order of their
+// individual RecMII.
+
+// Recurrence is one strongly connected component with at least one cycle.
+type Recurrence struct {
+	// Nodes are the member node IDs.
+	Nodes []int
+	// RecMII is the recurrence-constrained minimum II of the subgraph
+	// induced by Nodes.
+	RecMII int
+}
+
+// SCCs returns the strongly connected components of the graph (Tarjan),
+// in reverse topological order of the condensation.
+func (g *Graph) SCCs() [][]int {
+	n := len(g.Nodes)
+	g.buildAdj()
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	next := 0
+
+	// Iterative Tarjan to avoid recursion depth limits on long chains.
+	type frame struct {
+		v, ei int
+	}
+	var callStack []frame
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		callStack = append(callStack[:0], frame{root, 0})
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			v := f.v
+			if f.ei < len(g.out[v]) {
+				e := g.Edges[g.out[v][f.ei]]
+				f.ei++
+				w := e.To
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{w, 0})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := callStack[len(callStack)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// Recurrences returns the graph's recurrences: SCCs that contain at least
+// one edge (a self-loop counts), each with the RecMII of its induced
+// subgraph. The slice is sorted by decreasing RecMII (ties: larger first
+// node ID last, for determinism).
+func (g *Graph) Recurrences() []Recurrence {
+	comps := g.SCCs()
+	var recs []Recurrence
+	inComp := make([]int, len(g.Nodes))
+	for i := range inComp {
+		inComp[i] = -1
+	}
+	for ci, comp := range comps {
+		for _, v := range comp {
+			inComp[v] = ci
+		}
+	}
+	for ci, comp := range comps {
+		hasCycle := len(comp) > 1
+		if !hasCycle {
+			v := comp[0]
+			for _, ei := range g.Out(v) {
+				if g.Edges[ei].To == v {
+					hasCycle = true
+					break
+				}
+			}
+		}
+		if !hasCycle {
+			continue
+		}
+		sub := g.inducedSubgraph(comp, inComp, ci)
+		recs = append(recs, Recurrence{Nodes: comp, RecMII: sub.RecMII(nil)})
+	}
+	// Sort by decreasing RecMII; stable on first node ID for determinism.
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && less(recs[j-1], recs[j]); j-- {
+			recs[j-1], recs[j] = recs[j], recs[j-1]
+		}
+	}
+	return recs
+}
+
+func less(a, b Recurrence) bool {
+	if a.RecMII != b.RecMII {
+		return a.RecMII < b.RecMII
+	}
+	return a.Nodes[0] > b.Nodes[0]
+}
+
+// inducedSubgraph builds the subgraph over comp (component index ci in
+// inComp), remapping node IDs densely. Trip count is inherited.
+func (g *Graph) inducedSubgraph(comp []int, inComp []int, ci int) *Graph {
+	sub := New(g.Name+"/scc", g.Niter)
+	remap := make(map[int]int, len(comp))
+	for _, v := range comp {
+		remap[v] = sub.AddNode(g.Nodes[v].Op, g.Nodes[v].Name)
+	}
+	for _, e := range g.Edges {
+		if inComp[e.From] == ci && inComp[e.To] == ci {
+			sub.AddEdge(Edge{From: remap[e.From], To: remap[e.To], Lat: e.Lat, Dist: e.Dist, Kind: e.Kind})
+		}
+	}
+	return sub
+}

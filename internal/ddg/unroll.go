@@ -1,0 +1,51 @@
+package ddg
+
+import "fmt"
+
+// Unroll returns the loop body replicated factor times, the standard
+// preprocessing for clustered modulo scheduling studied by Sánchez &
+// González (ICPP 2000), which the paper cites as related work: unrolling
+// widens the body so the partitioner has more independent work to spread
+// across clusters.
+//
+// Node i of copy k maps to k·n + i. A dependence (u → v, lat, dist)
+// becomes, for each copy k, an edge from copy k of u to copy
+// (k + dist) mod factor of v with distance (k + dist) / factor — the
+// standard modulo renaming of loop-carried dependences. The trip count is
+// divided (rounded up, modelling the epilogue remainder as a full
+// iteration). Unroll(1) returns a plain clone.
+func (g *Graph) Unroll(factor int) (*Graph, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("ddg: unroll factor %d < 1", factor)
+	}
+	if factor == 1 {
+		return g.Clone(), nil
+	}
+	n := g.N()
+	u := New(fmt.Sprintf("%s/u%d", g.Name, factor), (g.Niter+factor-1)/factor)
+	for k := 0; k < factor; k++ {
+		for _, nd := range g.Nodes {
+			name := nd.Name
+			if name != "" {
+				name = fmt.Sprintf("%s.%d", name, k)
+			}
+			u.AddNode(nd.Op, name)
+		}
+	}
+	for _, e := range g.Edges {
+		for k := 0; k < factor; k++ {
+			kv := k + e.Dist
+			u.AddEdge(Edge{
+				From: k*n + e.From,
+				To:   (kv%factor)*n + e.To,
+				Lat:  e.Lat,
+				Dist: kv / factor,
+				Kind: e.Kind,
+			})
+		}
+	}
+	if err := u.Validate(); err != nil {
+		return nil, fmt.Errorf("ddg: unroll produced invalid graph: %w", err)
+	}
+	return u, nil
+}

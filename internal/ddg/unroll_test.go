@@ -1,0 +1,121 @@
+package ddg
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+func TestUnrollShape(t *testing.T) {
+	g := New("u", 100)
+	a := g.AddNode(isa.Load, "x")
+	b := g.AddNode(isa.FPAdd, "acc")
+	g.AddEdge(Edge{From: a, To: b, Lat: 2, Kind: Data})
+	g.AddEdge(Edge{From: b, To: b, Lat: 3, Dist: 1, Kind: Data})
+
+	u, err := g.Unroll(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != 6 {
+		t.Errorf("unrolled nodes = %d, want 6", u.N())
+	}
+	if len(u.Edges) != 6 {
+		t.Errorf("unrolled edges = %d, want 6", len(u.Edges))
+	}
+	if u.Niter != 34 {
+		t.Errorf("unrolled trip = %d, want ceil(100/3)=34", u.Niter)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnrollDependenceRenaming(t *testing.T) {
+	// A dist-1 self recurrence on node b (index 1) in a 2-node body,
+	// unrolled by 2: copy0.b → copy1.b dist 0, copy1.b → copy0.b dist 1.
+	g := New("u", 100)
+	g.AddNode(isa.IntALU, "")
+	b := g.AddNode(isa.IntALU, "")
+	g.AddEdge(Edge{From: b, To: b, Lat: 1, Dist: 1, Kind: Data})
+	u, err := g.Unroll(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[3]int]bool{{1, 3, 0}: true, {3, 1, 1}: true} // {from,to,dist}
+	for _, e := range u.Edges {
+		if !want[[3]int{e.From, e.To, e.Dist}] {
+			t.Errorf("unexpected edge %+v", e)
+		}
+		delete(want, [3]int{e.From, e.To, e.Dist})
+	}
+	if len(want) != 0 {
+		t.Errorf("missing edges: %v", want)
+	}
+}
+
+func TestUnrollPreservesPerIterationRecurrenceBound(t *testing.T) {
+	// The recurrence bound per ORIGINAL iteration is invariant under
+	// unrolling: RecMII(unrolled)/factor == RecMII(original) for a simple
+	// self-loop.
+	g := New("u", 100)
+	v := g.AddNode(isa.FPAdd, "")
+	g.AddEdge(Edge{From: v, To: v, Lat: 6, Dist: 1, Kind: Data})
+	base := g.RecMII(nil)
+	for _, f := range []int{2, 3, 4} {
+		u, err := g.Unroll(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := u.RecMII(nil); got != base*f {
+			t.Errorf("factor %d: RecMII %d, want %d", f, got, base*f)
+		}
+	}
+}
+
+func TestUnrollResMIIScales(t *testing.T) {
+	m := machine.NewUnified(64)
+	g := New("u", 100)
+	for i := 0; i < 4; i++ {
+		g.AddNode(isa.Load, "")
+	}
+	// 4 loads on 4 mem units: ResMII 1; unrolled by 3: 12 loads → 3.
+	u, err := g.Unroll(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.ResMII(m); got != 3 {
+		t.Errorf("unrolled ResMII = %d, want 3", got)
+	}
+}
+
+func TestUnrollIdentity(t *testing.T) {
+	g := New("u", 10)
+	g.AddNode(isa.IntALU, "")
+	u, err := g.Unroll(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != 1 || u.Niter != 10 {
+		t.Error("Unroll(1) is not a clone")
+	}
+	if _, err := g.Unroll(0); err == nil {
+		t.Error("Unroll(0) accepted")
+	}
+}
+
+func TestUnrollNames(t *testing.T) {
+	g := New("loop", 10)
+	g.AddNode(isa.IntALU, "op")
+	u, err := g.Unroll(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Name != "loop/u2" {
+		t.Errorf("name = %q", u.Name)
+	}
+	if u.Nodes[0].Name != "op.0" || u.Nodes[1].Name != "op.1" {
+		t.Errorf("node names = %q, %q", u.Nodes[0].Name, u.Nodes[1].Name)
+	}
+}

@@ -1,0 +1,140 @@
+// Package ddgio serializes data dependence graphs in a line-oriented text
+// format so loops can be exchanged with the command-line tools:
+//
+//	# comment
+//	loop <name> <niter>
+//	node <id> <opclass> [label]
+//	edge <from> <to> <lat> <dist> <data|mem>
+//
+// Node lines must appear in ID order starting at 0. A file may contain
+// several loops; each starts with a loop line.
+package ddgio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/ddg"
+	"repro/internal/isa"
+)
+
+// Write serializes loops to w.
+func Write(w io.Writer, loops ...*ddg.Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, g := range loops {
+		name := g.Name
+		if name == "" {
+			name = "loop"
+		}
+		fmt.Fprintf(bw, "loop %s %d\n", strings.ReplaceAll(name, " ", "_"), g.Niter)
+		for _, n := range g.Nodes {
+			if n.Name != "" {
+				fmt.Fprintf(bw, "node %d %s %s\n", n.ID, n.Op, strings.ReplaceAll(n.Name, " ", "_"))
+			} else {
+				fmt.Fprintf(bw, "node %d %s\n", n.ID, n.Op)
+			}
+		}
+		for _, e := range g.Edges {
+			fmt.Fprintf(bw, "edge %d %d %d %d %s\n", e.From, e.To, e.Lat, e.Dist, e.Kind)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses all loops from r and validates each.
+func Read(r io.Reader) ([]*ddg.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var loops []*ddg.Graph
+	var cur *ddg.Graph
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "loop":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("ddgio: line %d: loop wants <name> <niter>", lineno)
+			}
+			niter, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("ddgio: line %d: bad trip count %q", lineno, fields[2])
+			}
+			cur = ddg.New(fields[1], niter)
+			loops = append(loops, cur)
+		case "node":
+			if cur == nil {
+				return nil, fmt.Errorf("ddgio: line %d: node before loop", lineno)
+			}
+			if len(fields) < 3 || len(fields) > 4 {
+				return nil, fmt.Errorf("ddgio: line %d: node wants <id> <opclass> [label]", lineno)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id != cur.N() {
+				return nil, fmt.Errorf("ddgio: line %d: node IDs must be dense and ordered (got %q, want %d)", lineno, fields[1], cur.N())
+			}
+			op, err := ParseOpClass(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("ddgio: line %d: %v", lineno, err)
+			}
+			label := ""
+			if len(fields) == 4 {
+				label = fields[3]
+			}
+			cur.AddNode(op, label)
+		case "edge":
+			if cur == nil {
+				return nil, fmt.Errorf("ddgio: line %d: edge before loop", lineno)
+			}
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("ddgio: line %d: edge wants <from> <to> <lat> <dist> <kind>", lineno)
+			}
+			var nums [4]int
+			for i := 0; i < 4; i++ {
+				v, err := strconv.Atoi(fields[1+i])
+				if err != nil {
+					return nil, fmt.Errorf("ddgio: line %d: bad number %q", lineno, fields[1+i])
+				}
+				nums[i] = v
+			}
+			var kind ddg.EdgeKind
+			switch fields[5] {
+			case "data":
+				kind = ddg.Data
+			case "mem":
+				kind = ddg.Mem
+			default:
+				return nil, fmt.Errorf("ddgio: line %d: bad edge kind %q", lineno, fields[5])
+			}
+			cur.AddEdge(ddg.Edge{From: nums[0], To: nums[1], Lat: nums[2], Dist: nums[3], Kind: kind})
+		default:
+			return nil, fmt.Errorf("ddgio: line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ddgio: %w", err)
+	}
+	for _, g := range loops {
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("ddgio: %w", err)
+		}
+	}
+	return loops, nil
+}
+
+// ParseOpClass parses an operation-class mnemonic ("IntALU", "Load", ...).
+func ParseOpClass(s string) (isa.OpClass, error) {
+	for c := 0; c < isa.NumOpClasses; c++ {
+		if strings.EqualFold(isa.OpClass(c).String(), s) {
+			return isa.OpClass(c), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown op class %q", s)
+}

@@ -1,0 +1,136 @@
+package ddgio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	g := ddg.New("rt", 42)
+	a := g.AddNode(isa.Load, "x")
+	b := g.AddNode(isa.FPMul, "")
+	c := g.AddNode(isa.Store, "out y")
+	g.AddEdge(ddg.Edge{From: a, To: b, Lat: 2, Dist: 0, Kind: ddg.Data})
+	g.AddEdge(ddg.Edge{From: b, To: c, Lat: 4, Dist: 0, Kind: ddg.Data})
+	g.AddEdge(ddg.Edge{From: c, To: a, Lat: 1, Dist: 1, Kind: ddg.Mem})
+
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	loops, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != 1 {
+		t.Fatalf("got %d loops", len(loops))
+	}
+	got := loops[0]
+	if got.Name != "rt" || got.Niter != 42 || got.N() != 3 || len(got.Edges) != 3 {
+		t.Fatalf("round trip lost structure: %+v", got)
+	}
+	for i := range g.Edges {
+		if g.Edges[i] != got.Edges[i] {
+			t.Errorf("edge %d: %+v != %+v", i, g.Edges[i], got.Edges[i])
+		}
+	}
+	if got.Nodes[0].Name != "x" {
+		t.Errorf("label lost: %q", got.Nodes[0].Name)
+	}
+	// Spaces in labels are flattened to underscores.
+	if got.Nodes[2].Name != "out_y" {
+		t.Errorf("spaced label = %q, want out_y", got.Nodes[2].Name)
+	}
+}
+
+func TestMultipleLoops(t *testing.T) {
+	a := ddg.New("a", 10)
+	a.AddNode(isa.IntALU, "")
+	b := ddg.New("b", 20)
+	b.AddNode(isa.Load, "")
+	var buf bytes.Buffer
+	if err := Write(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	loops, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != 2 || loops[0].Name != "a" || loops[1].Name != "b" {
+		t.Fatalf("multi-loop round trip failed: %d loops", len(loops))
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	src := `
+# a comment
+loop l 5
+
+node 0 IntALU
+# another
+node 1 Load
+edge 1 0 2 1 data
+`
+	loops, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loops[0].N() != 2 || len(loops[0].Edges) != 1 {
+		t.Fatal("comment handling broke parsing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"node 0 IntALU",                     // node before loop
+		"loop l x",                          // bad niter
+		"loop l 5\nnode 1 IntALU",           // non-dense ID
+		"loop l 5\nnode 0 Bogus",            // bad op
+		"loop l 5\nnode 0 IntALU\nedge 0 0", // short edge
+		"loop l 5\nedge 0 1 1 0 data",       // edge refs missing node (validate)
+		"loop l 5\nnode 0 IntALU\nwhat 1 2", // unknown directive
+		"loop l 0\nnode 0 IntALU",           // invalid trip count (validate)
+		"loop l 5\nnode 0 IntALU\nnode 1 IntALU\nedge 0 1 1 0 bogus", // bad kind
+	}
+	for i, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d parsed without error:\n%s", i, src)
+		}
+	}
+}
+
+func TestParseOpClassCaseInsensitive(t *testing.T) {
+	for _, s := range []string{"load", "LOAD", "Load"} {
+		c, err := ParseOpClass(s)
+		if err != nil || c != isa.Load {
+			t.Errorf("ParseOpClass(%q) = %v, %v", s, c, err)
+		}
+	}
+	if _, err := ParseOpClass("nope"); err == nil {
+		t.Error("bogus class parsed")
+	}
+}
+
+func TestCorpusRoundTrips(t *testing.T) {
+	// The whole synthetic corpus must survive serialization.
+	for _, bm := range workload.SPECfp95()[:3] {
+		for _, l := range bm.Loops {
+			var buf bytes.Buffer
+			if err := Write(&buf, l.G); err != nil {
+				t.Fatal(err)
+			}
+			back, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("%s: %v", l.G.Name, err)
+			}
+			if back[0].N() != l.G.N() || len(back[0].Edges) != len(l.G.Edges) {
+				t.Fatalf("%s: structure lost", l.G.Name)
+			}
+		}
+	}
+}

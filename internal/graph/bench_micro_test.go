@@ -1,0 +1,33 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkExactMatching14(b *testing.B) {
+	r := rand.New(rand.NewSource(71))
+	g := randomGraph(r, 14, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exactMatching(g)
+	}
+}
+
+func BenchmarkGreedyMatching200(b *testing.B) {
+	r := rand.New(rand.NewSource(72))
+	g := randomGraph(r, 200, 1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GreedyMatching(g)
+	}
+}
+
+func BenchmarkMaxWeightMatching200(b *testing.B) {
+	r := rand.New(rand.NewSource(73))
+	g := randomGraph(r, 200, 1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxWeightMatching(g)
+	}
+}

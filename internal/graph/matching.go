@@ -1,0 +1,317 @@
+// Package graph provides the weighted undirected graphs and maximum-weight
+// matching used by the multilevel coarsening phase of the partitioner.
+//
+// The paper computes a maximum-weight matching at every coarsening step
+// using the implementation in the LEDA library (paper §2.1.2, footnote).
+// LEDA's exact general-graph matching is not available here, so this package
+// substitutes:
+//
+//   - an exact maximum-weight matching via dynamic programming over vertex
+//     subsets for graphs with at most ExactLimit vertices (which covers the
+//     small coarse graphs near the end of coarsening, where the matching
+//     choice matters most), and
+//   - greedy heavy-edge matching followed by 2-exchange local improvement
+//     for larger graphs (the standard multilevel-partitioning practice,
+//     e.g. METIS; greedy alone is a ½-approximation, which the tests check
+//     against the exact algorithm on random small graphs).
+//
+// The substitution is recorded in DESIGN.md §4.
+package graph
+
+import "sort"
+
+// Edge is an undirected edge with a non-negative weight. Parallel edges are
+// allowed (the partitioner merges them before matching); self loops are
+// ignored by the matching algorithms.
+type Edge struct {
+	U, V int
+	W    int64
+}
+
+// Graph is a simple edge-list representation of an undirected weighted
+// graph over vertices 0..N-1.
+type Graph struct {
+	N     int
+	Edges []Edge
+}
+
+// ExactLimit is the largest vertex count for which MaxWeightMatching uses
+// the exact subset-DP algorithm (2^N·N time, 2^N space). 14 keeps the DP
+// in the tens of microseconds; above it, greedy matching with 2-exchange
+// improvement is both fast and within a few percent of optimal.
+const ExactLimit = 14
+
+// Matching is a set of vertex-disjoint edges, given by indices into the
+// graph's edge list.
+type Matching struct {
+	// EdgeIdx are indices into Graph.Edges.
+	EdgeIdx []int
+	// Weight is the total weight of the matched edges.
+	Weight int64
+	// Mate maps each vertex to its partner, or -1 if unmatched.
+	Mate []int
+}
+
+// MaxWeightMatching returns a maximum-weight matching of g: exact for
+// graphs with at most ExactLimit vertices, greedy heavy-edge matching with
+// 2-exchange improvement above that.
+func MaxWeightMatching(g *Graph) *Matching {
+	if g.N <= ExactLimit {
+		return exactMatching(g)
+	}
+	m := GreedyMatching(g)
+	improveMatching(g, m)
+	return m
+}
+
+// GreedyMatching returns the heavy-edge greedy matching: edges are scanned
+// in order of decreasing weight (ties by lower edge index, for determinism)
+// and added when both endpoints are free. This is a ½-approximation of the
+// maximum-weight matching.
+func GreedyMatching(g *Graph) *Matching {
+	order := make([]int, len(g.Edges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ea, eb := g.Edges[order[a]], g.Edges[order[b]]
+		if ea.W != eb.W {
+			return ea.W > eb.W
+		}
+		return order[a] < order[b]
+	})
+	mate := newMate(g.N)
+	m := &Matching{Mate: mate}
+	for _, ei := range order {
+		e := g.Edges[ei]
+		if e.U == e.V || e.W < 0 {
+			continue
+		}
+		if mate[e.U] == -1 && mate[e.V] == -1 {
+			mate[e.U], mate[e.V] = e.V, e.U
+			m.EdgeIdx = append(m.EdgeIdx, ei)
+			m.Weight += e.W
+		}
+	}
+	return m
+}
+
+// improveMatching applies 2-exchange local search: for every pair of
+// matched edges (a,b),(c,d) it considers rematching as (a,c),(b,d) or
+// (a,d),(b,c) when those edges exist and are heavier; and for every matched
+// edge it considers replacing it with a heavier incident edge whose other
+// endpoint is free. Repeats until no improvement (bounded by total weight,
+// which strictly increases).
+func improveMatching(g *Graph, m *Matching) {
+	// Index edges by endpoint pair for O(1) lookup (heaviest parallel edge).
+	best := make(map[[2]int]int, len(g.Edges))
+	key := func(u, v int) [2]int {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	for i, e := range g.Edges {
+		if e.U == e.V {
+			continue
+		}
+		k := key(e.U, e.V)
+		if j, ok := best[k]; !ok || g.Edges[j].W < e.W {
+			best[k] = i
+		}
+	}
+	weightOf := func(u, v int) (int64, int, bool) {
+		j, ok := best[key(u, v)]
+		if !ok {
+			return 0, -1, false
+		}
+		return g.Edges[j].W, j, true
+	}
+	for pass := 0; pass < 8; pass++ {
+		improved := false
+		// Single-edge upgrades: matched edge (u,v) vs incident (u,x) with x free.
+		for _, e := range g.Edges {
+			if e.U == e.V {
+				continue
+			}
+			u, v := e.U, e.V
+			if m.Mate[u] == -1 && m.Mate[v] == -1 {
+				// Both free: greedy missed only if weight positive; take it.
+				if e.W > 0 {
+					matchPair(m, g, u, v)
+					improved = true
+				}
+				continue
+			}
+			if m.Mate[u] != -1 && m.Mate[v] != -1 {
+				continue
+			}
+			// Exactly one endpoint matched; try replacing its current edge.
+			if m.Mate[v] != -1 {
+				u, v = v, u // u matched, v free
+			}
+			w := m.Mate[u]
+			cur, _, _ := weightOf(u, w)
+			if e.W > cur {
+				unmatchPair(m, u, w)
+				matchPair(m, g, u, v)
+				improved = true
+			}
+		}
+		// Pair exchanges.
+		matched := append([]int(nil), m.EdgeIdx...)
+		for i := 0; i < len(matched); i++ {
+			for j := i + 1; j < len(matched); j++ {
+				e1, e2 := g.Edges[matched[i]], g.Edges[matched[j]]
+				a, b, c, d := e1.U, e1.V, e2.U, e2.V
+				if m.Mate[a] != b || m.Mate[c] != d {
+					continue // already rewired this pass
+				}
+				base := e1.W + e2.W
+				if w1, _, ok1 := weightOf(a, c); ok1 {
+					if w2, _, ok2 := weightOf(b, d); ok2 && w1+w2 > base {
+						unmatchPair(m, a, b)
+						unmatchPair(m, c, d)
+						matchPair(m, g, a, c)
+						matchPair(m, g, b, d)
+						improved = true
+						continue
+					}
+				}
+				if w1, _, ok1 := weightOf(a, d); ok1 {
+					if w2, _, ok2 := weightOf(b, c); ok2 && w1+w2 > base {
+						unmatchPair(m, a, b)
+						unmatchPair(m, c, d)
+						matchPair(m, g, a, d)
+						matchPair(m, g, b, c)
+						improved = true
+					}
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	rebuild(g, m)
+}
+
+// matchPair records u–v as matched using the heaviest parallel edge.
+func matchPair(m *Matching, g *Graph, u, v int) {
+	m.Mate[u], m.Mate[v] = v, u
+}
+
+func unmatchPair(m *Matching, u, v int) {
+	m.Mate[u], m.Mate[v] = -1, -1
+}
+
+// rebuild recomputes EdgeIdx and Weight from Mate, picking the heaviest
+// parallel edge for each matched pair.
+func rebuild(g *Graph, m *Matching) {
+	m.EdgeIdx = m.EdgeIdx[:0]
+	m.Weight = 0
+	bestIdx := make(map[[2]int]int)
+	for i, e := range g.Edges {
+		if e.U == e.V {
+			continue
+		}
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		k := [2]int{u, v}
+		if j, ok := bestIdx[k]; !ok || g.Edges[j].W < e.W {
+			bestIdx[k] = i
+		}
+	}
+	for u := 0; u < g.N; u++ {
+		v := m.Mate[u]
+		if v > u {
+			if j, ok := bestIdx[[2]int{u, v}]; ok {
+				m.EdgeIdx = append(m.EdgeIdx, j)
+				m.Weight += g.Edges[j].W
+			}
+		}
+	}
+}
+
+// exactMatching computes a maximum-weight matching by dynamic programming
+// over subsets of vertices. For each subset S, dp[S] is the best matching
+// weight using only vertices in S. Transition: let v be the lowest set bit;
+// either leave v unmatched, or match v with any other u in S via the
+// heaviest parallel edge.
+func exactMatching(g *Graph) *Matching {
+	n := g.N
+	// Heaviest parallel edge between each pair.
+	type pe struct {
+		w   int64
+		idx int
+	}
+	pair := make([][]pe, n)
+	for i := range pair {
+		pair[i] = make([]pe, n)
+		for j := range pair[i] {
+			pair[i][j] = pe{0, -1}
+		}
+	}
+	for i, e := range g.Edges {
+		if e.U == e.V || e.W <= 0 {
+			continue
+		}
+		if e.W > pair[e.U][e.V].w {
+			pair[e.U][e.V] = pe{e.W, i}
+			pair[e.V][e.U] = pe{e.W, i}
+		}
+	}
+	size := 1 << n
+	dp := make([]int64, size)
+	choice := make([]int32, size) // matched partner of lowest bit, or -1
+	for s := 1; s < size; s++ {
+		v := lowestBit(s)
+		rest := s &^ (1 << v)
+		bestW := dp[rest] // leave v unmatched
+		bestU := int32(-1)
+		for u := v + 1; u < n; u++ {
+			if rest&(1<<u) == 0 {
+				continue
+			}
+			if p := pair[v][u]; p.idx >= 0 {
+				if w := dp[rest&^(1<<u)] + p.w; w > bestW {
+					bestW, bestU = w, int32(u)
+				}
+			}
+		}
+		dp[s] = bestW
+		choice[s] = bestU
+	}
+	m := &Matching{Mate: newMate(n), Weight: dp[size-1]}
+	for s := size - 1; s > 0; {
+		v := lowestBit(s)
+		u := choice[s]
+		if u < 0 {
+			s &^= 1 << v
+			continue
+		}
+		m.Mate[v], m.Mate[u] = int(u), v
+		m.EdgeIdx = append(m.EdgeIdx, pair[v][u].idx)
+		s &^= (1 << v) | (1 << int(u))
+	}
+	return m
+}
+
+func lowestBit(s int) int {
+	b := 0
+	for s&1 == 0 {
+		s >>= 1
+		b++
+	}
+	return b
+}
+
+func newMate(n int) []int {
+	mate := make([]int, n)
+	for i := range mate {
+		mate[i] = -1
+	}
+	return mate
+}

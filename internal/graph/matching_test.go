@@ -1,0 +1,237 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// validMatching checks structural invariants: matched edges are vertex
+// disjoint, Mate is symmetric and consistent with EdgeIdx, Weight is the
+// sum of matched edge weights.
+func validMatching(t *testing.T, g *Graph, m *Matching) {
+	t.Helper()
+	if len(m.Mate) != g.N {
+		t.Fatalf("Mate length %d, want %d", len(m.Mate), g.N)
+	}
+	for v, u := range m.Mate {
+		if u == -1 {
+			continue
+		}
+		if u < 0 || u >= g.N {
+			t.Fatalf("Mate[%d] = %d out of range", v, u)
+		}
+		if m.Mate[u] != v {
+			t.Fatalf("Mate not symmetric: Mate[%d]=%d, Mate[%d]=%d", v, u, u, m.Mate[u])
+		}
+	}
+	seen := make(map[int]bool)
+	var w int64
+	for _, ei := range m.EdgeIdx {
+		e := g.Edges[ei]
+		if seen[e.U] || seen[e.V] {
+			t.Fatalf("edge %d (%d-%d) shares a vertex with another matched edge", ei, e.U, e.V)
+		}
+		seen[e.U], seen[e.V] = true, true
+		if m.Mate[e.U] != e.V || m.Mate[e.V] != e.U {
+			t.Fatalf("EdgeIdx and Mate disagree on edge %d", ei)
+		}
+		w += e.W
+	}
+	if w != m.Weight {
+		t.Fatalf("Weight = %d, sum of matched edges = %d", m.Weight, w)
+	}
+}
+
+func TestExactTriangle(t *testing.T) {
+	// Triangle with weights 5, 4, 3: best matching is the single edge 5.
+	g := &Graph{N: 3, Edges: []Edge{{0, 1, 5}, {1, 2, 4}, {0, 2, 3}}}
+	m := MaxWeightMatching(g)
+	validMatching(t, g, m)
+	if m.Weight != 5 {
+		t.Errorf("Weight = %d, want 5", m.Weight)
+	}
+}
+
+func TestExactBeatsGreedy(t *testing.T) {
+	// Path a-b-c-d with weights 3, 4, 3: greedy picks the middle edge
+	// (weight 4); optimum picks the two outer edges (weight 6).
+	g := &Graph{N: 4, Edges: []Edge{{0, 1, 3}, {1, 2, 4}, {2, 3, 3}}}
+	greedy := GreedyMatching(g)
+	if greedy.Weight != 4 {
+		t.Fatalf("greedy Weight = %d, want 4", greedy.Weight)
+	}
+	m := MaxWeightMatching(g)
+	validMatching(t, g, m)
+	if m.Weight != 6 {
+		t.Errorf("exact Weight = %d, want 6", m.Weight)
+	}
+}
+
+func TestPerfectMatchingCycle(t *testing.T) {
+	// Even cycle with uniform weights: perfect matching of n/2 edges.
+	n := 8
+	g := &Graph{N: n}
+	for i := 0; i < n; i++ {
+		g.Edges = append(g.Edges, Edge{i, (i + 1) % n, 10})
+	}
+	m := MaxWeightMatching(g)
+	validMatching(t, g, m)
+	if m.Weight != int64(n/2*10) {
+		t.Errorf("Weight = %d, want %d", m.Weight, n/2*10)
+	}
+}
+
+func TestParallelEdgesPickHeaviest(t *testing.T) {
+	g := &Graph{N: 2, Edges: []Edge{{0, 1, 3}, {0, 1, 9}, {0, 1, 1}}}
+	m := MaxWeightMatching(g)
+	validMatching(t, g, m)
+	if m.Weight != 9 {
+		t.Errorf("Weight = %d, want 9 (heaviest parallel edge)", m.Weight)
+	}
+}
+
+func TestSelfLoopsIgnored(t *testing.T) {
+	g := &Graph{N: 2, Edges: []Edge{{0, 0, 100}, {0, 1, 1}}}
+	m := MaxWeightMatching(g)
+	validMatching(t, g, m)
+	if m.Weight != 1 {
+		t.Errorf("Weight = %d, want 1 (self loop must be ignored)", m.Weight)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		g := &Graph{N: n}
+		m := MaxWeightMatching(g)
+		validMatching(t, g, m)
+		if m.Weight != 0 || len(m.EdgeIdx) != 0 {
+			t.Errorf("n=%d: Weight=%d edges=%d, want empty", n, m.Weight, len(m.EdgeIdx))
+		}
+	}
+}
+
+func randomGraph(r *rand.Rand, n, maxEdges int) *Graph {
+	g := &Graph{N: n}
+	e := r.Intn(maxEdges + 1)
+	for i := 0; i < e; i++ {
+		g.Edges = append(g.Edges, Edge{r.Intn(n), r.Intn(n), int64(r.Intn(50) + 1)})
+	}
+	return g
+}
+
+// TestGreedyHalfApproximation checks the classical guarantee
+// greedy ≥ ½·optimal on random small graphs, comparing against the exact
+// subset-DP matching.
+func TestGreedyHalfApproximation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		n := r.Intn(10) + 2
+		g := randomGraph(r, n, 25)
+		exact := exactMatching(g)
+		greedy := GreedyMatching(g)
+		validMatching(t, g, exact)
+		validMatching(t, g, greedy)
+		if 2*greedy.Weight < exact.Weight {
+			t.Fatalf("trial %d: greedy %d < ½·exact %d on %+v", trial, greedy.Weight, exact.Weight, g)
+		}
+		if greedy.Weight > exact.Weight {
+			t.Fatalf("trial %d: greedy %d exceeds exact %d", trial, greedy.Weight, exact.Weight)
+		}
+	}
+}
+
+// TestImprovementNeverHurts checks that local improvement only increases
+// weight and preserves matching validity.
+func TestImprovementNeverHurts(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(30) + 2
+		g := randomGraph(r, n, 80)
+		greedy := GreedyMatching(g)
+		gw := greedy.Weight
+		improveMatching(g, greedy)
+		validMatching(t, g, greedy)
+		if greedy.Weight < gw {
+			t.Fatalf("trial %d: improvement reduced weight %d → %d", trial, gw, greedy.Weight)
+		}
+	}
+}
+
+// TestExactMatchesBruteForce cross-checks the subset DP against a direct
+// recursive enumeration on tiny graphs.
+func TestExactMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var brute func(g *Graph, used int) int64
+	brute = func(g *Graph, used int) int64 {
+		var best int64
+		for _, e := range g.Edges {
+			if e.U == e.V || used&(1<<e.U) != 0 || used&(1<<e.V) != 0 {
+				continue
+			}
+			if w := e.W + brute(g, used|1<<e.U|1<<e.V); w > best {
+				best = w
+			}
+		}
+		return best
+	}
+	for trial := 0; trial < 150; trial++ {
+		n := r.Intn(7) + 1
+		g := randomGraph(r, n, 14)
+		exact := exactMatching(g)
+		if want := brute(g, 0); exact.Weight != want {
+			t.Fatalf("trial %d: exact %d, brute force %d", trial, exact.Weight, want)
+		}
+	}
+}
+
+// TestMatchingDisjointProperty is a quick-check property: no vertex appears
+// in two matched edges for arbitrary random graphs (including above the
+// exact threshold).
+func TestMatchingDisjointProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, eRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%40) + 1
+		g := randomGraph(r, n, int(eRaw))
+		m := MaxWeightMatching(g)
+		used := make(map[int]bool)
+		for _, ei := range m.EdgeIdx {
+			e := g.Edges[ei]
+			if used[e.U] || used[e.V] {
+				return false
+			}
+			used[e.U], used[e.V] = true, true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeGraphUsesGreedyPath(t *testing.T) {
+	// A graph above ExactLimit must still produce a valid matching quickly.
+	r := rand.New(rand.NewSource(4))
+	g := randomGraph(r, 200, 1000)
+	m := MaxWeightMatching(g)
+	validMatching(t, g, m)
+	if len(m.EdgeIdx) == 0 {
+		t.Error("large random graph produced empty matching")
+	}
+}
+
+func TestMaximality(t *testing.T) {
+	// The returned matching must be maximal: no remaining edge has both
+	// endpoints free (otherwise coarsening stalls).
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := r.Intn(50) + 2
+		g := randomGraph(r, n, 150)
+		m := MaxWeightMatching(g)
+		for _, e := range g.Edges {
+			if e.U != e.V && e.W > 0 && m.Mate[e.U] == -1 && m.Mate[e.V] == -1 {
+				t.Fatalf("trial %d: matching not maximal, edge %d-%d free", trial, e.U, e.V)
+			}
+		}
+	}
+}

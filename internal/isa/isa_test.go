@@ -1,0 +1,98 @@
+package isa
+
+import "testing"
+
+func TestOpClassString(t *testing.T) {
+	cases := map[OpClass]string{
+		IntALU: "IntALU", IntMul: "IntMul", FPAdd: "FPAdd", FPMul: "FPMul",
+		FPDiv: "FPDiv", Load: "Load", Store: "Store", Copy: "Copy",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+	if got := OpClass(99).String(); got != "OpClass(99)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestOpClassValid(t *testing.T) {
+	for c := 0; c < NumOpClasses; c++ {
+		if !OpClass(c).Valid() {
+			t.Errorf("OpClass(%d).Valid() = false", c)
+		}
+	}
+	for _, c := range []OpClass{-1, OpClass(NumOpClasses), 120} {
+		if c.Valid() {
+			t.Errorf("OpClass(%d).Valid() = true", int(c))
+		}
+	}
+}
+
+func TestUnitMapping(t *testing.T) {
+	cases := map[OpClass]UnitKind{
+		IntALU: IntUnit, IntMul: IntUnit, Copy: IntUnit,
+		FPAdd: FPUnit, FPMul: FPUnit, FPDiv: FPUnit,
+		Load: MemUnit, Store: MemUnit,
+	}
+	for c, want := range cases {
+		if got := c.Unit(); got != want {
+			t.Errorf("%v.Unit() = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestUnitKindString(t *testing.T) {
+	cases := map[UnitKind]string{IntUnit: "INT", FPUnit: "FP", MemUnit: "MEM"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := UnitKind(9).String(); got != "UnitKind(9)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestProducesValue(t *testing.T) {
+	if Store.ProducesValue() {
+		t.Error("Store.ProducesValue() = true")
+	}
+	for _, c := range []OpClass{IntALU, IntMul, FPAdd, FPMul, FPDiv, Load, Copy} {
+		if !c.ProducesValue() {
+			t.Errorf("%v.ProducesValue() = false", c)
+		}
+	}
+}
+
+func TestDefaultLatencyPositive(t *testing.T) {
+	for c := 0; c < NumOpClasses; c++ {
+		if DefaultLatency(OpClass(c)) < 1 {
+			t.Errorf("DefaultLatency(%v) = %d < 1", OpClass(c), DefaultLatency(OpClass(c)))
+		}
+	}
+}
+
+func TestDefaultLatencyOrdering(t *testing.T) {
+	// The model's broad shape: FP slower than integer, divide slowest,
+	// loads slower than stores.
+	if !(DefaultLatency(FPMul) > DefaultLatency(IntALU)) {
+		t.Error("FPMul should be slower than IntALU")
+	}
+	if !(DefaultLatency(FPDiv) > DefaultLatency(FPMul)) {
+		t.Error("FPDiv should be slower than FPMul")
+	}
+	if !(DefaultLatency(Load) > DefaultLatency(Store)) {
+		t.Error("Load should be slower than Store")
+	}
+}
+
+func TestDefaultLatenciesTable(t *testing.T) {
+	tab := DefaultLatencies()
+	for c := 0; c < NumOpClasses; c++ {
+		if tab[c] != DefaultLatency(OpClass(c)) {
+			t.Errorf("table[%v] = %d, want %d", OpClass(c), tab[c], DefaultLatency(OpClass(c)))
+		}
+	}
+}

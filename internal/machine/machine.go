@@ -1,0 +1,181 @@
+// Package machine describes the clustered VLIW processor configurations of
+// the paper (MICRO-34, Table 1).
+//
+// All configurations are 12-issue with the same total resources, divided
+// homogeneously among the clusters:
+//
+//	unified:   1 cluster  × (4 INT, 4 FP, 4 MEM), all registers
+//	2-cluster: 2 clusters × (2 INT, 2 FP, 2 MEM), half the registers each
+//	4-cluster: 4 clusters × (1 INT, 1 FP, 1 MEM), a quarter of the registers each
+//
+// Clusters communicate through NBus shared, non-pipelined buses of latency
+// LatBus. The memory hierarchy is shared by all clusters and perfect (every
+// access hits), exactly as in the paper's evaluation.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Config describes one clustered VLIW configuration. The zero value is not a
+// valid configuration; use one of the constructors or fill every field and
+// call Validate.
+type Config struct {
+	// Name identifies the configuration in tables and benchmark output,
+	// e.g. "2-cluster/32reg/1bus/lat1".
+	Name string
+
+	// Clusters is the number of clusters (1 for the unified machine).
+	Clusters int
+
+	// Units holds the number of functional units of each kind per cluster.
+	Units [isa.NumUnitKinds]int
+
+	// RegsPerCluster is the number of registers in each cluster's register
+	// file. The paper reports total registers (32 or 64) split evenly.
+	RegsPerCluster int
+
+	// NBus is the number of inter-cluster buses. Zero is only valid for the
+	// unified configuration.
+	NBus int
+
+	// LatBus is the latency, in cycles, of an inter-cluster bus transfer.
+	// The bus is not pipelined: a transfer occupies a bus for LatBus
+	// consecutive cycles.
+	LatBus int
+
+	// Latency maps each operation class to its producer latency in cycles.
+	Latency [isa.NumOpClasses]int
+}
+
+// NewUnified returns the paper's unified baseline: a single cluster holding
+// all twelve functional units and all totalRegs registers. It has no
+// inter-cluster bus.
+func NewUnified(totalRegs int) *Config {
+	return &Config{
+		Name:           fmt.Sprintf("unified/%dreg", totalRegs),
+		Clusters:       1,
+		Units:          [isa.NumUnitKinds]int{4, 4, 4},
+		RegsPerCluster: totalRegs,
+		NBus:           0,
+		LatBus:         0,
+		Latency:        isa.DefaultLatencies(),
+	}
+}
+
+// NewClustered returns an n-cluster 12-issue configuration with totalRegs
+// registers split evenly, nbus inter-cluster buses of latency latBus.
+// n must divide 4 (the per-kind unit count of the unified machine) and
+// totalRegs must divide evenly by n.
+func NewClustered(n, totalRegs, nbus, latBus int) (*Config, error) {
+	switch {
+	case n < 1:
+		return nil, fmt.Errorf("machine: cluster count %d < 1", n)
+	case 4%n != 0:
+		return nil, fmt.Errorf("machine: cluster count %d does not divide the 12-issue machine evenly", n)
+	case totalRegs%n != 0:
+		return nil, fmt.Errorf("machine: %d registers do not split evenly over %d clusters", totalRegs, n)
+	case n > 1 && nbus < 1:
+		return nil, fmt.Errorf("machine: clustered configuration requires at least one bus")
+	case n > 1 && latBus < 1:
+		return nil, fmt.Errorf("machine: bus latency %d < 1", latBus)
+	}
+	per := 4 / n
+	c := &Config{
+		Name:           fmt.Sprintf("%d-cluster/%dreg/%dbus/lat%d", n, totalRegs, nbus, latBus),
+		Clusters:       n,
+		Units:          [isa.NumUnitKinds]int{per, per, per},
+		RegsPerCluster: totalRegs / n,
+		NBus:           nbus,
+		LatBus:         latBus,
+		Latency:        isa.DefaultLatencies(),
+	}
+	if n == 1 {
+		c.NBus, c.LatBus = 0, 0
+		c.Name = fmt.Sprintf("unified/%dreg", totalRegs)
+	}
+	return c, nil
+}
+
+// MustClustered is NewClustered but panics on invalid parameters. It is
+// intended for the fixed, known-good configurations used in tests, examples
+// and benchmarks.
+func MustClustered(n, totalRegs, nbus, latBus int) *Config {
+	c, err := NewClustered(n, totalRegs, nbus, latBus)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Validate checks internal consistency of a hand-built configuration.
+func (c *Config) Validate() error {
+	if c.Clusters < 1 {
+		return fmt.Errorf("machine %q: cluster count %d < 1", c.Name, c.Clusters)
+	}
+	for k := 0; k < isa.NumUnitKinds; k++ {
+		if c.Units[k] < 0 {
+			return fmt.Errorf("machine %q: negative %s unit count", c.Name, isa.UnitKind(k))
+		}
+	}
+	if c.Units[isa.IntUnit]+c.Units[isa.FPUnit]+c.Units[isa.MemUnit] == 0 {
+		return fmt.Errorf("machine %q: no functional units", c.Name)
+	}
+	if c.RegsPerCluster < 1 {
+		return fmt.Errorf("machine %q: %d registers per cluster", c.Name, c.RegsPerCluster)
+	}
+	if c.Clusters > 1 {
+		if c.NBus < 1 {
+			return fmt.Errorf("machine %q: clustered but no bus", c.Name)
+		}
+		if c.LatBus < 1 {
+			return fmt.Errorf("machine %q: bus latency %d < 1", c.Name, c.LatBus)
+		}
+	}
+	for cl := 0; cl < isa.NumOpClasses; cl++ {
+		if c.Latency[cl] < 1 {
+			return fmt.Errorf("machine %q: latency %d for %s", c.Name, c.Latency[cl], isa.OpClass(cl))
+		}
+	}
+	return nil
+}
+
+// OpLatency returns the producer latency of an operation of class op.
+func (c *Config) OpLatency(op isa.OpClass) int { return c.Latency[op] }
+
+// UnitsPerCluster returns the number of functional units of kind k in each
+// cluster.
+func (c *Config) UnitsPerCluster(k isa.UnitKind) int { return c.Units[k] }
+
+// TotalUnits returns the machine-wide number of functional units of kind k.
+func (c *Config) TotalUnits(k isa.UnitKind) int { return c.Units[k] * c.Clusters }
+
+// TotalRegs returns the machine-wide register count.
+func (c *Config) TotalRegs() int { return c.RegsPerCluster * c.Clusters }
+
+// IssueWidth returns the machine-wide issue width, which equals the total
+// number of functional units (each unit issues one operation per cycle).
+func (c *Config) IssueWidth() int {
+	n := 0
+	for k := 0; k < isa.NumUnitKinds; k++ {
+		n += c.TotalUnits(isa.UnitKind(k))
+	}
+	return n
+}
+
+// String returns the configuration name.
+func (c *Config) String() string { return c.Name }
+
+// Table1 returns the three processor configurations of the paper's Table 1
+// for a given total register count: unified, 2-cluster and 4-cluster, each
+// 12-issue with resources split homogeneously, with nbus buses of latency
+// latBus for the clustered machines.
+func Table1(totalRegs, nbus, latBus int) []*Config {
+	return []*Config{
+		NewUnified(totalRegs),
+		MustClustered(2, totalRegs, nbus, latBus),
+		MustClustered(4, totalRegs, nbus, latBus),
+	}
+}

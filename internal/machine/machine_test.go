@@ -1,0 +1,147 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestNewUnified(t *testing.T) {
+	c := NewUnified(64)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if c.Clusters != 1 {
+		t.Errorf("Clusters = %d, want 1", c.Clusters)
+	}
+	if c.IssueWidth() != 12 {
+		t.Errorf("IssueWidth = %d, want 12", c.IssueWidth())
+	}
+	if c.TotalRegs() != 64 {
+		t.Errorf("TotalRegs = %d, want 64", c.TotalRegs())
+	}
+	if c.NBus != 0 {
+		t.Errorf("NBus = %d, want 0", c.NBus)
+	}
+}
+
+func TestNewClusteredTable1Shapes(t *testing.T) {
+	// The paper's Table 1: all configurations are 12-issue with the same
+	// total resources divided homogeneously.
+	for _, n := range []int{1, 2, 4} {
+		c, err := NewClustered(n, 64, 1, 1)
+		if err != nil {
+			t.Fatalf("NewClustered(%d): %v", n, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Validate(%d-cluster): %v", n, err)
+		}
+		if got := c.IssueWidth(); got != 12 {
+			t.Errorf("%d-cluster IssueWidth = %d, want 12", n, got)
+		}
+		if got := c.TotalRegs(); got != 64 {
+			t.Errorf("%d-cluster TotalRegs = %d, want 64", n, got)
+		}
+		for k := 0; k < isa.NumUnitKinds; k++ {
+			if got := c.TotalUnits(isa.UnitKind(k)); got != 4 {
+				t.Errorf("%d-cluster TotalUnits(%v) = %d, want 4", n, isa.UnitKind(k), got)
+			}
+			if got := c.UnitsPerCluster(isa.UnitKind(k)); got != 4/n {
+				t.Errorf("%d-cluster UnitsPerCluster(%v) = %d, want %d", n, isa.UnitKind(k), got, 4/n)
+			}
+		}
+	}
+}
+
+func TestNewClusteredErrors(t *testing.T) {
+	cases := []struct {
+		n, regs, nbus, lat int
+	}{
+		{0, 32, 1, 1},  // no clusters
+		{3, 32, 1, 1},  // 3 does not divide 4 units
+		{2, 33, 1, 1},  // registers do not split
+		{2, 32, 0, 1},  // clustered without bus
+		{2, 32, 1, 0},  // zero bus latency
+		{-1, 32, 1, 1}, // negative
+	}
+	for _, tc := range cases {
+		if _, err := NewClustered(tc.n, tc.regs, tc.nbus, tc.lat); err == nil {
+			t.Errorf("NewClustered(%+v): want error", tc)
+		}
+	}
+}
+
+func TestMustClusteredPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustClustered(3,...) did not panic")
+		}
+	}()
+	MustClustered(3, 32, 1, 1)
+}
+
+func TestValidateHandBuilt(t *testing.T) {
+	c := &Config{Name: "bad", Clusters: 2, RegsPerCluster: 16, NBus: 1, LatBus: 1}
+	c.Latency = isa.DefaultLatencies()
+	// No functional units.
+	if err := c.Validate(); err == nil {
+		t.Error("config with no units validated")
+	}
+	c.Units = [isa.NumUnitKinds]int{1, 1, 1}
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	c.Latency[isa.Load] = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero latency validated")
+	}
+}
+
+func TestNameEncodesParameters(t *testing.T) {
+	c := MustClustered(4, 32, 1, 2)
+	for _, part := range []string{"4-cluster", "32reg", "1bus", "lat2"} {
+		if !strings.Contains(c.Name, part) {
+			t.Errorf("Name %q missing %q", c.Name, part)
+		}
+	}
+	if c.String() != c.Name {
+		t.Errorf("String() = %q, want %q", c.String(), c.Name)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	cfgs := Table1(32, 1, 1)
+	if len(cfgs) != 3 {
+		t.Fatalf("Table1 returned %d configs, want 3", len(cfgs))
+	}
+	wantClusters := []int{1, 2, 4}
+	for i, c := range cfgs {
+		if c.Clusters != wantClusters[i] {
+			t.Errorf("config %d: Clusters = %d, want %d", i, c.Clusters, wantClusters[i])
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %d invalid: %v", i, err)
+		}
+		if c.TotalRegs() != 32 {
+			t.Errorf("config %d: TotalRegs = %d, want 32", i, c.TotalRegs())
+		}
+	}
+}
+
+func TestOpLatencyMatchesTable(t *testing.T) {
+	c := NewUnified(32)
+	for cl := 0; cl < isa.NumOpClasses; cl++ {
+		if got := c.OpLatency(isa.OpClass(cl)); got != isa.DefaultLatency(isa.OpClass(cl)) {
+			t.Errorf("OpLatency(%v) = %d, want default %d", isa.OpClass(cl), got, isa.DefaultLatency(isa.OpClass(cl)))
+		}
+	}
+}
+
+func TestUnifiedAliasOfOneCluster(t *testing.T) {
+	a := NewUnified(32)
+	b := MustClustered(1, 32, 0, 0)
+	if a.Name != b.Name || a.Units != b.Units || a.RegsPerCluster != b.RegsPerCluster {
+		t.Errorf("NewClustered(1,...) = %+v, want equivalent of NewUnified: %+v", b, a)
+	}
+}

@@ -1,0 +1,166 @@
+// Package mrt implements the modulo reservation table used by the modulo
+// scheduler: per-cluster functional-unit slots, per-cluster memory-port
+// slots (the memory units) and the shared inter-cluster bus slots.
+//
+// A resource used at absolute cycle t occupies slot t mod II in every
+// iteration of the steady state. The bus is non-pipelined (paper §3.1): one
+// transfer occupies a bus for LatBus consecutive cycles, i.e. LatBus
+// consecutive modulo slots.
+package mrt
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// Table is a modulo reservation table for one machine at one II.
+type Table struct {
+	II int
+
+	m *machine.Config
+	// fu[c][k*II + s] counts operations of unit kind k issued by cluster c
+	// at modulo slot s.
+	fu [][]int
+	// bus[s] counts bus occupancy at modulo slot s.
+	bus []int
+}
+
+// New returns an empty reservation table for machine m at initiation
+// interval ii ≥ 1.
+func New(m *machine.Config, ii int) *Table {
+	if ii < 1 {
+		panic(fmt.Sprintf("mrt: II %d < 1", ii))
+	}
+	t := &Table{II: ii, m: m}
+	t.fu = make([][]int, m.Clusters)
+	for c := range t.fu {
+		t.fu[c] = make([]int, isa.NumUnitKinds*ii)
+	}
+	t.bus = make([]int, ii)
+	return t
+}
+
+func (t *Table) slot(cycle int) int {
+	s := cycle % t.II
+	if s < 0 {
+		s += t.II
+	}
+	return s
+}
+
+// CanPlaceOp reports whether a unit of kind k is free in cluster c at the
+// given absolute cycle.
+func (t *Table) CanPlaceOp(c int, k isa.UnitKind, cycle int) bool {
+	return t.fu[c][int(k)*t.II+t.slot(cycle)] < t.m.UnitsPerCluster(k)
+}
+
+// PlaceOp reserves a unit of kind k in cluster c at the given cycle. It
+// panics when the slot is full: callers must check CanPlaceOp first.
+func (t *Table) PlaceOp(c int, k isa.UnitKind, cycle int) {
+	i := int(k)*t.II + t.slot(cycle)
+	if t.fu[c][i] >= t.m.UnitsPerCluster(k) {
+		panic(fmt.Sprintf("mrt: overfull %v slot, cluster %d cycle %d", k, c, cycle))
+	}
+	t.fu[c][i]++
+}
+
+// RemoveOp releases a previously placed reservation.
+func (t *Table) RemoveOp(c int, k isa.UnitKind, cycle int) {
+	i := int(k)*t.II + t.slot(cycle)
+	if t.fu[c][i] <= 0 {
+		panic(fmt.Sprintf("mrt: removing free %v slot, cluster %d cycle %d", k, c, cycle))
+	}
+	t.fu[c][i]--
+}
+
+// CanPlaceBus reports whether one bus is free for the LatBus consecutive
+// cycles starting at the given cycle.
+func (t *Table) CanPlaceBus(start int) bool {
+	if t.m.NBus == 0 {
+		return false
+	}
+	if t.m.LatBus >= t.II {
+		// A non-pipelined transfer longer than the II would collide with
+		// itself in the next iteration.
+		return false
+	}
+	for d := 0; d < t.m.LatBus; d++ {
+		if t.bus[t.slot(start+d)] >= t.m.NBus {
+			return false
+		}
+	}
+	return true
+}
+
+// PlaceBus reserves a bus for LatBus cycles starting at start. Callers must
+// check CanPlaceBus first.
+func (t *Table) PlaceBus(start int) {
+	if !t.CanPlaceBus(start) {
+		panic(fmt.Sprintf("mrt: overfull bus at cycle %d", start))
+	}
+	for d := 0; d < t.m.LatBus; d++ {
+		t.bus[t.slot(start+d)]++
+	}
+}
+
+// RemoveBus releases a bus reservation made at start.
+func (t *Table) RemoveBus(start int) {
+	for d := 0; d < t.m.LatBus; d++ {
+		s := t.slot(start + d)
+		if t.bus[s] <= 0 {
+			panic(fmt.Sprintf("mrt: removing free bus slot %d", s))
+		}
+		t.bus[s]--
+	}
+}
+
+// BusAt returns the bus occupancy count at modulo slot s.
+func (t *Table) BusAt(s int) int { return t.bus[t.slot(s)] }
+
+// MemAt returns the memory-port occupancy of cluster c at modulo slot s.
+func (t *Table) MemAt(c, s int) int {
+	return t.fu[c][int(isa.MemUnit)*t.II+t.slot(s)]
+}
+
+// FreeOpSlots returns the number of free slots of kind k in cluster c
+// across one II window.
+func (t *Table) FreeOpSlots(c int, k isa.UnitKind) int {
+	total := t.m.UnitsPerCluster(k) * t.II
+	used := 0
+	for s := 0; s < t.II; s++ {
+		used += t.fu[c][int(k)*t.II+s]
+	}
+	return total - used
+}
+
+// FreeBusSlots returns the number of free bus slot-cycles across one II
+// window.
+func (t *Table) FreeBusSlots() int {
+	total := t.m.NBus * t.II
+	used := 0
+	for s := 0; s < t.II; s++ {
+		used += t.bus[s]
+	}
+	return total - used
+}
+
+// BusUtilization returns used/total bus slot-cycles, or 0 when the machine
+// has no bus.
+func (t *Table) BusUtilization() float64 {
+	total := t.m.NBus * t.II
+	if total == 0 {
+		return 0
+	}
+	return float64(total-t.FreeBusSlots()) / float64(total)
+}
+
+// MemUtilization returns used/total memory slots in cluster c.
+func (t *Table) MemUtilization(c int) float64 {
+	total := t.m.UnitsPerCluster(isa.MemUnit) * t.II
+	if total == 0 {
+		return 0
+	}
+	return float64(total-t.FreeOpSlots(c, isa.MemUnit)) / float64(total)
+}

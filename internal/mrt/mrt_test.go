@@ -1,0 +1,180 @@
+package mrt
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+func TestPlaceOpCapacity(t *testing.T) {
+	m := machine.MustClustered(4, 64, 1, 1) // 1 unit of each kind per cluster
+	tab := New(m, 3)
+	if !tab.CanPlaceOp(0, isa.IntUnit, 5) {
+		t.Fatal("fresh table refuses placement")
+	}
+	tab.PlaceOp(0, isa.IntUnit, 5) // slot 2
+	if tab.CanPlaceOp(0, isa.IntUnit, 2) {
+		t.Error("slot 2 should be full (cycle 5 ≡ 2 mod 3)")
+	}
+	if !tab.CanPlaceOp(0, isa.IntUnit, 3) {
+		t.Error("slot 0 should be free")
+	}
+	if !tab.CanPlaceOp(1, isa.IntUnit, 5) {
+		t.Error("other cluster should be free")
+	}
+	if !tab.CanPlaceOp(0, isa.FPUnit, 5) {
+		t.Error("other kind should be free")
+	}
+	tab.RemoveOp(0, isa.IntUnit, 5)
+	if !tab.CanPlaceOp(0, isa.IntUnit, 2) {
+		t.Error("slot not freed after RemoveOp")
+	}
+}
+
+func TestPlaceOpMultipleUnits(t *testing.T) {
+	m := machine.MustClustered(2, 32, 1, 1) // 2 units per kind per cluster
+	tab := New(m, 2)
+	tab.PlaceOp(0, isa.MemUnit, 0)
+	if !tab.CanPlaceOp(0, isa.MemUnit, 0) {
+		t.Fatal("second memory unit should be free")
+	}
+	tab.PlaceOp(0, isa.MemUnit, 0)
+	if tab.CanPlaceOp(0, isa.MemUnit, 0) {
+		t.Error("both units taken, slot should be full")
+	}
+}
+
+func TestPlaceOpPanicsWhenFull(t *testing.T) {
+	m := machine.MustClustered(4, 64, 1, 1)
+	tab := New(m, 1)
+	tab.PlaceOp(0, isa.IntUnit, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("PlaceOp on full slot did not panic")
+		}
+	}()
+	tab.PlaceOp(0, isa.IntUnit, 0)
+}
+
+func TestRemoveOpPanicsWhenEmpty(t *testing.T) {
+	m := machine.MustClustered(4, 64, 1, 1)
+	tab := New(m, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("RemoveOp on empty slot did not panic")
+		}
+	}()
+	tab.RemoveOp(0, isa.IntUnit, 0)
+}
+
+func TestBusNonPipelined(t *testing.T) {
+	m := machine.MustClustered(2, 32, 1, 2) // 1 bus, latency 2
+	tab := New(m, 4)
+	if !tab.CanPlaceBus(1) {
+		t.Fatal("fresh bus refused")
+	}
+	tab.PlaceBus(1) // occupies slots 1 and 2
+	for _, start := range []int{0, 1, 2} {
+		if tab.CanPlaceBus(start) {
+			t.Errorf("bus start %d should collide with transfer at 1-2", start)
+		}
+	}
+	if !tab.CanPlaceBus(3) {
+		t.Error("bus start 3 (slots 3,0) should be free")
+	}
+	tab.RemoveBus(1)
+	if !tab.CanPlaceBus(1) {
+		t.Error("bus not freed")
+	}
+}
+
+func TestBusWrapsModulo(t *testing.T) {
+	m := machine.MustClustered(2, 32, 1, 2)
+	tab := New(m, 3)
+	tab.PlaceBus(2) // slots 2 and 0
+	if tab.CanPlaceBus(0) {
+		t.Error("slot 0 should be occupied by the wrapped transfer")
+	}
+	if tab.CanPlaceBus(1) {
+		t.Error("latency-2 transfer at 1 needs slots 1,2 and slot 2 is taken")
+	}
+}
+
+func TestBusLongerThanII(t *testing.T) {
+	m := machine.MustClustered(2, 32, 1, 2)
+	tab := New(m, 2)
+	// LatBus == II: a transfer would collide with itself each iteration.
+	if tab.CanPlaceBus(0) {
+		t.Error("LatBus ≥ II must be rejected")
+	}
+}
+
+func TestBusCapacityTwoBuses(t *testing.T) {
+	m := machine.MustClustered(2, 32, 2, 1) // 2 buses, latency 1
+	tab := New(m, 2)
+	tab.PlaceBus(0)
+	if !tab.CanPlaceBus(0) {
+		t.Fatal("second bus should be free")
+	}
+	tab.PlaceBus(0)
+	if tab.CanPlaceBus(0) {
+		t.Error("both buses taken")
+	}
+}
+
+func TestNoBusOnUnified(t *testing.T) {
+	m := machine.NewUnified(32)
+	tab := New(m, 4)
+	if tab.CanPlaceBus(0) {
+		t.Error("unified machine has no bus")
+	}
+}
+
+func TestFreeSlotAccounting(t *testing.T) {
+	m := machine.MustClustered(2, 32, 1, 1) // 2 mem units/cluster
+	tab := New(m, 3)
+	if got := tab.FreeOpSlots(0, isa.MemUnit); got != 6 {
+		t.Fatalf("FreeOpSlots = %d, want 6", got)
+	}
+	tab.PlaceOp(0, isa.MemUnit, 0)
+	tab.PlaceOp(0, isa.MemUnit, 4)
+	if got := tab.FreeOpSlots(0, isa.MemUnit); got != 4 {
+		t.Errorf("FreeOpSlots = %d, want 4", got)
+	}
+	if got := tab.FreeBusSlots(); got != 3 {
+		t.Errorf("FreeBusSlots = %d, want 3", got)
+	}
+	tab.PlaceBus(1)
+	if got := tab.FreeBusSlots(); got != 2 {
+		t.Errorf("FreeBusSlots = %d, want 2", got)
+	}
+	if u := tab.BusUtilization(); u < 0.33 || u > 0.34 {
+		t.Errorf("BusUtilization = %v, want 1/3", u)
+	}
+	if u := tab.MemUtilization(0); u < 0.33 || u > 0.34 {
+		t.Errorf("MemUtilization = %v, want 2/6", u)
+	}
+	if u := tab.MemUtilization(1); u != 0 {
+		t.Errorf("MemUtilization(1) = %v, want 0", u)
+	}
+}
+
+func TestNegativeCycleSlots(t *testing.T) {
+	m := machine.MustClustered(2, 32, 1, 1)
+	tab := New(m, 4)
+	tab.PlaceOp(0, isa.IntUnit, -1) // slot 3
+	tab.PlaceOp(0, isa.IntUnit, -1)
+	if tab.CanPlaceOp(0, isa.IntUnit, 3) {
+		t.Error("cycle -1 should map to slot 3")
+	}
+}
+
+func TestNewPanicsOnBadII(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(m, 0) did not panic")
+		}
+	}()
+	New(machine.NewUnified(32), 0)
+}

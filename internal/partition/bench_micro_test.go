@@ -1,0 +1,61 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// Micro-benchmarks for the partitioner's phases.
+
+func BenchmarkPartitionMedium(b *testing.B) {
+	r := rand.New(rand.NewSource(61))
+	g := randomDAG(r, 40)
+	m := machine.MustClustered(2, 32, 1, 1)
+	ii := g.MII(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(g, m, nil).Partition(ii)
+	}
+}
+
+func BenchmarkPartitionLarge4Cluster(b *testing.B) {
+	r := rand.New(rand.NewSource(62))
+	g := randomDAG(r, 100)
+	m := machine.MustClustered(4, 64, 1, 2)
+	ii := g.MII(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(g, m, nil).Partition(ii)
+	}
+}
+
+func BenchmarkEdgeWeights(b *testing.B) {
+	r := rand.New(rand.NewSource(63))
+	g := randomDAG(r, 80)
+	m := machine.MustClustered(2, 32, 1, 2)
+	ii := g.MII(m)
+	p := New(g, m, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.computeWeights(ii)
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	r := rand.New(rand.NewSource(64))
+	g := randomDAG(r, 60)
+	m := machine.MustClustered(4, 64, 1, 1)
+	ii := g.MII(m)
+	p := New(g, m, nil)
+	p.computeWeights(ii)
+	assign := make([]int, g.N())
+	for v := range assign {
+		assign[v] = v % 4
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.evaluate(assign, ii)
+	}
+}

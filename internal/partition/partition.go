@@ -1,0 +1,408 @@
+// Package partition implements the paper's multilevel graph-partitioning
+// cluster assignment (§3.2): the first half of the GP scheme.
+//
+// The data dependence graph is coarsened by repeated maximum-weight
+// matching, where the weight of an edge estimates the execution-time damage
+// of cutting it:
+//
+//	weight(e) = delay(e)·(maxslack+1) + maxslack − slack(e) + 1
+//
+// with delay(e) the increase of the estimated software-pipelined execution
+// time T = (niter−1)·II + max_path when a bus latency is added to e, and
+// slack(e) the number of cycles e can be delayed without growing T. Any
+// difference in delay therefore outweighs the largest difference in slack,
+// and no edge has zero weight (paper §3.2.1).
+//
+// Coarsening stops when as many macro-nodes remain as there are clusters;
+// each macro-node seeds one cluster. The partition is then refined from the
+// coarsest level back to the original graph with two heuristics (§3.2.2):
+// workload balancing (no per-cluster resource may exceed 100% utilization)
+// and cut-impact minimization (single moves and pair interchanges, selected
+// by execution-time benefit, with slack-of-cut and cut-size tie-breakers).
+//
+// The execution-time estimator assumes unlimited registers and an ideal
+// single-cycle memory but models the inter-cluster bus and per-cluster
+// functional units realistically, exactly as the paper prescribes.
+package partition
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+// WeightScheme selects how coarsening edge weights are computed. The paper
+// scheme is the default; Uniform is an ablation (DESIGN.md A1).
+type WeightScheme int8
+
+const (
+	// PaperWeights uses delay/slack execution-time-aware weights (§3.2.1).
+	PaperWeights WeightScheme = iota
+	// UniformWeights gives every data edge weight 1 (cut-size-only
+	// partitioning, as in conventional graph partitioning).
+	UniformWeights
+)
+
+// Options tunes the partitioner. The zero value reproduces the paper.
+type Options struct {
+	// Weights selects the coarsening edge-weight scheme.
+	Weights WeightScheme
+	// SkipRefinement disables the uncoarsening refinement passes
+	// (ablation A2: the induced initial partition is returned as is,
+	// after a single balancing pass to keep it feasible).
+	SkipRefinement bool
+	// GreedyMatchingOnly forces greedy heavy-edge matching even on small
+	// coarse graphs where the exact algorithm would be used (ablation A4).
+	GreedyMatchingOnly bool
+	// MaxMoves caps the number of applied refinement transformations per
+	// level as a safety valve; 0 means the default (4·nodes).
+	MaxMoves int
+	// RegisterAware makes the refinement estimator model register
+	// pressure: per-cluster lifetimes are estimated from the ASAP times
+	// and clusters whose estimated MaxLive exceeds the register file pay
+	// the spill cost (two memory operations per overflowing value per
+	// iteration), which can raise the cluster's resource MII. The paper
+	// identifies exactly this blind spot — "the partitioning phase
+	// ignores register pressure, and then it tends to schedule operations
+	// in the fewest number of clusters" (§4.2) — and names
+	// pressure-aware partitioning as future work; this option implements
+	// it (ablation A6).
+	RegisterAware bool
+}
+
+// Result is a computed cluster assignment.
+type Result struct {
+	// Assign maps each node ID of the partitioned graph to a cluster.
+	Assign []int
+	// IIBus is the initiation-interval lower bound imposed by the
+	// inter-cluster bus: ceil(NComm·LatBus / NBus) (paper §3.1).
+	IIBus int
+	// NComm is the number of values communicated across clusters.
+	NComm int
+	// EstTime and EstII are the estimator's execution time and the II it
+	// was achieved at, for the returned assignment.
+	EstTime int64
+	EstII   int
+	// Levels is the number of coarsening levels built (≥ 1).
+	Levels int
+	// Moves is the total number of refinement transformations applied.
+	Moves int
+}
+
+// Partitioner computes cluster assignments for one loop on one machine.
+type Partitioner struct {
+	g    *ddg.Graph
+	m    *machine.Config
+	opts Options
+
+	weights []int64 // per original edge; 0 for non-data edges
+	extra   []int   // scratch per-edge latency additions
+}
+
+// New returns a partitioner for graph g on machine m. opts may be nil for
+// the paper-faithful defaults.
+func New(g *ddg.Graph, m *machine.Config, opts *Options) *Partitioner {
+	p := &Partitioner{g: g, m: m, extra: make([]int, len(g.Edges))}
+	if opts != nil {
+		p.opts = *opts
+	}
+	return p
+}
+
+// Partition computes a cluster assignment for initiation interval ii (the
+// MII on the first call; a raised II on recomputation, per §3.1).
+func (p *Partitioner) Partition(ii int) *Result {
+	n := p.g.N()
+	res := &Result{Assign: make([]int, n), Levels: 1}
+	if p.m.Clusters <= 1 || n == 0 {
+		est := p.evaluate(res.Assign, ii)
+		res.IIBus, res.NComm, res.EstTime, res.EstII = est.iiBus, est.nComm, est.t, est.ii
+		return res
+	}
+
+	p.computeWeights(ii)
+	levels := p.coarsen()
+	res.Levels = len(levels)
+
+	// Initial partition: one coarsest macro-node per cluster (deterministic:
+	// heaviest macro-node — most operations — first).
+	coarsest := levels[len(levels)-1]
+	order := make([]int, len(coarsest.groups))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if len(coarsest.groups[a]) < len(coarsest.groups[b]) ||
+				(len(coarsest.groups[a]) == len(coarsest.groups[b]) && a > b) {
+				order[j-1], order[j] = order[j], order[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	for rank, gi := range order {
+		for _, v := range coarsest.groups[gi] {
+			res.Assign[v] = rank % p.m.Clusters
+		}
+	}
+
+	// Refinement from coarsest to finest (paper §3.2.2). Even with
+	// refinement disabled, one balancing pass keeps the partition feasible.
+	for li := len(levels) - 1; li >= 0; li-- {
+		lv := levels[li]
+		res.Moves += p.balance(lv, res.Assign, ii)
+		if !p.opts.SkipRefinement {
+			res.Moves += p.minimizeCut(lv, res.Assign, ii)
+		}
+	}
+
+	final := p.evaluate(res.Assign, ii)
+	res.IIBus, res.NComm = final.iiBus, final.nComm
+	res.EstTime, res.EstII = final.t, final.ii
+	return res
+}
+
+// IIBusFor returns the bus-imposed II bound for an assignment: the minimum
+// number of cycles needed to schedule the partition's communications on the
+// available buses (paper §3.1).
+func IIBusFor(g *ddg.Graph, m *machine.Config, assign []int) (iiBus, nComm int) {
+	if m.Clusters <= 1 || m.NBus == 0 {
+		return 0, 0
+	}
+	cross := make([]bool, g.N())
+	for _, e := range g.Edges {
+		if e.Kind == ddg.Data && assign[e.From] != assign[e.To] {
+			cross[e.From] = true
+		}
+	}
+	for _, c := range cross {
+		if c {
+			nComm++
+		}
+	}
+	return ceilDiv(nComm*m.LatBus, m.NBus), nComm
+}
+
+// computeWeights fills p.weights with the §3.2.1 edge weights, computed on
+// the original graph (coarse edges sum the weights of their constituents,
+// per §2.1.2).
+func (p *Partitioner) computeWeights(ii int) {
+	g := p.g
+	p.weights = make([]int64, len(g.Edges))
+	if p.opts.Weights == UniformWeights {
+		for i, e := range g.Edges {
+			if e.Kind == ddg.Data {
+				p.weights[i] = 1
+			}
+		}
+		return
+	}
+	baseT, usedII := g.EstimateTime(p.m, ii, nil)
+	times, ok := g.StartTimes(p.m, usedII, nil)
+	if !ok {
+		panic("partition: StartTimes infeasible at estimator II")
+	}
+	// Slack and maxslack over data edges.
+	slack := make([]int, len(g.Edges))
+	maxsl := 0
+	for i, e := range g.Edges {
+		if e.Kind != ddg.Data {
+			continue
+		}
+		slack[i] = g.Slack(times, i, nil)
+		if slack[i] > maxsl {
+			maxsl = slack[i]
+		}
+	}
+	scratch := make([]int, len(g.Edges))
+	for i, e := range g.Edges {
+		if e.Kind != ddg.Data {
+			continue
+		}
+		scratch[i] = p.m.LatBus
+		delayT, _ := g.EstimateTime(p.m, usedII, scratch)
+		scratch[i] = 0
+		delay := delayT - baseT
+		if delay < 0 {
+			delay = 0
+		}
+		p.weights[i] = delay*int64(maxsl+1) + int64(maxsl-slack[i]) + 1
+	}
+}
+
+// level is one coarsening level: groups[i] lists the original node IDs
+// fused into macro-node i.
+type level struct {
+	groups [][]int
+	// edges are the collapsed inter-group data edges with summed weights.
+	edges []graph.Edge
+}
+
+// coarsen builds the level hierarchy, finest first, stopping once the
+// number of macro-nodes reaches the cluster count (§3.2.1).
+func (p *Partitioner) coarsen() []*level {
+	g := p.g
+	n := g.N()
+	lv0 := &level{groups: make([][]int, n)}
+	for v := 0; v < n; v++ {
+		lv0.groups[v] = []int{v}
+	}
+	lv0.edges = p.collapseEdges(lv0.groups)
+	levels := []*level{lv0}
+
+	for cur := lv0; len(cur.groups) > p.m.Clusters; {
+		gg := &graph.Graph{N: len(cur.groups), Edges: cur.edges}
+		var m *graph.Matching
+		if p.opts.GreedyMatchingOnly {
+			m = graph.GreedyMatching(gg)
+		} else {
+			m = graph.MaxWeightMatching(gg)
+		}
+		next := p.fuse(cur, m)
+		if len(next.groups) == len(cur.groups) {
+			// No matched edges (disconnected remainder): force-pair the two
+			// smallest groups so coarsening always terminates.
+			next = p.forcePair(cur)
+			if len(next.groups) == len(cur.groups) {
+				break
+			}
+		}
+		levels = append(levels, next)
+		cur = next
+	}
+	return levels
+}
+
+// fuse builds the next level by fusing matched macro-node pairs, respecting
+// the target count: it never fuses below the cluster count.
+func (p *Partitioner) fuse(cur *level, m *graph.Matching) *level {
+	n := len(cur.groups)
+	target := p.m.Clusters
+	remap := make([]int, n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	next := &level{}
+	budget := n - target // how many fusions we may still perform
+	// Matched pairs in decreasing weight order (EdgeIdx is not sorted by
+	// weight, so sort indices by edge weight for determinism).
+	idx := append([]int(nil), m.EdgeIdx...)
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0; j-- {
+			a, b := cur.edges[idx[j-1]], cur.edges[idx[j]]
+			if a.W < b.W || (a.W == b.W && idx[j-1] > idx[j]) {
+				idx[j-1], idx[j] = idx[j], idx[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	for _, ei := range idx {
+		if budget <= 0 {
+			break
+		}
+		e := cur.edges[ei]
+		if remap[e.U] != -1 || remap[e.V] != -1 {
+			continue
+		}
+		id := len(next.groups)
+		merged := make([]int, 0, len(cur.groups[e.U])+len(cur.groups[e.V]))
+		merged = append(merged, cur.groups[e.U]...)
+		merged = append(merged, cur.groups[e.V]...)
+		next.groups = append(next.groups, merged)
+		remap[e.U], remap[e.V] = id, id
+		budget--
+	}
+	for v := 0; v < n; v++ {
+		if remap[v] == -1 {
+			remap[v] = len(next.groups)
+			next.groups = append(next.groups, cur.groups[v])
+		}
+	}
+	next.edges = p.collapseEdges(next.groups)
+	return next
+}
+
+// forcePair fuses the two smallest groups when matching cannot make
+// progress (disconnected graphs).
+func (p *Partitioner) forcePair(cur *level) *level {
+	if len(cur.groups) < 2 {
+		return cur
+	}
+	a, b := 0, 1
+	for i := range cur.groups {
+		if len(cur.groups[i]) < len(cur.groups[a]) {
+			b, a = a, i
+		} else if i != a && len(cur.groups[i]) < len(cur.groups[b]) {
+			b = i
+		}
+	}
+	if a > b {
+		a, b = b, a
+	}
+	next := &level{}
+	next.groups = append(next.groups, append(append([]int{}, cur.groups[a]...), cur.groups[b]...))
+	for i := range cur.groups {
+		if i != a && i != b {
+			next.groups = append(next.groups, cur.groups[i])
+		}
+	}
+	next.edges = p.collapseEdges(next.groups)
+	return next
+}
+
+// collapseEdges builds the inter-group data edges with summed weights
+// (parallel edges combine, intra-group edges disappear — §2.1.2).
+func (p *Partitioner) collapseEdges(groups [][]int) []graph.Edge {
+	owner := make([]int, p.g.N())
+	for gi, members := range groups {
+		for _, v := range members {
+			owner[v] = gi
+		}
+	}
+	sum := make(map[[2]int]int64)
+	for i, e := range p.g.Edges {
+		if e.Kind != ddg.Data {
+			continue
+		}
+		a, b := owner[e.From], owner[e.To]
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		sum[[2]int{a, b}] += p.weights[i]
+	}
+	edges := make([]graph.Edge, 0, len(sum))
+	// Deterministic order: scan pairs in sorted order.
+	keys := make([][2]int, 0, len(sum))
+	for k := range sum {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && lessPair(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, k := range keys {
+		edges = append(edges, graph.Edge{U: k[0], V: k[1], W: sum[k]})
+	}
+	return edges
+}
+
+func lessPair(a, b [2]int) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

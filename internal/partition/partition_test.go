@@ -1,0 +1,374 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// twoChains builds two independent chains of length n each: the natural
+// 2-cluster partition keeps each chain whole (zero communications).
+func twoChains(n int) *ddg.Graph {
+	g := ddg.New("twochains", 100)
+	for c := 0; c < 2; c++ {
+		var prev int
+		for i := 0; i < n; i++ {
+			op := isa.IntALU
+			if i%3 == 1 {
+				op = isa.FPAdd
+			}
+			if i%3 == 2 {
+				op = isa.Load
+			}
+			v := g.AddNode(op, "")
+			if i > 0 {
+				g.AddEdge(ddg.Edge{From: prev, To: v, Lat: 1, Kind: ddg.Data})
+			}
+			prev = v
+		}
+	}
+	return g
+}
+
+func mustValidate(t *testing.T, g *ddg.Graph) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkAssign verifies every node is assigned to a real cluster.
+func checkAssign(t *testing.T, g *ddg.Graph, m *machine.Config, assign []int) {
+	t.Helper()
+	if len(assign) != g.N() {
+		t.Fatalf("assignment length %d, want %d", len(assign), g.N())
+	}
+	for v, c := range assign {
+		if c < 0 || c >= m.Clusters {
+			t.Fatalf("node %d assigned to cluster %d of %d", v, c, m.Clusters)
+		}
+	}
+}
+
+func TestUnifiedTrivial(t *testing.T) {
+	g := twoChains(5)
+	mustValidate(t, g)
+	m := machine.NewUnified(32)
+	res := New(g, m, nil).Partition(g.MII(m))
+	checkAssign(t, g, m, res.Assign)
+	if res.IIBus != 0 || res.NComm != 0 {
+		t.Errorf("unified: IIBus=%d NComm=%d, want 0,0", res.IIBus, res.NComm)
+	}
+}
+
+func TestTwoChainsSplitCleanly(t *testing.T) {
+	g := twoChains(8)
+	mustValidate(t, g)
+	m := machine.MustClustered(2, 32, 1, 1)
+	res := New(g, m, nil).Partition(g.MII(m))
+	checkAssign(t, g, m, res.Assign)
+	if res.NComm != 0 {
+		t.Errorf("two independent chains cut: NComm=%d, want 0 (assign=%v)", res.NComm, res.Assign)
+	}
+	// Each chain stays whole.
+	for c := 0; c < 2; c++ {
+		first := res.Assign[c*8]
+		for i := 1; i < 8; i++ {
+			if res.Assign[c*8+i] != first {
+				t.Fatalf("chain %d split: %v", c, res.Assign)
+			}
+		}
+	}
+	if res.Assign[0] == res.Assign[8] {
+		t.Errorf("both chains in one cluster: %v", res.Assign)
+	}
+}
+
+func TestIIBusForCountsValuesOnce(t *testing.T) {
+	// One producer feeding two consumers in another cluster counts as a
+	// single communicated value (broadcast bus).
+	g := ddg.New("fan", 10)
+	p := g.AddNode(isa.IntALU, "")
+	c1 := g.AddNode(isa.IntALU, "")
+	c2 := g.AddNode(isa.IntALU, "")
+	g.AddEdge(ddg.Edge{From: p, To: c1, Lat: 1, Kind: ddg.Data})
+	g.AddEdge(ddg.Edge{From: p, To: c2, Lat: 1, Kind: ddg.Data})
+	m := machine.MustClustered(2, 32, 1, 2)
+	iiBus, nComm := IIBusFor(g, m, []int{0, 1, 1})
+	if nComm != 1 {
+		t.Errorf("NComm = %d, want 1", nComm)
+	}
+	if iiBus != 2 { // ceil(1·2/1)
+		t.Errorf("IIBus = %d, want 2", iiBus)
+	}
+}
+
+func TestIIBusForMemEdgesFree(t *testing.T) {
+	g := ddg.New("mem", 10)
+	s := g.AddNode(isa.Store, "")
+	l := g.AddNode(isa.Load, "")
+	g.AddEdge(ddg.Edge{From: s, To: l, Lat: 1, Kind: ddg.Mem})
+	m := machine.MustClustered(2, 32, 1, 1)
+	iiBus, nComm := IIBusFor(g, m, []int{0, 1})
+	if nComm != 0 || iiBus != 0 {
+		t.Errorf("mem ordering edge communicated: NComm=%d IIBus=%d", nComm, iiBus)
+	}
+}
+
+func TestBalanceRelievesOverload(t *testing.T) {
+	// 8 loads in a row: a 4-cluster machine has 1 memory unit per cluster,
+	// so no cluster may hold more than II loads. At II = MII = 2, each
+	// cluster holds at most 2.
+	g := ddg.New("loads", 100)
+	for i := 0; i < 8; i++ {
+		g.AddNode(isa.Load, "")
+	}
+	mustValidate(t, g)
+	m := machine.MustClustered(4, 64, 1, 1)
+	ii := g.MII(m)
+	if ii != 2 {
+		t.Fatalf("MII = %d, want 2", ii)
+	}
+	res := New(g, m, nil).Partition(ii)
+	checkAssign(t, g, m, res.Assign)
+	per := make([]int, 4)
+	for _, c := range res.Assign {
+		per[c]++
+	}
+	for c, n := range per {
+		if n > res.EstII {
+			t.Errorf("cluster %d holds %d loads > estII %d (assign=%v)", c, n, res.EstII, res.Assign)
+		}
+	}
+}
+
+func TestRecurrenceStaysTogether(t *testing.T) {
+	// A tight recurrence plus independent work: cutting the recurrence
+	// raises RecMII, so the partitioner must keep it in one cluster.
+	g := ddg.New("rec", 200)
+	a := g.AddNode(isa.IntALU, "a")
+	b := g.AddNode(isa.IntALU, "b")
+	g.AddEdge(ddg.Edge{From: a, To: b, Lat: 1, Kind: ddg.Data})
+	g.AddEdge(ddg.Edge{From: b, To: a, Lat: 1, Dist: 1, Kind: ddg.Data})
+	// Independent work for the other cluster.
+	for i := 0; i < 6; i++ {
+		g.AddNode(isa.FPAdd, "w")
+	}
+	mustValidate(t, g)
+	m := machine.MustClustered(2, 32, 1, 2)
+	res := New(g, m, nil).Partition(g.MII(m))
+	checkAssign(t, g, m, res.Assign)
+	if res.Assign[a] != res.Assign[b] {
+		t.Errorf("recurrence cut across clusters: %v", res.Assign)
+	}
+}
+
+func TestPaperWeightsPositive(t *testing.T) {
+	g := twoChains(4)
+	m := machine.MustClustered(2, 32, 1, 1)
+	p := New(g, m, nil)
+	p.computeWeights(g.MII(m))
+	for i, e := range g.Edges {
+		if e.Kind == ddg.Data && p.weights[i] < 1 {
+			t.Errorf("data edge %d has weight %d < 1 (paper: no zero-weight edges)", i, p.weights[i])
+		}
+	}
+}
+
+func TestCriticalEdgeWeightsDominate(t *testing.T) {
+	// delay differences must outweigh slack differences: an edge on a tight
+	// recurrence (raising II when delayed) must weigh more than a slack
+	// edge off the critical path.
+	g := ddg.New("w", 1000)
+	a := g.AddNode(isa.IntALU, "")
+	b := g.AddNode(isa.IntALU, "")
+	g.AddEdge(ddg.Edge{From: a, To: b, Lat: 1, Kind: ddg.Data})          // edge 0: recurrence
+	g.AddEdge(ddg.Edge{From: b, To: a, Lat: 1, Dist: 1, Kind: ddg.Data}) // edge 1: recurrence
+	c := g.AddNode(isa.IntALU, "")
+	d := g.AddNode(isa.FPDiv, "")
+	g.AddEdge(ddg.Edge{From: c, To: b, Lat: 1, Kind: ddg.Data}) // edge 2: slack side edge
+	_ = d
+	mustValidate(t, g)
+	m := machine.MustClustered(2, 32, 1, 2)
+	p := New(g, m, nil)
+	p.computeWeights(2)
+	if p.weights[1] <= p.weights[2] {
+		t.Errorf("recurrence edge weight %d not above slack edge weight %d", p.weights[1], p.weights[2])
+	}
+}
+
+func TestUniformWeights(t *testing.T) {
+	g := twoChains(4)
+	m := machine.MustClustered(2, 32, 1, 1)
+	p := New(g, m, &Options{Weights: UniformWeights})
+	p.computeWeights(1)
+	for i, e := range g.Edges {
+		want := int64(0)
+		if e.Kind == ddg.Data {
+			want = 1
+		}
+		if p.weights[i] != want {
+			t.Errorf("uniform weight[%d] = %d, want %d", i, p.weights[i], want)
+		}
+	}
+}
+
+func TestSkipRefinementStillFeasible(t *testing.T) {
+	g := twoChains(8)
+	m := machine.MustClustered(2, 32, 1, 1)
+	res := New(g, m, &Options{SkipRefinement: true}).Partition(g.MII(m))
+	checkAssign(t, g, m, res.Assign)
+}
+
+func TestRefinementNeverWorseThanInitial(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	m := machine.MustClustered(2, 64, 1, 1)
+	for trial := 0; trial < 20; trial++ {
+		g := randomDAG(r, 20+r.Intn(20))
+		mustValidate(t, g)
+		ii := g.MII(m)
+		refined := New(g, m, nil).Partition(ii)
+		raw := New(g, m, &Options{SkipRefinement: true}).Partition(ii)
+		if refined.EstTime > raw.EstTime {
+			t.Errorf("trial %d: refined estimate %d worse than unrefined %d", trial, refined.EstTime, raw.EstTime)
+		}
+	}
+}
+
+// randomDAG builds a random connected loop body with a few loop-carried
+// edges.
+func randomDAG(r *rand.Rand, n int) *ddg.Graph {
+	g := ddg.New("rand", 100+r.Intn(400))
+	ops := []isa.OpClass{isa.IntALU, isa.IntMul, isa.FPAdd, isa.FPMul, isa.Load}
+	for i := 0; i < n; i++ {
+		g.AddNode(ops[r.Intn(len(ops))], "")
+	}
+	for i := 1; i < n; i++ {
+		// 1-2 predecessors from earlier nodes.
+		for k := 0; k < 1+r.Intn(2); k++ {
+			from := r.Intn(i)
+			lat := isa.DefaultLatency(g.Nodes[from].Op)
+			g.AddEdge(ddg.Edge{From: from, To: i, Lat: lat, Kind: ddg.Data})
+		}
+	}
+	// A couple of loop-carried recurrences.
+	for k := 0; k < 2 && n > 3; k++ {
+		to := r.Intn(n - 1)
+		from := to + 1 + r.Intn(n-to-1)
+		lat := isa.DefaultLatency(g.Nodes[from].Op)
+		g.AddEdge(ddg.Edge{From: from, To: to, Lat: lat, Dist: 1 + r.Intn(2), Kind: ddg.Data})
+	}
+	return g
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := randomDAG(r, 30)
+	m := machine.MustClustered(4, 64, 1, 1)
+	ii := g.MII(m)
+	a := New(g, m, nil).Partition(ii)
+	b := New(g, m, nil).Partition(ii)
+	for v := range a.Assign {
+		if a.Assign[v] != b.Assign[v] {
+			t.Fatalf("non-deterministic assignment at node %d: %d vs %d", v, a.Assign[v], b.Assign[v])
+		}
+	}
+	if a.EstTime != b.EstTime || a.IIBus != b.IIBus {
+		t.Errorf("non-deterministic estimates: %+v vs %+v", a, b)
+	}
+}
+
+func TestPartitionRandomInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	machines := []*machine.Config{
+		machine.MustClustered(2, 32, 1, 1),
+		machine.MustClustered(2, 64, 1, 2),
+		machine.MustClustered(4, 32, 1, 1),
+		machine.MustClustered(4, 64, 2, 2),
+	}
+	for trial := 0; trial < 30; trial++ {
+		g := randomDAG(r, 5+r.Intn(40))
+		mustValidate(t, g)
+		m := machines[trial%len(machines)]
+		res := New(g, m, nil).Partition(g.MII(m))
+		checkAssign(t, g, m, res.Assign)
+		// IIBus consistency with the returned assignment.
+		iiBus, nComm := IIBusFor(g, m, res.Assign)
+		if iiBus != res.IIBus || nComm != res.NComm {
+			t.Errorf("trial %d: Result says IIBus=%d NComm=%d, recomputed %d,%d",
+				trial, res.IIBus, res.NComm, iiBus, nComm)
+		}
+		if res.EstII < g.RecMII(nil) {
+			t.Errorf("trial %d: EstII %d below RecMII %d", trial, res.EstII, g.RecMII(nil))
+		}
+		if res.EstTime < int64(g.Niter-1) {
+			t.Errorf("trial %d: EstTime %d impossibly small", trial, res.EstTime)
+		}
+	}
+}
+
+func TestCoarseningReachesClusterCount(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	g := randomDAG(r, 25)
+	m := machine.MustClustered(4, 64, 1, 1)
+	p := New(g, m, nil)
+	p.computeWeights(g.MII(m))
+	levels := p.coarsen()
+	last := levels[len(levels)-1]
+	if len(last.groups) != 4 {
+		t.Errorf("coarsest level has %d groups, want 4", len(last.groups))
+	}
+	// Every level preserves the node universe.
+	for li, lv := range levels {
+		seen := make(map[int]bool)
+		for _, grp := range lv.groups {
+			for _, v := range grp {
+				if seen[v] {
+					t.Fatalf("level %d: node %d in two groups", li, v)
+				}
+				seen[v] = true
+			}
+		}
+		if len(seen) != g.N() {
+			t.Fatalf("level %d covers %d of %d nodes", li, len(seen), g.N())
+		}
+	}
+}
+
+func TestDisconnectedGraphCoarsens(t *testing.T) {
+	// 6 isolated nodes: matching finds nothing; force-pairing must still
+	// reach the cluster count.
+	g := ddg.New("iso", 10)
+	for i := 0; i < 6; i++ {
+		g.AddNode(isa.IntALU, "")
+	}
+	m := machine.MustClustered(2, 32, 1, 1)
+	res := New(g, m, nil).Partition(1)
+	checkAssign(t, g, m, res.Assign)
+	if res.NComm != 0 {
+		t.Errorf("isolated nodes communicate: %d", res.NComm)
+	}
+}
+
+func TestFewerNodesThanClusters(t *testing.T) {
+	g := ddg.New("tiny", 10)
+	g.AddNode(isa.IntALU, "")
+	g.AddNode(isa.IntALU, "")
+	m := machine.MustClustered(4, 64, 1, 1)
+	res := New(g, m, nil).Partition(1)
+	checkAssign(t, g, m, res.Assign)
+}
+
+func TestSingleNode(t *testing.T) {
+	g := ddg.New("one", 10)
+	g.AddNode(isa.Load, "")
+	m := machine.MustClustered(2, 32, 1, 1)
+	res := New(g, m, nil).Partition(1)
+	checkAssign(t, g, m, res.Assign)
+	if res.NComm != 0 {
+		t.Errorf("single node communicates: %d", res.NComm)
+	}
+}

@@ -1,0 +1,106 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// Property suite over random loop bodies: every partition the package
+// produces must satisfy the structural invariants regardless of machine
+// shape or options.
+
+func machines() []*machine.Config {
+	return []*machine.Config{
+		machine.MustClustered(2, 32, 1, 1),
+		machine.MustClustered(2, 64, 1, 2),
+		machine.MustClustered(4, 32, 1, 1),
+		machine.MustClustered(4, 64, 2, 2),
+	}
+}
+
+func TestPropPartitionInvariants(t *testing.T) {
+	f := func(seed int64, mIdx uint8, optBits uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 4+r.Intn(30))
+		if g.Validate() != nil {
+			return false
+		}
+		m := machines()[int(mIdx)%4]
+		opts := &Options{
+			Weights:            WeightScheme(optBits & 1),
+			SkipRefinement:     optBits&2 != 0,
+			GreedyMatchingOnly: optBits&4 != 0,
+			RegisterAware:      optBits&8 != 0,
+		}
+		res := New(g, m, opts).Partition(g.MII(m))
+		if len(res.Assign) != g.N() {
+			return false
+		}
+		for _, c := range res.Assign {
+			if c < 0 || c >= m.Clusters {
+				return false
+			}
+		}
+		// IIBus/NComm must be consistent with the assignment.
+		iiBus, nComm := IIBusFor(g, m, res.Assign)
+		if iiBus != res.IIBus || nComm != res.NComm {
+			return false
+		}
+		// The estimate can never beat the recurrence bound or the bus bound.
+		if res.EstII < g.RecMII(nil) || res.EstII < res.IIBus {
+			return false
+		}
+		return res.EstTime >= int64(g.Niter-1)*int64(res.EstII)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NComm counts each producer at most once (broadcast bus), so it
+// can never exceed the number of value-producing nodes with cross edges.
+func TestPropNCommBounded(t *testing.T) {
+	f := func(seed int64, mIdx uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 4+r.Intn(25))
+		m := machines()[int(mIdx)%4]
+		res := New(g, m, nil).Partition(g.MII(m))
+		producers := 0
+		for _, n := range g.Nodes {
+			if n.Op.ProducesValue() {
+				producers++
+			}
+		}
+		cut := 0
+		for _, e := range g.Edges {
+			if e.Kind == ddg.Data && res.Assign[e.From] != res.Assign[e.To] {
+				cut++
+			}
+		}
+		return res.NComm <= producers && res.NComm <= cut
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: refinement never makes the estimator's verdict worse than the
+// unrefined partition of the same graph.
+func TestPropRefinementMonotone(t *testing.T) {
+	f := func(seed int64, mIdx uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 6+r.Intn(24))
+		m := machines()[int(mIdx)%4]
+		ii := g.MII(m)
+		refined := New(g, m, nil).Partition(ii)
+		raw := New(g, m, &Options{SkipRefinement: true}).Partition(ii)
+		return refined.EstTime <= raw.EstTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

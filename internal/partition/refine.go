@@ -1,0 +1,398 @@
+package partition
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/isa"
+)
+
+// estimate is the partition-quality estimate of §3.2.2: execution time on a
+// hypothetical machine with the real functional units, buses and memory
+// ports but unlimited registers and ideal memory.
+type estimate struct {
+	t        int64 // estimated execution time, cycles
+	ii       int   // II the estimate was computed at
+	iiBus    int
+	nComm    int
+	cutSlack int64 // total slack of inter-cluster data edges (tie-break 1)
+	nCut     int   // number of inter-cluster data edges (tie-break 2)
+}
+
+// better reports whether a is preferable to b under the paper's ordering:
+// smaller execution time; then larger cut slack; then fewer cut edges.
+func (a estimate) better(b estimate) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.cutSlack != b.cutSlack {
+		return a.cutSlack > b.cutSlack
+	}
+	return a.nCut < b.nCut
+}
+
+// evaluate computes the estimate for an assignment at scheduling interval
+// ii. Cut data edges receive the bus latency; the II used is the maximum of
+// ii, the per-cluster resource MII, IIbus and the recurrence MII of the
+// latency-extended graph.
+func (p *Partitioner) evaluate(assign []int, ii int) estimate {
+	g, m := p.g, p.m
+	for i := range p.extra {
+		p.extra[i] = 0
+	}
+	var est estimate
+	cross := make([]bool, g.N())
+	for i, e := range g.Edges {
+		if e.Kind == ddg.Data && assign[e.From] != assign[e.To] {
+			p.extra[i] = m.LatBus
+			est.nCut++
+			cross[e.From] = true
+		}
+	}
+	for _, c := range cross {
+		if c {
+			est.nComm++
+		}
+	}
+	est.iiBus = ceilDiv(est.nComm*m.LatBus, m.NBus)
+
+	// Per-cluster resource MII.
+	resII := 1
+	counts := p.clusterCounts(assign)
+	for c := 0; c < m.Clusters; c++ {
+		for k := 0; k < isa.NumUnitKinds; k++ {
+			if counts[c][k] == 0 {
+				continue
+			}
+			units := m.UnitsPerCluster(isa.UnitKind(k))
+			if units == 0 {
+				resII = 1 << 20 // unschedulable partition
+				continue
+			}
+			if v := ceilDiv(counts[c][k], units); v > resII {
+				resII = v
+			}
+		}
+	}
+
+	base := ii
+	if resII > base {
+		base = resII
+	}
+	if est.iiBus > base {
+		base = est.iiBus
+	}
+	t, used := g.EstimateTime(m, base, p.extra)
+	est.t, est.ii = t, used
+
+	times, ok := g.StartTimes(m, used, p.extra)
+	if ok {
+		for i, e := range g.Edges {
+			if e.Kind == ddg.Data && assign[e.From] != assign[e.To] {
+				est.cutSlack += int64(g.Slack(times, i, p.extra))
+			}
+		}
+	}
+
+	if p.opts.RegisterAware && ok {
+		// Estimate per-cluster register pressure from the ASAP lifetimes
+		// and charge the spill traffic of overflowing values as extra
+		// memory-port load, possibly raising the II (DESIGN.md A6; the
+		// paper's §4.2 future-work suggestion).
+		if extraMemII := p.spillPressureII(assign, times, counts); extraMemII > used {
+			t2, used2 := g.EstimateTime(m, extraMemII, p.extra)
+			est.t, est.ii = t2, used2
+		}
+	}
+	return est
+}
+
+// spillPressureII estimates, per cluster, the steady-state register
+// pressure Σ lifetimes / II; values beyond the register file each cost a
+// store and a load per iteration on the cluster's memory ports. It returns
+// the resulting resource-MII bound (which equals times.II when nothing
+// overflows).
+func (p *Partitioner) spillPressureII(assign []int, times *ddg.Times, counts [][isa.NumUnitKinds]int) int {
+	g, m := p.g, p.m
+	ii := times.II
+	lifetime := make([]int64, m.Clusters)
+	for u := range g.Nodes {
+		if !g.Nodes[u].Op.ProducesValue() {
+			continue
+		}
+		def := times.Earliest[u] + m.OpLatency(g.Nodes[u].Op)
+		end := def + 1
+		for _, ei := range g.Out(u) {
+			e := g.Edges[ei]
+			if e.Kind != ddg.Data {
+				continue
+			}
+			if use := times.Earliest[e.To] + ii*e.Dist + 1; use > end {
+				end = use
+			}
+		}
+		lifetime[assign[u]] += int64(end - def)
+	}
+	worst := ii
+	memUnits := m.UnitsPerCluster(isa.MemUnit)
+	if memUnits == 0 {
+		return worst
+	}
+	for c := 0; c < m.Clusters; c++ {
+		maxLive := int((lifetime[c] + int64(ii) - 1) / int64(ii))
+		over := maxLive - m.RegsPerCluster
+		if over <= 0 {
+			continue
+		}
+		memOps := counts[c][isa.MemUnit] + 2*over
+		if v := ceilDiv(memOps, memUnits); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// clusterCounts returns per-cluster operation counts by unit kind.
+func (p *Partitioner) clusterCounts(assign []int) [][isa.NumUnitKinds]int {
+	counts := make([][isa.NumUnitKinds]int, p.m.Clusters)
+	for v, n := range p.g.Nodes {
+		counts[assign[v]][n.Op.Unit()]++
+	}
+	return counts
+}
+
+// groupCounts returns the per-unit-kind operation counts of one macro-node.
+func (p *Partitioner) groupCounts(members []int) [isa.NumUnitKinds]int {
+	var c [isa.NumUnitKinds]int
+	for _, v := range members {
+		c[p.g.Nodes[v].Op.Unit()]++
+	}
+	return c
+}
+
+// assignGroup moves every member of a macro-node to cluster c.
+func assignGroup(assign []int, members []int, c int) {
+	for _, v := range members {
+		assign[v] = c
+	}
+}
+
+// maxMoves returns the refinement move cap for one level.
+func (p *Partitioner) maxMoves() int {
+	if p.opts.MaxMoves > 0 {
+		return p.opts.MaxMoves
+	}
+	return 4*p.g.N() + 16
+}
+
+// balance implements the workload-balancing heuristic (§3.2.2): while any
+// per-cluster resource exceeds 100% utilization at the current II estimate,
+// move macro-nodes that use the most saturated resource out of the
+// overloaded cluster, provided the destination does not become overloaded
+// on that resource or any more-critical resource already handled.
+func (p *Partitioner) balance(lv *level, assign []int, ii int) int {
+	m := p.m
+	moves := 0
+	limit := p.maxMoves()
+	for moves < limit {
+		cur := p.evaluate(assign, ii)
+		capII := cur.ii
+		counts := p.clusterCounts(assign)
+
+		// Find the most saturated overloaded (cluster, kind), measured by
+		// utilization ratio ops/(units·II).
+		type overload struct {
+			c, k  int
+			ratio float64
+		}
+		var worst *overload
+		for c := 0; c < m.Clusters; c++ {
+			for k := 0; k < isa.NumUnitKinds; k++ {
+				units := m.UnitsPerCluster(isa.UnitKind(k))
+				if units == 0 || counts[c][k] <= units*capII {
+					continue
+				}
+				r := float64(counts[c][k]) / float64(units*capII)
+				if worst == nil || r > worst.ratio {
+					worst = &overload{c, k, r}
+				}
+			}
+		}
+		if worst == nil {
+			return moves // nothing overloaded
+		}
+
+		// Try moving a group that uses the overloaded resource out of the
+		// cluster, preferring the group whose departure relieves the most.
+		bestGi, bestC2, bestUse := -1, -1, 0
+		for gi, members := range lv.groups {
+			if len(members) == 0 || assign[members[0]] != worst.c {
+				continue
+			}
+			gc := p.groupCounts(members)
+			if gc[worst.k] == 0 {
+				continue
+			}
+			for c2 := 0; c2 < m.Clusters; c2++ {
+				if c2 == worst.c {
+					continue
+				}
+				units := m.UnitsPerCluster(isa.UnitKind(worst.k))
+				if counts[c2][worst.k]+gc[worst.k] > units*capII {
+					continue // would overload the destination
+				}
+				if gc[worst.k] > bestUse {
+					bestGi, bestC2, bestUse = gi, c2, gc[worst.k]
+				}
+				break
+			}
+		}
+		if bestGi == -1 {
+			// No beneficial movement at this granularity; wait for a finer
+			// level (paper: "we wait for the next step").
+			return moves
+		}
+		assignGroup(assign, lv.groups[bestGi], bestC2)
+		moves++
+	}
+	return moves
+}
+
+// minimizeCut implements the cut-impact heuristic (§3.2.2): repeatedly
+// evaluate all single macro-node moves toward a neighbor's cluster and,
+// when resources do not allow a move, all pair interchanges; apply the
+// transformation with the largest execution-time benefit (ties: maximize
+// slack of cut edges, then minimize the cut size); stop when no
+// transformation has positive benefit.
+func (p *Partitioner) minimizeCut(lv *level, assign []int, ii int) int {
+	m := p.m
+	moves := 0
+	limit := p.maxMoves()
+
+	owner := make([]int, p.g.N())
+	for gi, members := range lv.groups {
+		for _, v := range members {
+			owner[v] = gi
+		}
+	}
+	// Neighbor groups via original data edges.
+	neighbors := make(map[int]map[int]bool, len(lv.groups))
+	addNb := func(a, b int) {
+		if a == b {
+			return
+		}
+		if neighbors[a] == nil {
+			neighbors[a] = make(map[int]bool)
+		}
+		neighbors[a][b] = true
+	}
+	for _, e := range p.g.Edges {
+		if e.Kind == ddg.Data {
+			addNb(owner[e.From], owner[e.To])
+			addNb(owner[e.To], owner[e.From])
+		}
+	}
+
+	for moves < limit {
+		cur := p.evaluate(assign, ii)
+		counts := p.clusterCounts(assign)
+		capII := cur.ii
+
+		type move struct {
+			gi, c2  int // single move: group gi → cluster c2
+			swapGj  int // ≥ 0: interchange with group gj (in c2)
+			est     estimate
+			applied bool
+		}
+		var best *move
+
+		consider := func(mv move, e estimate) {
+			if best == nil || e.better(best.est) {
+				mv.est = e
+				best = &mv
+			}
+		}
+
+		fits := func(gc [isa.NumUnitKinds]int, c2 int, minus [isa.NumUnitKinds]int) bool {
+			for k := 0; k < isa.NumUnitKinds; k++ {
+				if gc[k] == 0 {
+					continue
+				}
+				units := m.UnitsPerCluster(isa.UnitKind(k))
+				if counts[c2][k]-minus[k]+gc[k] > units*capII {
+					return false
+				}
+			}
+			return true
+		}
+
+		for gi, members := range lv.groups {
+			if len(members) == 0 {
+				continue
+			}
+			c1 := assign[members[0]]
+			gc := p.groupCounts(members)
+			// Candidate destination clusters: clusters of neighbor groups.
+			dests := make(map[int]bool)
+			for nb := range neighbors[gi] {
+				if len(lv.groups[nb]) > 0 {
+					if c := assign[lv.groups[nb][0]]; c != c1 {
+						dests[c] = true
+					}
+				}
+			}
+			for c2 := range dests {
+				if fits(gc, c2, [isa.NumUnitKinds]int{}) {
+					assignGroup(assign, members, c2)
+					e := p.evaluate(assign, ii)
+					assignGroup(assign, members, c1)
+					consider(move{gi: gi, c2: c2, swapGj: -1}, e)
+					continue
+				}
+				// Single move does not fit: consider interchanges with
+				// groups currently in c2 (paper: "all feasible interchanges
+				// between pairs of nodes").
+				for gj, other := range lv.groups {
+					if gj == gi || len(other) == 0 || assign[other[0]] != c2 {
+						continue
+					}
+					oc := p.groupCounts(other)
+					if !fits(gc, c2, oc) || !fitsReverse(p, counts, oc, gc, c1, capII) {
+						continue
+					}
+					assignGroup(assign, members, c2)
+					assignGroup(assign, other, c1)
+					e := p.evaluate(assign, ii)
+					assignGroup(assign, members, c1)
+					assignGroup(assign, other, c2)
+					consider(move{gi: gi, c2: c2, swapGj: gj}, e)
+				}
+			}
+		}
+
+		if best == nil || !best.est.better(cur) || best.est.t >= cur.t {
+			return moves // no strictly positive execution-time benefit
+		}
+		members := lv.groups[best.gi]
+		c1 := assign[members[0]]
+		assignGroup(assign, members, best.c2)
+		if best.swapGj >= 0 {
+			assignGroup(assign, lv.groups[best.swapGj], c1)
+		}
+		moves++
+	}
+	return moves
+}
+
+// fitsReverse checks the source-cluster side of an interchange: after the
+// swap, cluster c1 holds its ops minus gc plus oc without overloading.
+func fitsReverse(p *Partitioner, counts [][isa.NumUnitKinds]int, oc, gc [isa.NumUnitKinds]int, c1, capII int) bool {
+	for k := 0; k < isa.NumUnitKinds; k++ {
+		if oc[k] == 0 {
+			continue
+		}
+		units := p.m.UnitsPerCluster(isa.UnitKind(k))
+		if counts[c1][k]-gc[k]+oc[k] > units*capII {
+			return false
+		}
+	}
+	return true
+}

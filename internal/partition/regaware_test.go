@@ -1,0 +1,134 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// pressureLoop builds a loop whose values have long lifetimes: producers
+// early, consumers late, so packing everything into one cluster overflows
+// a small register file.
+func pressureLoop(nvals int) *ddg.Graph {
+	g := ddg.New("press", 200)
+	producers := make([]int, nvals)
+	for i := range producers {
+		producers[i] = g.AddNode(isa.Load, "")
+	}
+	// A long serial chain delays the consumers.
+	prev := producers[0]
+	for i := 0; i < 10; i++ {
+		v := g.AddNode(isa.FPAdd, "")
+		g.AddEdge(ddg.Edge{From: prev, To: v, Lat: 3, Kind: ddg.Data})
+		prev = v
+	}
+	sink := g.AddNode(isa.IntALU, "")
+	g.AddEdge(ddg.Edge{From: prev, To: sink, Lat: 1, Kind: ddg.Data})
+	for _, p := range producers {
+		g.AddEdge(ddg.Edge{From: p, To: sink, Lat: 2, Kind: ddg.Data})
+	}
+	return g
+}
+
+func TestRegisterAwareChangesEstimate(t *testing.T) {
+	g := pressureLoop(10)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := machine.MustClustered(4, 32, 1, 1) // 8 registers per cluster
+	ii := g.MII(m)
+
+	plain := New(g, m, nil).Partition(ii)
+	aware := New(g, m, &Options{RegisterAware: true}).Partition(ii)
+
+	// Both must be valid assignments.
+	for _, res := range []*Result{plain, aware} {
+		for v, c := range res.Assign {
+			if c < 0 || c >= m.Clusters {
+				t.Fatalf("node %d in cluster %d", v, c)
+			}
+		}
+	}
+	// The register-aware estimator must never claim a better time than the
+	// blind one claims for the same assignment; re-evaluating the aware
+	// assignment blindly must give ≤ its aware estimate.
+	blind := New(g, m, nil)
+	blind.computeWeights(ii)
+	if est := blind.evaluate(aware.Assign, ii); est.t > aware.EstTime {
+		t.Errorf("aware estimate %d below blind estimate %d of the same assignment",
+			aware.EstTime, est.t)
+	}
+}
+
+func TestSpillPressureIIDetectsOverflow(t *testing.T) {
+	g := pressureLoop(12)
+	m := machine.MustClustered(4, 32, 1, 1) // 8 regs per cluster
+	p := New(g, m, &Options{RegisterAware: true})
+	p.computeWeights(g.MII(m))
+
+	// All values in cluster 0: pressure must exceed 8 registers and raise
+	// the memory-port bound.
+	assign := make([]int, g.N())
+	times, ok := g.StartTimes(m, g.MII(m), nil)
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	counts := p.clusterCounts(assign)
+	ii := p.spillPressureII(assign, times, counts)
+	if ii <= times.II {
+		t.Errorf("packed assignment not penalized: ii=%d base=%d", ii, times.II)
+	}
+
+	// Spreading evenly must hurt no more than packing (fewer values per
+	// cluster ⇒ less pressure each).
+	spread := make([]int, g.N())
+	for v := range spread {
+		spread[v] = v % m.Clusters
+	}
+	counts = p.clusterCounts(spread)
+	if got := p.spillPressureII(spread, times, counts); got > ii {
+		t.Errorf("spread assignment penalized more (%d) than packed (%d)", got, ii)
+	}
+
+	// Short lifetimes: loads feeding an immediate sink never overflow.
+	h := ddg.New("short", 100)
+	var loads []int
+	for i := 0; i < 8; i++ {
+		loads = append(loads, h.AddNode(isa.Load, ""))
+	}
+	sink := h.AddNode(isa.IntALU, "")
+	for _, l := range loads {
+		h.AddEdge(ddg.Edge{From: l, To: sink, Lat: 2, Kind: ddg.Data})
+	}
+	ph := New(h, m, &Options{RegisterAware: true})
+	ph.computeWeights(h.MII(m))
+	ht, ok := h.StartTimes(m, h.MII(m), nil)
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	hAssign := make([]int, h.N())
+	for v := range hAssign {
+		hAssign[v] = v % m.Clusters
+	}
+	hCounts := ph.clusterCounts(hAssign)
+	if got := ph.spillPressureII(hAssign, ht, hCounts); got != ht.II {
+		t.Errorf("short lifetimes penalized: ii=%d base=%d", got, ht.II)
+	}
+}
+
+func TestRegisterAwareStillDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	g := randomDAG(r, 30)
+	m := machine.MustClustered(2, 32, 1, 1)
+	ii := g.MII(m)
+	a := New(g, m, &Options{RegisterAware: true}).Partition(ii)
+	b := New(g, m, &Options{RegisterAware: true}).Partition(ii)
+	for v := range a.Assign {
+		if a.Assign[v] != b.Assign[v] {
+			t.Fatalf("non-deterministic at node %d", v)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package regpress tracks register pressure of a modulo schedule.
+//
+// A value live over the absolute cycle interval [start, end) occupies one
+// register in every cycle of the interval; in the steady state of a
+// software-pipelined loop, cycle t maps to modulo slot t mod II, so an
+// interval longer than II contributes several simultaneously-live copies
+// to the same slot (the overlapped lifetimes of consecutive iterations).
+// MaxLive — the maximum over slots of the live count — must not exceed the
+// cluster's register-file size; the URACAM figure of merit additionally
+// uses the consumed fraction of the total lifetime capacity regs·II
+// (paper §3.3.1).
+package regpress
+
+import "fmt"
+
+// Pressure tracks live-value counts per modulo slot for one cluster.
+type Pressure struct {
+	II   int
+	live []int
+	used int64 // total live slot-units across the window
+}
+
+// New returns an empty pressure tracker at initiation interval ii ≥ 1.
+func New(ii int) *Pressure {
+	if ii < 1 {
+		panic(fmt.Sprintf("regpress: II %d < 1", ii))
+	}
+	return &Pressure{II: ii, live: make([]int, ii)}
+}
+
+// Add marks a value live over [start, end). Empty or inverted intervals are
+// no-ops.
+func (p *Pressure) Add(start, end int) {
+	for t := start; t < end; t++ {
+		s := t % p.II
+		if s < 0 {
+			s += p.II
+		}
+		p.live[s]++
+		p.used++
+	}
+}
+
+// Remove undoes a prior Add of exactly [start, end).
+func (p *Pressure) Remove(start, end int) {
+	for t := start; t < end; t++ {
+		s := t % p.II
+		if s < 0 {
+			s += p.II
+		}
+		if p.live[s] <= 0 {
+			panic(fmt.Sprintf("regpress: removing from empty slot %d", s))
+		}
+		p.live[s]--
+		p.used--
+	}
+}
+
+// MaxLive returns the maximum simultaneous live count across slots.
+func (p *Pressure) MaxLive() int {
+	m := 0
+	for _, v := range p.live {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Used returns the total live slot-units.
+func (p *Pressure) Used() int64 { return p.used }
+
+// Free returns the remaining lifetime capacity against a register file of
+// the given size: regs·II − used (never negative).
+func (p *Pressure) Free(regs int) int64 {
+	f := int64(regs)*int64(p.II) - p.used
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Span is a half-open absolute-cycle interval.
+type Span struct{ Start, End int }
+
+// Len returns the span's length (0 when inverted).
+func (s Span) Len() int {
+	if s.End <= s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// CanAdd reports whether adding all spans keeps MaxLive ≤ regs. It does not
+// modify the tracker.
+func (p *Pressure) CanAdd(spans []Span, regs int) bool {
+	if len(spans) == 0 {
+		return p.MaxLive() <= regs
+	}
+	tmp := make([]int, p.II)
+	copy(tmp, p.live)
+	for _, sp := range spans {
+		for t := sp.Start; t < sp.End; t++ {
+			s := t % p.II
+			if s < 0 {
+				s += p.II
+			}
+			if tmp[s]++; tmp[s] > regs {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FitsWith reports whether, after removing the rem spans and adding the
+// add spans, MaxLive stays within regs. scratch must have length II; it is
+// overwritten (callers reuse one buffer to avoid allocation). The tracker
+// itself is not modified.
+func (p *Pressure) FitsWith(rem, add []Span, regs int, scratch []int) bool {
+	copy(scratch, p.live)
+	for _, sp := range rem {
+		for t := sp.Start; t < sp.End; t++ {
+			s := t % p.II
+			if s < 0 {
+				s += p.II
+			}
+			scratch[s]--
+		}
+	}
+	for _, sp := range add {
+		for t := sp.Start; t < sp.End; t++ {
+			s := t % p.II
+			if s < 0 {
+				s += p.II
+			}
+			scratch[s]++
+		}
+	}
+	for _, v := range scratch {
+		if v > regs {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (p *Pressure) Clone() *Pressure {
+	c := &Pressure{II: p.II, used: p.used, live: make([]int, p.II)}
+	copy(c.live, p.live)
+	return c
+}

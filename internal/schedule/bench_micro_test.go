@@ -1,0 +1,65 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// Micro-benchmarks for the scheduler's hot paths.
+
+func BenchmarkTryScheduleMedium(b *testing.B) {
+	r := rand.New(rand.NewSource(51))
+	g := randomLoop(r, 40)
+	m := machine.MustClustered(2, 32, 1, 1)
+	ii := g.MII(m)
+	assign := make([]int, g.N())
+	for v := range assign {
+		assign[v] = v % 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for try := ii; ; try++ {
+			if _, fail := TrySchedule(g, m, try, &Options{Mode: ModeGP, Assign: assign}); fail == nil {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkTryScheduleURACAM(b *testing.B) {
+	r := rand.New(rand.NewSource(51))
+	g := randomLoop(r, 40)
+	m := machine.MustClustered(4, 64, 1, 1)
+	ii := g.MII(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for try := ii; ; try++ {
+			if _, fail := TrySchedule(g, m, try, &Options{Mode: ModeURACAM}); fail == nil {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkSMSOrder(b *testing.B) {
+	r := rand.New(rand.NewSource(53))
+	g := randomLoop(r, 80)
+	m := machine.NewUnified(64)
+	mii := g.MII(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Order(g, m, mii)
+	}
+}
+
+func BenchmarkListSchedule(b *testing.B) {
+	r := rand.New(rand.NewSource(54))
+	g := randomLoop(r, 60)
+	m := machine.MustClustered(2, 32, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ListSchedule(g, m, nil)
+	}
+}

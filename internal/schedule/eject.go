@@ -1,0 +1,139 @@
+package schedule
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/isa"
+)
+
+// Ejection: a node whose scheduled predecessors and successors pin an empty
+// placement window would fail at every II (zero-distance windows do not
+// grow with II). Like Rau's iterative modulo scheduling, the scheduler then
+// unschedules the binding neighbors and retries; ejected nodes re-enter the
+// work list. A budget bounds total ejections per II attempt.
+
+// ejectVictims returns the scheduled neighbors to evict so that node v
+// regains a one-sided window: its scheduled successors when both sides are
+// pinned (the predecessors placed first usually carry more context), or
+// nil when ejection cannot help.
+func (st *state) ejectVictims(v int) []int {
+	var succs []int
+	hasPred := false
+	seen := map[int]bool{}
+	for _, ei := range st.g.In(v) {
+		if e := st.g.Edges[ei]; e.From != v && st.sched[e.From] {
+			hasPred = true
+			break
+		}
+	}
+	for _, ei := range st.g.Out(v) {
+		e := st.g.Edges[ei]
+		if e.To != v && st.sched[e.To] && !seen[e.To] {
+			seen[e.To] = true
+			succs = append(succs, e.To)
+		}
+	}
+	if hasPred && len(succs) > 0 {
+		return succs
+	}
+	return nil
+}
+
+// unschedule removes node v from the schedule, releasing its functional
+// unit, its value's registers and routing resources, and shrinking the
+// lifetimes of the values it consumed.
+func (st *state) unschedule(v int) {
+	node := st.g.Nodes[v]
+	st.rt.RemoveOp(st.cluster[v], node.Op.Unit(), st.time[v])
+	if val := st.vals[v]; val != nil {
+		for c := 0; c < st.m.Clusters; c++ {
+			st.removeValueSpans(val, c)
+		}
+		if val.comm != nil {
+			st.rt.RemoveBus(val.comm.start)
+		}
+		if val.mem != nil {
+			st.rt.RemoveOp(val.home, isa.MemUnit, val.mem.store)
+			st.nMemOps[0]--
+			for c, l := range val.mem.loads {
+				st.rt.RemoveOp(c, isa.MemUnit, l)
+				st.nMemOps[1]--
+			}
+		}
+		if val.spill != nil {
+			st.rt.RemoveOp(val.home, isa.MemUnit, val.spill.store)
+			st.rt.RemoveOp(val.home, isa.MemUnit, val.spill.load)
+			st.nMemOps[0]--
+			st.nMemOps[1]--
+		}
+		st.vals[v] = nil
+	}
+	st.time[v], st.cluster[v] = 0, 0
+	st.sched[v] = false
+
+	// The values v consumed may shrink (and shed now-unused routing).
+	seen := map[int]bool{}
+	for _, ei := range st.g.In(v) {
+		e := st.g.Edges[ei]
+		if e.Kind != ddg.Data || e.From == v || !st.sched[e.From] || seen[e.From] {
+			continue
+		}
+		seen[e.From] = true
+		st.rebuildUses(e.From)
+	}
+}
+
+// rebuildUses recomputes the use records of the value produced by u from
+// the currently scheduled consumers and prunes routing (bus transfer,
+// memory loads) that no longer serves anyone.
+func (st *state) rebuildUses(u int) {
+	val := st.vals[u]
+	if val == nil {
+		return
+	}
+	st.withSpanUpdate(val, func() {
+		for c := range val.minUse {
+			val.minUse[c], val.maxUse[c] = noUse, noUse
+		}
+		for _, ei := range st.g.Out(u) {
+			e := st.g.Edges[ei]
+			if e.Kind != ddg.Data || !st.sched[e.To] {
+				continue
+			}
+			c := st.cluster[e.To]
+			use := st.time[e.To] + st.ii*e.Dist
+			if cur := val.minUse[c]; cur == noUse || use < cur {
+				val.minUse[c] = use
+			}
+			if cur := val.maxUse[c]; cur == noUse || use > cur {
+				val.maxUse[c] = use
+			}
+		}
+		if val.mem != nil {
+			for c, l := range val.mem.loads {
+				if val.minUse[c] == noUse {
+					st.rt.RemoveOp(c, isa.MemUnit, l)
+					st.nMemOps[1]--
+					delete(val.mem.loads, c)
+				}
+			}
+			if len(val.mem.loads) == 0 {
+				st.rt.RemoveOp(val.home, isa.MemUnit, val.mem.store)
+				st.nMemOps[0]--
+				val.mem = nil
+			}
+		}
+		if val.comm != nil {
+			cross := false
+			for c, first := range val.minUse {
+				if c != val.home && first != noUse {
+					cross = true
+					break
+				}
+			}
+			if !cross {
+				st.rt.RemoveBus(val.comm.start)
+				val.comm = nil
+			}
+		}
+	})
+}

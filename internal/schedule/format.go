@@ -1,0 +1,98 @@
+package schedule
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// FormatKernel renders the steady-state kernel of a modulo schedule as a
+// reservation-table picture: one row per modulo slot, one column per
+// cluster, listing the operations issued there (with their pipeline stage)
+// and the bus transfers in flight.
+func FormatKernel(s *Schedule, g *ddg.Graph, m *machine.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel II=%d SL=%d stages=%d\n", s.II, s.SL, s.Stages())
+
+	cells := make([][]string, s.II) // [slot][cluster]
+	for i := range cells {
+		cells[i] = make([]string, m.Clusters)
+	}
+	for v, nd := range g.Nodes {
+		t := s.Time[v]
+		slot := t % s.II
+		if slot < 0 {
+			slot += s.II
+		}
+		stage := t / s.II
+		label := nd.Name
+		if label == "" {
+			label = fmt.Sprintf("n%d:%s", v, nd.Op)
+		}
+		entry := fmt.Sprintf("%s(s%d)", label, stage)
+		c := s.Cluster[v]
+		if cells[slot][c] != "" {
+			cells[slot][c] += " "
+		}
+		cells[slot][c] += entry
+	}
+
+	bus := make([]string, s.II)
+	for _, c := range s.Comms {
+		for d := 0; d < m.LatBus; d++ {
+			slot := (c.Start + d) % s.II
+			if slot < 0 {
+				slot += s.II
+			}
+			if bus[slot] != "" {
+				bus[slot] += " "
+			}
+			bus[slot] += fmt.Sprintf("xfer(n%d)", c.Producer)
+		}
+	}
+	for _, op := range s.MemOps {
+		slot := op.Cycle % s.II
+		if slot < 0 {
+			slot += s.II
+		}
+		kind := "reload"
+		if op.IsStore {
+			kind = "spillst"
+		}
+		entry := fmt.Sprintf("%s(n%d)", kind, op.Producer)
+		if cells[slot][op.Cluster] != "" {
+			cells[slot][op.Cluster] += " "
+		}
+		cells[slot][op.Cluster] += entry
+	}
+
+	width := 24
+	for _, row := range cells {
+		for _, cell := range row {
+			if len(cell)+2 > width {
+				width = len(cell) + 2
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-5s", "slot")
+	for c := 0; c < m.Clusters; c++ {
+		fmt.Fprintf(&b, "%-*s", width, fmt.Sprintf("cluster %d", c))
+	}
+	if m.NBus > 0 {
+		b.WriteString("bus")
+	}
+	b.WriteString("\n")
+	for slot := 0; slot < s.II; slot++ {
+		fmt.Fprintf(&b, "%-5d", slot)
+		for c := 0; c < m.Clusters; c++ {
+			fmt.Fprintf(&b, "%-*s", width, cells[slot][c])
+		}
+		if m.NBus > 0 {
+			b.WriteString(bus[slot])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/ddg"
+	"repro/internal/isa"
+)
+
+// debugChecks enables per-placement invariant checking inside TrySchedule.
+// Tests flip it on; it is far too expensive for production use.
+var debugChecks = false
+
+// checkInvariants validates the partial schedule: every dependence between
+// two scheduled nodes must hold under the value's actual routing, and every
+// value's recorded use bounds must match the scheduled consumers.
+func (st *state) checkInvariants() error {
+	g, m, ii := st.g, st.m, st.ii
+	for i, e := range g.Edges {
+		if !st.sched[e.From] || !st.sched[e.To] || e.From == e.To {
+			continue
+		}
+		tf, tt := st.time[e.From], st.time[e.To]
+		need := tt + ii*e.Dist
+		if tf+e.Lat > need {
+			return fmt.Errorf("edge %d (%d→%d lat %d dist %d): %d+%d > %d", i, e.From, e.To, e.Lat, e.Dist, tf, e.Lat, need)
+		}
+		if e.Kind != ddg.Data {
+			continue
+		}
+		val := st.vals[e.From]
+		if val == nil {
+			return fmt.Errorf("edge %d: producer %d scheduled but has no value", i, e.From)
+		}
+		c := st.cluster[e.To]
+		arr, ok := val.arrival(c, m)
+		if !ok {
+			return fmt.Errorf("edge %d: value of %d not routed to cluster %d", i, e.From, c)
+		}
+		if arr > need {
+			return fmt.Errorf("edge %d: value of %d arrives in cluster %d at %d after use %d", i, e.From, c, arr, need)
+		}
+		if mu := val.maxUse[c]; mu < need {
+			return fmt.Errorf("edge %d: use %d in cluster %d not recorded (maxUse=%v)", i, e.From, c, val.maxUse)
+		}
+	}
+	for c := 0; c < m.Clusters; c++ {
+		if st.maxLive(c) > m.RegsPerCluster {
+			return fmt.Errorf("cluster %d MaxLive %d > %d", c, st.maxLive(c), m.RegsPerCluster)
+		}
+	}
+	// Spill/memory ops must sit on valid cycles.
+	for id, val := range st.vals {
+		if val == nil {
+			continue
+		}
+		if val.spill != nil {
+			if val.spill.store < val.def || val.spill.load < val.spill.store+m.OpLatency(isa.Store) {
+				return fmt.Errorf("value %d: inconsistent spill %+v (def %d)", id, *val.spill, val.def)
+			}
+		}
+		if val.mem != nil && val.mem.store < val.def {
+			return fmt.Errorf("value %d: memory store at %d before def %d", id, val.mem.store, val.def)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package schedule
+
+import (
+	"sort"
+
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// ListSchedule produces a non-pipelined schedule of one loop iteration:
+// the fallback the paper applies to the few loops whose initiation interval
+// escalates past the point where modulo scheduling is worthwhile (§4.1).
+// Iterations execute back to back, so the effective II equals the schedule
+// length and no value lives across iterations.
+//
+// Nodes are placed greedily in ALAP-criticality order at the earliest cycle
+// where their dependences (with bus latency on cut data edges) and a
+// functional unit are available. Cluster choice follows assign when
+// non-nil; otherwise each node goes to the least-loaded feasible cluster.
+func ListSchedule(g *ddg.Graph, m *machine.Config, assign []int) *Schedule {
+	n := g.N()
+	s := &Schedule{
+		Time:    make([]int, n),
+		Cluster: make([]int, n),
+		MaxLive: make([]int, m.Clusters),
+	}
+	if n == 0 {
+		s.II, s.SL = 1, 1
+		return s
+	}
+
+	// Criticality order: ALAP under a dependence-only schedule at a large
+	// II (loop-carried edges are inactive since iterations do not overlap).
+	big := 1
+	for _, e := range g.Edges {
+		big += e.Lat
+	}
+	times, ok := g.StartTimes(m, big, nil)
+	if !ok {
+		big = g.RecMII(nil)
+		times, _ = g.StartTimes(m, big, nil)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if times.Latest[order[a]] != times.Latest[order[b]] {
+			return times.Latest[order[a]] < times.Latest[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	// Resource tables indexed by absolute cycle (grown on demand).
+	type row [isa.NumUnitKinds]int
+	var usage [][]row // [cluster][cycle]
+	usage = make([][]row, m.Clusters)
+	free := func(c, k, cyc int) bool {
+		if cyc >= len(usage[c]) {
+			return true
+		}
+		return usage[c][cyc][k] < m.UnitsPerCluster(isa.UnitKind(k))
+	}
+	take := func(c, k, cyc int) {
+		for cyc >= len(usage[c]) {
+			usage[c] = append(usage[c], row{})
+		}
+		usage[c][cyc][k]++
+	}
+	load := make([]int, m.Clusters)
+
+	for i := range s.Time {
+		s.Time[i], s.Cluster[i] = -1, -1
+	}
+	for _, v := range order {
+		op := g.Nodes[v].Op
+		kind := int(op.Unit())
+		bestC, bestT := -1, 0
+		var candidates []int
+		if assign != nil {
+			candidates = []int{assign[v]}
+		} else {
+			candidates = make([]int, m.Clusters)
+			for c := range candidates {
+				candidates[c] = c
+			}
+		}
+		for _, c := range candidates {
+			// Dependence-ready cycle in this cluster.
+			ready := 0
+			for _, ei := range g.In(v) {
+				e := g.Edges[ei]
+				if e.Dist > 0 || s.Time[e.From] < 0 {
+					continue // loop-carried: satisfied across iterations
+				}
+				t := s.Time[e.From] + e.Lat
+				if e.Kind == ddg.Data && s.Cluster[e.From] != c {
+					t += m.LatBus
+				}
+				if t > ready {
+					ready = t
+				}
+			}
+			t := ready
+			for !free(c, kind, t) {
+				t++
+			}
+			if bestC == -1 || t < bestT || (t == bestT && load[c] < load[bestC]) {
+				bestC, bestT = c, t
+			}
+		}
+		take(bestC, kind, bestT)
+		load[bestC]++
+		s.Time[v] = bestT
+		s.Cluster[v] = bestC
+		if f := bestT + m.OpLatency(op); f > s.SL {
+			s.SL = f
+		}
+	}
+	if s.SL < 1 {
+		s.SL = 1
+	}
+	s.II = s.SL // iterations do not overlap
+
+	// Register pressure: within one iteration, values live def→last use.
+	for c := 0; c < m.Clusters; c++ {
+		lastUse := map[int]int{}
+		for _, e := range g.Edges {
+			if e.Kind != ddg.Data || e.Dist > 0 || s.Cluster[e.To] != c {
+				continue
+			}
+			if t := s.Time[e.To]; t > lastUse[e.From] {
+				lastUse[e.From] = t
+			}
+		}
+		depth := make([]int, s.SL+1)
+		for u, end := range lastUse {
+			def := s.Time[u] + m.OpLatency(g.Nodes[u].Op)
+			for t := def; t <= end && t < len(depth); t++ {
+				depth[t]++
+			}
+		}
+		for _, d := range depth {
+			if d > s.MaxLive[c] {
+				s.MaxLive[c] = d
+			}
+		}
+	}
+	return s
+}

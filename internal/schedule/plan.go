@@ -1,0 +1,490 @@
+package schedule
+
+import (
+	"sort"
+
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/regpress"
+)
+
+// FailReason classifies why a placement (or a whole node) failed; it seeds
+// the choice of transformation (§3.3.2: start with the most saturated
+// resource).
+type FailReason int8
+
+const (
+	FailNone   FailReason = iota
+	FailFU                // no functional-unit slot in the window
+	FailWindow            // dependence window empty
+	FailBus               // no bus slot for a required communication
+	FailRegs              // register file would overflow
+	FailMem               // no memory port for a required load
+)
+
+var failNames = [...]string{"none", "fu", "window", "bus", "regs", "mem"}
+
+// String returns a short name for the failure reason.
+func (f FailReason) String() string { return failNames[f] }
+
+// commPlan is a new bus transfer for the value produced by val.
+type commPlan struct {
+	val   int
+	start int
+}
+
+// movePlan reschedules an existing transfer of val from old to new (always
+// earlier, to meet a tighter consumer deadline; existing consumers only see
+// the value arrive sooner).
+type movePlan struct {
+	val      int
+	old, new int
+}
+
+// loadPlan adds a load of a memory-routed value into a cluster.
+type loadPlan struct {
+	val     int
+	cluster int
+	cycle   int
+}
+
+// usePlan records a consumer read: value val is read in cluster at cycle
+// use (consumer start + II·dist).
+type usePlan struct {
+	val     int
+	cluster int
+	use     int
+}
+
+// plan is a fully-checked tentative placement of node v at (cluster, t).
+type plan struct {
+	v, cluster, t int
+
+	comms []commPlan
+	moves []movePlan
+	loads []loadPlan
+	uses  []usePlan
+
+	merit merit
+}
+
+// merit is the §3.3.1 figure of merit: the fractions of remaining bus,
+// per-cluster memory and per-cluster register-lifetime capacity this
+// placement consumes (2·NClusters+1 components, with the per-cluster
+// memory components of the §3.3.4 extension).
+type merit []float64
+
+// betterMerit reports whether a beats b: components sorted in decreasing
+// order are compared pairwise until one pair differs by more than
+// threshold (the smaller component wins); otherwise the smaller sum wins.
+func betterMerit(a, b merit, threshold float64) bool {
+	as := append(merit(nil), a...)
+	bs := append(merit(nil), b...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(as)))
+	sort.Sort(sort.Reverse(sort.Float64Slice(bs)))
+	n := len(as)
+	if len(bs) < n {
+		n = len(bs)
+	}
+	for i := 0; i < n; i++ {
+		if d := as[i] - bs[i]; d > threshold {
+			return false
+		} else if d < -threshold {
+			return true
+		}
+	}
+	var sa, sb float64
+	for _, x := range as {
+		sa += x
+	}
+	for _, x := range bs {
+		sb += x
+	}
+	return sa < sb
+}
+
+// planPlace attempts to construct a placement of node v at (c, t): it
+// checks the functional unit, routes every dependence with already
+// scheduled endpoints (reusing, moving or creating bus transfers; reusing
+// or extending memory routes), verifies register capacity in every touched
+// cluster, and computes the figure of merit. It never mutates the state.
+func (st *state) planPlace(v, c, t int) (*plan, FailReason) {
+	g, m, ii := st.g, st.m, st.ii
+	node := g.Nodes[v]
+
+	if !st.rt.CanPlaceOp(c, node.Op.Unit(), t) {
+		return nil, FailFU
+	}
+
+	p := &plan{v: v, cluster: c, t: t}
+	// busDelta tracks tentative bus occupancy changes by modulo slot.
+	busDelta := map[int]int{}
+	slot := func(cyc int) int {
+		s := cyc % ii
+		if s < 0 {
+			s += ii
+		}
+		return s
+	}
+	canBus := func(start int) bool {
+		if m.NBus == 0 || m.LatBus >= ii {
+			return false
+		}
+		for d := 0; d < m.LatBus; d++ {
+			s := slot(start + d)
+			if st.rt.BusAt(s)+busDelta[s] >= m.NBus {
+				return false
+			}
+		}
+		return true
+	}
+	takeBus := func(start int) {
+		for d := 0; d < m.LatBus; d++ {
+			busDelta[slot(start+d)]++
+		}
+	}
+	dropBus := func(start int) {
+		for d := 0; d < m.LatBus; d++ {
+			busDelta[slot(start+d)]--
+		}
+	}
+	// memDelta tracks tentative load placements per cluster and slot. It
+	// starts with v's own reservation when v is a memory operation, so a
+	// planned load cannot claim the same last free port.
+	memDelta := map[[2]int]int{}
+	canMem := func(cl, cyc int) bool {
+		return st.rt.MemAt(cl, slot(cyc))+memDelta[[2]int{cl, slot(cyc)}] < m.UnitsPerCluster(isa.MemUnit)
+	}
+	if node.Op.Unit() == isa.MemUnit {
+		memDelta[[2]int{c, slot(t)}]++
+	}
+
+	def := t + m.OpLatency(node.Op) // when v's value is written
+
+	// movedTo records comm moves already planned for a value (several
+	// in-edges may read the same producer).
+	movedTo := map[int]int{}
+	commAt := func(val *value, id int) (int, bool) {
+		if n, ok := movedTo[id]; ok {
+			return n, true
+		}
+		if val.comm != nil {
+			return val.comm.start, true
+		}
+		return 0, false
+	}
+
+	// Incoming data dependences from scheduled producers.
+	for _, ei := range g.In(v) {
+		e := g.Edges[ei]
+		u := e.From
+		if !st.sched[u] {
+			continue
+		}
+		need := t + ii*e.Dist
+		if e.Kind != ddg.Data {
+			if st.time[u]+e.Lat > need {
+				return nil, FailWindow
+			}
+			continue
+		}
+		val := st.vals[u]
+		uc := st.cluster[u]
+		if st.time[u]+e.Lat > need || val.def > need {
+			return nil, FailWindow
+		}
+		if uc == c {
+			p.uses = append(p.uses, usePlan{val: u, cluster: c, use: need})
+			continue
+		}
+		// Cross-cluster read.
+		if val.mem != nil {
+			if l, ok := val.mem.loads[c]; ok {
+				if l+m.OpLatency(isa.Load) > need {
+					return nil, FailWindow
+				}
+				p.uses = append(p.uses, usePlan{val: u, cluster: c, use: need})
+				continue
+			}
+			// Add a load in c: latest feasible slot keeps the lifetime short.
+			lo := val.mem.store + m.OpLatency(isa.Store)
+			hi := need - m.OpLatency(isa.Load)
+			found := false
+			for l := hi; l >= lo && l > hi-ii; l-- {
+				if canMem(c, l) {
+					p.loads = append(p.loads, loadPlan{val: u, cluster: c, cycle: l})
+					memDelta[[2]int{c, slot(l)}]++
+					p.uses = append(p.uses, usePlan{val: u, cluster: c, use: need})
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, FailMem
+			}
+			continue
+		}
+		if start, ok := commAt(val, u); ok {
+			if start+m.LatBus <= need {
+				p.uses = append(p.uses, usePlan{val: u, cluster: c, use: need})
+				continue
+			}
+			// Try moving the transfer earlier (never violates the comm's
+			// existing consumers).
+			moved := false
+			for s := need - m.LatBus; s >= val.def && s > need-m.LatBus-ii; s-- {
+				dropBus(start)
+				if canBus(s) {
+					takeBus(s)
+					if _, already := movedTo[u]; already {
+						// The transfer was created or moved earlier in this
+						// plan: update that entry (a plan-created transfer
+						// lives in p.comms, a moved existing one in p.moves).
+						updated := false
+						for i := range p.moves {
+							if p.moves[i].val == u {
+								p.moves[i].new = s
+								updated = true
+							}
+						}
+						if !updated {
+							for i := range p.comms {
+								if p.comms[i].val == u {
+									p.comms[i].start = s
+								}
+							}
+						}
+					} else {
+						p.moves = append(p.moves, movePlan{val: u, old: val.comm.start, new: s})
+					}
+					movedTo[u] = s
+					p.uses = append(p.uses, usePlan{val: u, cluster: c, use: need})
+					moved = true
+					break
+				}
+				takeBus(start)
+			}
+			if !moved {
+				return nil, FailBus
+			}
+			continue
+		}
+		// New transfer: earliest feasible start preserves later flexibility.
+		placed := false
+		for s := val.def; s+m.LatBus <= need && s < val.def+ii; s++ {
+			if canBus(s) {
+				takeBus(s)
+				p.comms = append(p.comms, commPlan{val: u, start: s})
+				movedTo[u] = s
+				p.uses = append(p.uses, usePlan{val: u, cluster: c, use: need})
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, FailBus
+		}
+	}
+
+	// Outgoing dependences toward scheduled consumers: v must deliver.
+	crossNeeds := map[int]int{} // dest cluster → earliest deadline
+	for _, ei := range g.Out(v) {
+		e := g.Edges[ei]
+		w := e.To
+		if !st.sched[w] || w == v {
+			continue
+		}
+		need := st.time[w] + ii*e.Dist
+		if t+e.Lat > need {
+			return nil, FailWindow
+		}
+		if e.Kind != ddg.Data {
+			continue
+		}
+		wc := st.cluster[w]
+		if wc == c {
+			if def > need {
+				return nil, FailWindow
+			}
+			p.uses = append(p.uses, usePlan{val: v, cluster: c, use: need})
+			continue
+		}
+		if cur, ok := crossNeeds[wc]; !ok || need < cur {
+			crossNeeds[wc] = need
+		}
+		p.uses = append(p.uses, usePlan{val: v, cluster: wc, use: need})
+	}
+	if len(crossNeeds) > 0 {
+		// One broadcast transfer must meet the tightest deadline.
+		minNeed := 1 << 30
+		for _, n := range crossNeeds {
+			if n < minNeed {
+				minNeed = n
+			}
+		}
+		placed := false
+		for s := def; s+m.LatBus <= minNeed && s < def+ii; s++ {
+			if canBus(s) {
+				takeBus(s)
+				p.comms = append(p.comms, commPlan{val: v, start: s})
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, FailBus
+		}
+	}
+
+	// Register capacity: rebuild the spans of every touched value under the
+	// planned routing and check each affected cluster.
+	addUnits := make(map[int]int64)
+	if !st.checkRegs(p, def, addUnits) {
+		return nil, FailRegs
+	}
+
+	// Figure of merit: fractions of remaining capacity consumed.
+	busUsed := 0
+	for _, d := range busDelta {
+		if d > 0 {
+			busUsed += d
+		}
+	}
+	fm := make(merit, 0, 2*m.Clusters+1)
+	fm = append(fm, fraction(int64(busUsed), int64(st.freeBus())))
+	memUsed := make([]int64, m.Clusters)
+	for k, d := range memDelta {
+		if d > 0 {
+			memUsed[k[0]] += int64(d)
+		}
+	}
+	for cl := 0; cl < m.Clusters; cl++ {
+		fm = append(fm, fraction(memUsed[cl], int64(st.freeMem(cl))))
+	}
+	for cl := 0; cl < m.Clusters; cl++ {
+		fm = append(fm, fraction(addUnits[cl], st.freeLifetime(cl)))
+	}
+	p.merit = fm
+	return p, FailNone
+}
+
+// fraction returns used/free, saturating at 1 when free is exhausted.
+func fraction(used, free int64) float64 {
+	if used <= 0 {
+		return 0
+	}
+	if free <= 0 {
+		return 1
+	}
+	f := float64(used) / float64(free)
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// checkRegs verifies that applying p keeps every cluster's MaxLive within
+// the register file, and accumulates the net added lifetime units per
+// cluster into addUnits. It never mutates st.
+func (st *state) checkRegs(p *plan, def int, addUnits map[int]int64) bool {
+	m := st.m
+	// Hypothetical value views for every touched producer.
+	type view struct {
+		val    *value
+		tmp    value
+		before map[int][]regpress.Span
+	}
+	views := map[int]*view{}
+	getView := func(id int) *view {
+		if vw, ok := views[id]; ok {
+			return vw
+		}
+		val := st.vals[id]
+		vw := &view{val: val, before: map[int][]regpress.Span{}}
+		vw.tmp = *val
+		vw.tmp.minUse = append([]int(nil), val.minUse...)
+		vw.tmp.maxUse = append([]int(nil), val.maxUse...)
+		if val.comm != nil {
+			cc := *val.comm
+			vw.tmp.comm = &cc
+		}
+		if val.mem != nil {
+			mm := *val.mem
+			mm.loads = map[int]int{}
+			for k, x := range val.mem.loads {
+				mm.loads[k] = x
+			}
+			vw.tmp.mem = &mm
+		}
+		for c := 0; c < m.Clusters; c++ {
+			vw.before[c] = val.spans(c, m)
+		}
+		views[id] = vw
+		return vw
+	}
+
+	// v's own (new) value.
+	if st.g.Nodes[p.v].Op.ProducesValue() {
+		nv := newValue(p.cluster, def, m.Clusters)
+		views[p.v] = &view{val: nil, tmp: *nv, before: map[int][]regpress.Span{}}
+	}
+
+	for _, mv := range p.moves {
+		getView(mv.val).tmp.comm = &comm{start: mv.new}
+	}
+	for _, cp := range p.comms {
+		if cp.val == p.v {
+			views[p.v].tmp.comm = &comm{start: cp.start}
+		} else {
+			getView(cp.val).tmp.comm = &comm{start: cp.start}
+		}
+	}
+	for _, lp := range p.loads {
+		vw := getView(lp.val)
+		vw.tmp.mem.loads[lp.cluster] = lp.cycle
+	}
+	for _, up := range p.uses {
+		var vw *view
+		if up.val == p.v {
+			vw = views[p.v]
+		} else {
+			vw = getView(up.val)
+		}
+		if cur := vw.tmp.minUse[up.cluster]; cur == noUse || up.use < cur {
+			vw.tmp.minUse[up.cluster] = up.use
+		}
+		if cur := vw.tmp.maxUse[up.cluster]; cur == noUse || up.use > cur {
+			vw.tmp.maxUse[up.cluster] = up.use
+		}
+	}
+
+	// Per-cluster simulation on a reusable scratch buffer. The after-spans
+	// are computed once per (view, cluster).
+	if cap(st.simBuf) < st.ii {
+		st.simBuf = make([]int, st.ii)
+	}
+	for c := 0; c < m.Clusters; c++ {
+		var before, after int64
+		var rem, add []regpress.Span
+		for _, vw := range views {
+			for _, sp := range vw.before[c] {
+				rem = append(rem, sp)
+				before += int64(sp.Len())
+			}
+			for _, sp := range vw.tmp.spans(c, m) {
+				add = append(add, sp)
+				after += int64(sp.Len())
+			}
+		}
+		if len(rem) == 0 && len(add) == 0 {
+			continue
+		}
+		if !st.press[c].FitsWith(rem, add, m.RegsPerCluster, st.simBuf[:st.ii]) {
+			return false
+		}
+		if d := after - before; d > 0 {
+			addUnits[c] += d
+		}
+	}
+	return true
+}

@@ -1,0 +1,306 @@
+package schedule
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// transform applies one §3.3.2 transformation aimed at relieving the most
+// saturated resource (the failure reason of the blocked node breaks ties in
+// its favor). It reports whether any transformation was applied:
+//
+//   - register pressure → insert spill code (store after def, reload before
+//     first use) in the most pressured cluster;
+//   - bus pressure → reroute a communicated value through memory
+//     (store in the source cluster, loads in the destinations);
+//   - memory pressure → reroute a memory-routed value back over the bus, or
+//     remove spill code.
+func (st *state) transform(reason FailReason) bool {
+	type target struct {
+		apply func() bool
+		sat   float64
+	}
+	var targets []target
+
+	// Register saturation per cluster.
+	for c := 0; c < st.m.Clusters; c++ {
+		c := c
+		sat := float64(st.maxLive(c)) / float64(st.m.RegsPerCluster)
+		if reason == FailRegs {
+			sat += 1 // prioritize the failing resource class
+		}
+		targets = append(targets, target{sat: sat, apply: func() bool { return st.trySpill(c) }})
+	}
+	// Bus saturation.
+	{
+		sat := st.rt.BusUtilization()
+		if reason == FailBus {
+			sat += 1
+		}
+		targets = append(targets, target{sat: sat, apply: st.tryBusToMem})
+	}
+	// Memory saturation per cluster.
+	for c := 0; c < st.m.Clusters; c++ {
+		c := c
+		sat := st.rt.MemUtilization(c)
+		if reason == FailMem {
+			sat += 1
+		}
+		targets = append(targets, target{sat: sat, apply: func() bool {
+			return st.tryMemToBus(c) || st.tryUnspill(c)
+		}})
+	}
+
+	sort.SliceStable(targets, func(i, j int) bool { return targets[i].sat > targets[j].sat })
+	for _, tg := range targets {
+		if tg.apply() {
+			return true
+		}
+	}
+	return false
+}
+
+// trySpill inserts spill code for the value in cluster c whose
+// definition-to-first-use gap is largest: the register is freed between the
+// store and the reload (§3.3.2: "register pressure can be reduced by
+// inserting spill code", at the cost of memory ports).
+func (st *state) trySpill(c int) bool {
+	m := st.m
+	latS, latL := m.OpLatency(isa.Store), m.OpLatency(isa.Load)
+	// Candidates: unspilled values home in c with a local use and a gap
+	// wide enough that freeing [store+1, load+latLoad) pays for the two
+	// memory operations.
+	type cand struct {
+		id  int
+		gap int
+	}
+	var cands []cand
+	for id, val := range st.vals {
+		if val == nil || val.home != c || val.spill != nil || val.mem != nil {
+			continue
+		}
+		first := val.minUse[c]
+		if first == noUse {
+			continue
+		}
+		gap := first - val.def
+		if gap >= latS+latL+2 {
+			cands = append(cands, cand{id, gap})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].gap != cands[j].gap {
+			return cands[i].gap > cands[j].gap
+		}
+		return cands[i].id < cands[j].id
+	})
+	for _, cd := range cands {
+		val := st.vals[cd.id]
+		first := val.minUse[c]
+		// Earliest free store slot after def; latest free load slot that
+		// still feeds the first use.
+		store, ok := st.findMemSlot(c, val.def, first-latL-latS, +1)
+		if !ok {
+			continue
+		}
+		// Reserve the store before searching the load so both cannot claim
+		// the last unit of a shared modulo slot.
+		st.rt.PlaceOp(c, isa.MemUnit, store)
+		load, ok := st.findMemSlot(c, first-latL, store+latS, -1)
+		if !ok || load < store+latS || load+latL-store <= latS+latL {
+			st.rt.RemoveOp(c, isa.MemUnit, store)
+			continue
+		}
+		st.rt.PlaceOp(c, isa.MemUnit, load)
+		st.withSpanUpdate(val, func() {
+			val.spill = &spill{store: store, load: load}
+		})
+		st.nMemOps[0]++
+		st.nMemOps[1]++
+		return true
+	}
+	return false
+}
+
+// tryUnspill removes spill code in cluster c (freeing its memory ports)
+// when the register file can absorb the restored lifetime.
+func (st *state) tryUnspill(c int) bool {
+	for id, val := range st.vals {
+		_ = id
+		if val == nil || val.home != c || val.spill == nil {
+			continue
+		}
+		sp := val.spill
+		st.withSpanUpdate(val, func() { val.spill = nil })
+		if st.maxLive(c) > st.m.RegsPerCluster {
+			st.withSpanUpdate(val, func() { val.spill = sp })
+			continue
+		}
+		st.rt.RemoveOp(c, isa.MemUnit, sp.store)
+		st.rt.RemoveOp(c, isa.MemUnit, sp.load)
+		st.nMemOps[0]--
+		st.nMemOps[1]--
+		return true
+	}
+	return false
+}
+
+// tryBusToMem reroutes one bus-communicated value through memory, freeing
+// LatBus bus slots at the cost of a store and one load per destination
+// cluster.
+func (st *state) tryBusToMem() bool {
+	m := st.m
+	latS, latL := m.OpLatency(isa.Store), m.OpLatency(isa.Load)
+	for id, val := range st.vals {
+		_ = id
+		if val == nil || val.comm == nil || val.spill != nil {
+			continue
+		}
+		// Destination clusters and their earliest deadlines.
+		dests := make(map[int]int)
+		feasible := true
+		for c, first := range val.minUse {
+			if c == val.home || first == noUse {
+				continue
+			}
+			dests[c] = first
+			if first-latL < val.def+latS {
+				feasible = false
+			}
+		}
+		if len(dests) == 0 || !feasible {
+			continue
+		}
+		// Store as early as possible, loads as late as their deadline allows.
+		minFirst := 1 << 30
+		for _, f := range dests {
+			if f < minFirst {
+				minFirst = f
+			}
+		}
+		store, ok := st.findMemSlot(val.home, val.def, minFirst-latL-latS, +1)
+		if !ok {
+			continue
+		}
+		loads := make(map[int]int, len(dests))
+		ok = true
+		for c, first := range dests {
+			l, found := st.findMemSlot(c, first-latL, store+latS, -1)
+			if !found || l < store+latS {
+				ok = false
+				break
+			}
+			loads[c] = l
+		}
+		if !ok {
+			continue
+		}
+		// Apply, then verify register pressure (arrival times change);
+		// revert on overflow.
+		oldComm := val.comm
+		st.rt.PlaceOp(val.home, isa.MemUnit, store)
+		for c, l := range loads {
+			st.rt.PlaceOp(c, isa.MemUnit, l)
+		}
+		st.withSpanUpdate(val, func() {
+			val.comm = nil
+			val.mem = &memRoute{store: store, loads: loads}
+		})
+		if !st.regsOK() {
+			st.withSpanUpdate(val, func() {
+				val.mem = nil
+				val.comm = oldComm
+			})
+			st.rt.RemoveOp(val.home, isa.MemUnit, store)
+			for c, l := range loads {
+				st.rt.RemoveOp(c, isa.MemUnit, l)
+			}
+			continue
+		}
+		st.rt.RemoveBus(oldComm.start)
+		st.nMemOps[0]++
+		st.nMemOps[1] += len(loads)
+		return true
+	}
+	return false
+}
+
+// tryMemToBus reroutes a memory-routed value that touches cluster c back
+// over the bus, freeing memory ports (§3.3.2: "memory pressure can be
+// reduced … by inserting copy operations that use the interconnection
+// network").
+func (st *state) tryMemToBus(c int) bool {
+	m := st.m
+	for id, val := range st.vals {
+		_ = id
+		if val == nil || val.mem == nil {
+			continue
+		}
+		if _, touches := val.mem.loads[c]; !touches && val.home != c {
+			continue
+		}
+		// The single transfer must meet every destination's deadline.
+		minFirst := 1 << 30
+		for cc, f := range val.minUse {
+			if cc == val.home || f == noUse {
+				continue
+			}
+			if f < minFirst {
+				minFirst = f
+			}
+		}
+		if minFirst == 1<<30 {
+			continue
+		}
+		start := -1
+		for s := val.def; s+m.LatBus <= minFirst && s < val.def+st.ii; s++ {
+			if st.rt.CanPlaceBus(s) {
+				start = s
+				break
+			}
+		}
+		if start < 0 {
+			continue
+		}
+		oldMem := val.mem
+		st.rt.PlaceBus(start)
+		st.withSpanUpdate(val, func() {
+			val.mem = nil
+			val.comm = &comm{start: start}
+		})
+		if !st.regsOK() {
+			st.withSpanUpdate(val, func() {
+				val.comm = nil
+				val.mem = oldMem
+			})
+			st.rt.RemoveBus(start)
+			continue
+		}
+		st.rt.RemoveOp(val.home, isa.MemUnit, oldMem.store)
+		for cc, l := range oldMem.loads {
+			st.rt.RemoveOp(cc, isa.MemUnit, l)
+		}
+		st.nMemOps[0]--
+		st.nMemOps[1] -= len(oldMem.loads)
+		return true
+	}
+	return false
+}
+
+// findMemSlot scans for a free memory-port cycle in cluster c from `from`
+// toward `to` in the given direction (+1/-1), inclusive, bounded to one II
+// window of distinct slots.
+func (st *state) findMemSlot(c, from, to, dir int) (int, bool) {
+	n := 0
+	for t := from; n < st.ii; t += dir {
+		if dir > 0 && t > to || dir < 0 && t < to {
+			break
+		}
+		if st.rt.CanPlaceOp(c, isa.MemUnit, t) {
+			return t, true
+		}
+		n++
+	}
+	return 0, false
+}

@@ -1,0 +1,207 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// placeAll schedules a whole graph with URACAM mode at the given II and
+// returns the internal state for white-box transformation tests.
+func placeAll(t *testing.T, g *ddg.Graph, m *machine.Config, ii int) *state {
+	t.Helper()
+	st := newState(g, m, ii)
+	static, ok := g.StartTimes(m, ii, nil)
+	if !ok {
+		t.Fatal("infeasible II")
+	}
+	opts := &Options{Mode: ModeURACAM}
+	for _, v := range Order(g, m, ii) {
+		placed, fail := st.placeNode(v, opts, static)
+		if !placed {
+			t.Fatalf("node %d unplaceable: %v", v, fail)
+		}
+	}
+	if err := st.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// crossGraph builds producer (cluster decided by scheduler) feeding a
+// consumer, with a long def-to-use gap to make spilling attractive.
+func gapGraph() *ddg.Graph {
+	g := ddg.New("gap", 50)
+	p := g.AddNode(isa.IntALU, "p")
+	mid := p
+	for i := 0; i < 6; i++ {
+		v := g.AddNode(isa.IntALU, "")
+		g.AddEdge(ddg.Edge{From: mid, To: v, Lat: 1, Kind: ddg.Data})
+		mid = v
+	}
+	// p also read at the very end: long lifetime for p's value.
+	g.AddEdge(ddg.Edge{From: p, To: mid, Lat: 1, Kind: ddg.Data})
+	return g
+}
+
+func TestTrySpillBookkeeping(t *testing.T) {
+	g := gapGraph()
+	m := machine.MustClustered(2, 32, 1, 1)
+	st := placeAll(t, g, m, 4)
+	usedBefore := st.press[st.cluster[0]].Used()
+	memBefore := st.rt.FreeOpSlots(st.cluster[0], isa.MemUnit)
+	if !st.trySpill(st.cluster[0]) {
+		t.Skip("no spill candidate at this II (gap too small)")
+	}
+	c := st.cluster[0]
+	if st.press[c].Used() >= usedBefore {
+		t.Errorf("spill did not reduce lifetime units: %d → %d", usedBefore, st.press[c].Used())
+	}
+	if got := st.rt.FreeOpSlots(c, isa.MemUnit); got != memBefore-2 {
+		t.Errorf("spill consumed %d mem slots, want 2", memBefore-got)
+	}
+	if err := st.checkInvariants(); err != nil {
+		t.Errorf("invariants after spill: %v", err)
+	}
+	// Unspill restores everything.
+	if !st.tryUnspill(c) {
+		t.Fatal("unspill refused")
+	}
+	if st.press[c].Used() != usedBefore {
+		t.Errorf("unspill lifetime units %d, want %d", st.press[c].Used(), usedBefore)
+	}
+	if got := st.rt.FreeOpSlots(c, isa.MemUnit); got != memBefore {
+		t.Errorf("unspill left %d free mem slots, want %d", got, memBefore)
+	}
+}
+
+// forceCross builds a state with a guaranteed cross-cluster communication.
+// The dependence latency is loose (5 cycles) so the consumer sits late
+// enough that both the bus and the store/load path can serve it.
+func forceCross(t *testing.T, m *machine.Config, ii int) (*state, *ddg.Graph) {
+	t.Helper()
+	g := ddg.New("cross", 50)
+	p := g.AddNode(isa.IntALU, "p")
+	c := g.AddNode(isa.IntALU, "c")
+	g.AddEdge(ddg.Edge{From: p, To: c, Lat: 5, Kind: ddg.Data})
+	st := newState(g, m, ii)
+	static, _ := g.StartTimes(m, ii, nil)
+	opts := &Options{Mode: ModeFixed, Assign: []int{0, 1}}
+	for _, v := range Order(g, m, ii) {
+		placed, fail := st.placeNode(v, opts, static)
+		if !placed {
+			t.Fatalf("placement failed: %v", fail)
+		}
+	}
+	if st.vals[p].comm == nil {
+		t.Fatal("no communication scheduled")
+	}
+	return st, g
+}
+
+func TestBusToMemAndBack(t *testing.T) {
+	m := machine.MustClustered(2, 32, 1, 1)
+	st, _ := forceCross(t, m, 6)
+	busFree := st.rt.FreeBusSlots()
+	if !st.tryBusToMem() {
+		t.Fatal("bus→memory transformation refused")
+	}
+	if st.rt.FreeBusSlots() != busFree+m.LatBus {
+		t.Errorf("bus slots not freed: %d → %d", busFree, st.rt.FreeBusSlots())
+	}
+	val := st.vals[0]
+	if val.comm != nil || val.mem == nil {
+		t.Fatal("value routing not switched to memory")
+	}
+	if err := st.checkInvariants(); err != nil {
+		t.Errorf("invariants after bus→mem: %v", err)
+	}
+	// And back.
+	if !st.tryMemToBus(1) {
+		t.Fatal("memory→bus transformation refused")
+	}
+	if val.mem != nil || val.comm == nil {
+		t.Fatal("value routing not switched back to bus")
+	}
+	if st.rt.FreeBusSlots() != busFree {
+		t.Errorf("bus occupancy wrong after round trip")
+	}
+	if err := st.checkInvariants(); err != nil {
+		t.Errorf("invariants after mem→bus: %v", err)
+	}
+}
+
+func TestBusToMemRespectsDeadline(t *testing.T) {
+	// With the consumer scheduled right at the bus arrival, the slower
+	// store+load path cannot meet the deadline and the transformation
+	// must refuse.
+	m := machine.MustClustered(2, 32, 1, 1)
+	st, g := forceCross(t, m, 2)
+	// Consumer time: producer at t, comm at t+1, consumer ≥ t+2. The
+	// store+load path needs ≥ def+latS+latL = t+1+1+2 = t+4 > consumer
+	// unless the consumer sits later.
+	need := st.time[1]
+	def := st.vals[0].def
+	if need-def >= m.OpLatency(isa.Store)+m.OpLatency(isa.Load) {
+		t.Skip("consumer scheduled late enough for the memory path")
+	}
+	if st.tryBusToMem() {
+		t.Error("bus→memory accepted although the deadline is unreachable")
+	}
+	_ = g
+}
+
+func TestEjectionRestoresState(t *testing.T) {
+	m := machine.MustClustered(2, 32, 1, 1)
+	st, g := forceCross(t, m, 6)
+	// Unschedule the consumer: the producer's comm must be pruned (no
+	// cross-cluster reader remains) and every pressure tracker must match
+	// a freshly rebuilt one.
+	st.unschedule(1)
+	if st.sched[1] {
+		t.Fatal("consumer still marked scheduled")
+	}
+	if st.vals[0].comm != nil {
+		t.Error("orphaned communication not pruned")
+	}
+	for c, u := range st.vals[0].maxUse {
+		if u != noUse {
+			t.Errorf("stale use in cluster %d: %d", c, u)
+		}
+	}
+	if err := st.checkInvariants(); err != nil {
+		t.Errorf("invariants after unschedule: %v", err)
+	}
+	_ = g
+}
+
+func TestFormatKernel(t *testing.T) {
+	g := ddg.New("fmt", 50)
+	a := g.AddNode(isa.Load, "ld")
+	b := g.AddNode(isa.FPAdd, "add")
+	g.AddEdge(ddg.Edge{From: a, To: b, Lat: 2, Kind: ddg.Data})
+	m := machine.MustClustered(2, 32, 1, 1)
+	s, fail := TrySchedule(g, m, 2, &Options{Mode: ModeURACAM})
+	if fail != nil {
+		t.Fatal(fail)
+	}
+	out := FormatKernel(s, g, m)
+	for _, want := range []string{"kernel II=2", "slot", "cluster 0", "cluster 1", "ld", "add"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("kernel picture missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatKernelShowsTransfers(t *testing.T) {
+	m := machine.MustClustered(2, 32, 1, 1)
+	st, g := forceCross(t, m, 4)
+	s := st.finish(0)
+	out := FormatKernel(s, g, m)
+	if !strings.Contains(out, "xfer(n0)") {
+		t.Errorf("kernel picture missing bus transfer:\n%s", out)
+	}
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+func TestCorpusShape(t *testing.T) {
+	bms := SPECfp95()
+	if len(bms) != 10 {
+		t.Fatalf("corpus has %d benchmarks, want 10", len(bms))
+	}
+	want := []string{"tomcatv", "swim", "su2cor", "hydro2d", "mgrid", "applu", "turb3d", "apsi", "fpppp", "wave5"}
+	for i, b := range bms {
+		if b.Name != want[i] {
+			t.Errorf("benchmark %d = %q, want %q", i, b.Name, want[i])
+		}
+		if len(b.Loops) < 5 {
+			t.Errorf("%s has only %d loops", b.Name, len(b.Loops))
+		}
+	}
+}
+
+func TestCorpusValidatesAndIsDeterministic(t *testing.T) {
+	a := SPECfp95()
+	b := SPECfp95()
+	for i := range a {
+		if len(a[i].Loops) != len(b[i].Loops) {
+			t.Fatalf("%s: loop counts differ", a[i].Name)
+		}
+		for j := range a[i].Loops {
+			ga, gb := a[i].Loops[j].G, b[i].Loops[j].G
+			if err := ga.Validate(); err != nil {
+				t.Fatalf("%s: %v", ga.Name, err)
+			}
+			if ga.N() != gb.N() || len(ga.Edges) != len(gb.Edges) || ga.Niter != gb.Niter {
+				t.Fatalf("%s: regeneration differs", ga.Name)
+			}
+			for k := range ga.Edges {
+				if ga.Edges[k] != gb.Edges[k] {
+					t.Fatalf("%s: edge %d differs", ga.Name, k)
+				}
+			}
+			if a[i].Loops[j].Weight != b[i].Loops[j].Weight {
+				t.Fatalf("%s: weights differ", ga.Name)
+			}
+		}
+	}
+}
+
+func TestProfilesRespected(t *testing.T) {
+	for _, p := range Profiles() {
+		b := Generate(p)
+		if len(b.Loops) != p.NumLoops {
+			t.Errorf("%s: %d loops, want %d", p.Name, len(b.Loops), p.NumLoops)
+		}
+		for _, l := range b.Loops {
+			n := l.G.N()
+			if n < p.MinOps || n > p.MaxOps {
+				t.Errorf("%s/%s: %d ops outside [%d,%d]", p.Name, l.G.Name, n, p.MinOps, p.MaxOps)
+			}
+			if l.G.Niter < p.TripMin || l.G.Niter > p.TripMax {
+				t.Errorf("%s/%s: trip %d outside [%d,%d]", p.Name, l.G.Name, l.G.Niter, p.TripMin, p.TripMax)
+			}
+			if l.Weight < 1 {
+				t.Errorf("%s/%s: weight %v < 1", p.Name, l.G.Name, l.Weight)
+			}
+		}
+	}
+}
+
+func TestOpMixTracksProfile(t *testing.T) {
+	// Aggregate op mixes should be within a loose band of the profile
+	// fractions.
+	for _, p := range Profiles() {
+		b := Generate(p)
+		var mem, fp, total int
+		for _, l := range b.Loops {
+			for _, nd := range l.G.Nodes {
+				total++
+				switch nd.Op.Unit() {
+				case isa.MemUnit:
+					mem++
+				case isa.FPUnit:
+					fp++
+				}
+			}
+		}
+		memFrac := float64(mem) / float64(total)
+		fpFrac := float64(fp) / float64(total)
+		if memFrac < p.MemFrac-0.12 || memFrac > p.MemFrac+0.12 {
+			t.Errorf("%s: mem fraction %.2f vs profile %.2f", p.Name, memFrac, p.MemFrac)
+		}
+		if fpFrac < p.FPFrac-0.12 || fpFrac > p.FPFrac+0.12 {
+			t.Errorf("%s: fp fraction %.2f vs profile %.2f", p.Name, fpFrac, p.FPFrac)
+		}
+	}
+}
+
+func TestRecurrenceDensityOrdering(t *testing.T) {
+	// hydro2d (density 1.0) must have more recurrences than swim (0.15).
+	bms := SPECfp95()
+	var hydro, swim Stats
+	for _, b := range bms {
+		switch b.Name {
+		case "hydro2d":
+			hydro = Summarize(b)
+		case "swim":
+			swim = Summarize(b)
+		}
+	}
+	if hydro.Recurrences <= swim.Recurrences {
+		t.Errorf("hydro2d recurrences %d not above swim %d", hydro.Recurrences, swim.Recurrences)
+	}
+}
+
+func TestLoopsAreSchedulable(t *testing.T) {
+	// Every loop must have a finite MII on the unified machine.
+	m := machine.NewUnified(64)
+	for _, b := range SPECfp95() {
+		for _, l := range b.Loops {
+			mii := l.G.MII(m)
+			if mii < 1 || mii > 1000 {
+				t.Errorf("%s: MII %d out of range", l.G.Name, mii)
+			}
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	b := Generate(Profiles()[0])
+	s := Summarize(b)
+	if s.Loops != len(b.Loops) || s.Ops <= 0 {
+		t.Errorf("stats wrong: %+v", s)
+	}
+	if s.MemOps == 0 || s.FPOps == 0 {
+		t.Errorf("tomcatv should have both mem and FP ops: %+v", s)
+	}
+}
