@@ -24,6 +24,9 @@ var corpus = workload.SPECfp95()
 
 func runPanel(b *testing.B, cfg bench.Config) *bench.Report {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("multi-second paper-figure panel; skipped in -short mode")
+	}
 	var rep *bench.Report
 	var err error
 	for i := 0; i < b.N; i++ {

@@ -6,12 +6,14 @@
 // Usage:
 //
 //	gpbench [-table1] [-figure2] [-figure3] [-table2] [-summary] [-ablations] [-all]
+//	        [-parallel N] [-csv out.csv]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro"
 	"repro/internal/bench"
@@ -28,6 +30,8 @@ func main() {
 	abl := flag.Bool("ablations", false, "run the DESIGN.md ablations")
 	csvPath := flag.String("csv", "", "also write every panel as CSV to this file")
 	all := flag.Bool("all", false, "everything")
+	par := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines scheduling loops (1 = sequential; IPC results are identical for every value)")
 	flag.Parse()
 	if !(*t1 || *f2 || *f3 || *t2 || *sum || *abl || *all) {
 		*all = true
@@ -41,6 +45,7 @@ func main() {
 
 	var reports []*bench.Report
 	run := func(cfg bench.Config) *bench.Report {
+		cfg.Parallel = *par
 		rep, err := bench.Run(corpus, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gpbench: %v\n", err)
@@ -99,6 +104,7 @@ func main() {
 		}
 		for _, a := range ablations {
 			cfg := base
+			cfg.Parallel = *par
 			if a.opts != nil {
 				cfg.PartitionOpts = &gpsched.Options{Partition: a.opts}
 			}

@@ -31,6 +31,7 @@
 package gpsched
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -114,6 +115,12 @@ func Clustered(n, totalRegs, nbus, latBus int) *Machine {
 // Run schedules one loop on a machine. opts may be nil (GP defaults).
 func Run(g *DDG, m *Machine, opts *Options) (*Result, error) {
 	return core.ScheduleLoop(g, m, opts)
+}
+
+// RunContext is Run with cancellation: a canceled context stops the II
+// escalation search between scheduling attempts.
+func RunContext(ctx context.Context, g *DDG, m *Machine, opts *Options) (*Result, error) {
+	return core.ScheduleLoopContext(ctx, g, m, opts)
 }
 
 // Partition computes only the cluster assignment for a loop at the given

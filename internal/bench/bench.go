@@ -8,7 +8,9 @@
 package bench
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -62,6 +64,18 @@ type Config struct {
 	LatBus    int
 	// PartitionOpts forwards ablation settings to GP and Fixed.
 	PartitionOpts *corePartitionOpts
+	// Parallel is the number of worker goroutines scheduling loops.
+	// 0 means runtime.GOMAXPROCS(0); 1 reproduces the sequential harness
+	// exactly. Aggregates are reduced in a fixed order either way, so the
+	// report is identical for every value.
+	Parallel int
+}
+
+func (c Config) workers() int {
+	if c.Parallel > 0 {
+		return c.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 type corePartitionOpts = core.Options
@@ -69,6 +83,25 @@ type corePartitionOpts = core.Options
 // Run evaluates all four schemes on one configuration over the given
 // corpus.
 func Run(bms []*workload.Benchmark, cfg Config) (*Report, error) {
+	return RunContext(context.Background(), bms, cfg)
+}
+
+// RunContext is Run with cancellation. Every (benchmark, scheme, loop)
+// scheduling job is independent; cfg.Parallel of them run concurrently on a
+// worker pool, and the first failure cancels the rest. The per-job results
+// are collected into an index-addressed slice and reduced in the fixed
+// sequential order, so IPC, fallback counts and CSV output are bit-for-bit
+// identical for every worker count, and SchedTime remains the sum of
+// per-job scheduling times (Table 2's metric), not pool wall time.
+func RunContext(ctx context.Context, bms []*workload.Benchmark, cfg Config) (*Report, error) {
+	if len(bms) == 0 {
+		return nil, &EmptyCorpusError{}
+	}
+	for _, bm := range bms {
+		if len(bm.Loops) == 0 {
+			return nil, &EmptyCorpusError{Benchmark: bm.Name}
+		}
+	}
 	clustered, err := machine.NewClustered(cfg.Clusters, cfg.TotalRegs, cfg.NBus, cfg.LatBus)
 	if err != nil {
 		return nil, err
@@ -93,21 +126,40 @@ func Run(bms []*workload.Benchmark, cfg Config) (*Report, error) {
 		{SchemeGP, clustered, optsFor(core.GP, cfg)},
 	}
 
+	// Fan out: one job per (benchmark, scheme, loop), laid out in the
+	// sequential visiting order.
+	jobs := make([]job, 0, countLoops(bms)*len(schemes))
+	for _, bm := range bms {
+		for _, sc := range schemes {
+			for _, loop := range bm.Loops {
+				jobs = append(jobs, job{benchmark: bm.Name, scheme: sc.name, g: loop.G, m: sc.m, opts: sc.opts})
+			}
+		}
+	}
+	results, err := runJobs(ctx, jobs, cfg.workers())
+	if err != nil {
+		return nil, err
+	}
+
+	// Reduce in the same nested order the jobs were laid out, so the
+	// floating-point accumulation order matches the sequential harness.
+	k := 0
 	for _, bm := range bms {
 		row := Row{Benchmark: bm.Name, IPC: map[string]float64{}, Fallbacks: map[string]int{}}
 		for _, sc := range schemes {
 			var ops, cycles float64
 			for _, loop := range bm.Loops {
-				res, err := core.ScheduleLoop(loop.G, sc.m, sc.opts)
-				if err != nil {
-					return nil, fmt.Errorf("bench: %s/%s on %s: %w", bm.Name, loop.G.Name, sc.name, err)
-				}
+				res := results[k]
+				k++
 				ops += loop.Weight * float64(loop.G.N()) * float64(loop.G.Niter)
 				cycles += loop.Weight * float64(res.Schedule.Cycles(loop.G.Niter))
 				rep.SchedTime[sc.name] += res.Elapsed
 				if res.ListFallback {
 					row.Fallbacks[sc.name]++
 				}
+			}
+			if cycles == 0 {
+				return nil, &ZeroCycleError{Benchmark: bm.Name, Scheme: sc.name}
 			}
 			row.IPC[sc.name] = ops / cycles
 		}

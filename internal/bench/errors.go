@@ -1,0 +1,31 @@
+package bench
+
+import "fmt"
+
+// EmptyCorpusError reports a corpus that cannot produce a figure panel:
+// either no benchmarks at all, or a benchmark with no loops. Run returns it
+// instead of emitting NaN IPC rows (0/0 from an empty weighted sum).
+type EmptyCorpusError struct {
+	// Benchmark names the loopless benchmark, or is empty when the corpus
+	// itself is empty.
+	Benchmark string
+}
+
+func (e *EmptyCorpusError) Error() string {
+	if e.Benchmark != "" {
+		return fmt.Sprintf("bench: benchmark %q has no loops", e.Benchmark)
+	}
+	return "bench: empty corpus"
+}
+
+// ZeroCycleError reports a benchmark whose loops sum to zero weighted
+// cycles under some scheme (every loop weight is zero), which would make
+// the weighted IPC 0/0.
+type ZeroCycleError struct {
+	Benchmark string
+	Scheme    string
+}
+
+func (e *ZeroCycleError) Error() string {
+	return fmt.Sprintf("bench: benchmark %q has zero weighted cycles under %s", e.Benchmark, e.Scheme)
+}

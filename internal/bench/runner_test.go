@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// TestParallelMatchesSequential is the determinism contract of the worker
+// pool: any worker count must produce a Report whose IPC, fallback counts,
+// means and CSV/table renderings are bit-for-bit identical to the
+// sequential run. Run it under -race to also exercise the concurrency
+// safety of sharing one graph across the four schemes.
+func TestParallelMatchesSequential(t *testing.T) {
+	corpus := smallCorpus()
+	cfg := Config{Clusters: 2, TotalRegs: 32, NBus: 1, LatBus: 1}
+
+	cfg.Parallel = 1
+	seq, err := Run(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg.Parallel = workers
+		par, err := Run(corpus, cfg)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", workers, err)
+		}
+		if len(par.Rows) != len(seq.Rows) {
+			t.Fatalf("parallel=%d: %d rows, want %d", workers, len(par.Rows), len(seq.Rows))
+		}
+		for i, prow := range par.Rows {
+			srow := seq.Rows[i]
+			if prow.Benchmark != srow.Benchmark {
+				t.Fatalf("parallel=%d: row %d is %q, want %q", workers, i, prow.Benchmark, srow.Benchmark)
+			}
+			for _, s := range Schemes {
+				if prow.IPC[s] != srow.IPC[s] {
+					t.Errorf("parallel=%d: %s/%s IPC %v != sequential %v",
+						workers, prow.Benchmark, s, prow.IPC[s], srow.IPC[s])
+				}
+				if prow.Fallbacks[s] != srow.Fallbacks[s] {
+					t.Errorf("parallel=%d: %s/%s fallbacks %d != sequential %d",
+						workers, prow.Benchmark, s, prow.Fallbacks[s], srow.Fallbacks[s])
+				}
+			}
+		}
+		for _, s := range Schemes {
+			if par.MeanIPC[s] != seq.MeanIPC[s] {
+				t.Errorf("parallel=%d: mean %s IPC %v != sequential %v", workers, s, par.MeanIPC[s], seq.MeanIPC[s])
+			}
+			if par.SchedTime[s] <= 0 {
+				t.Errorf("parallel=%d: SchedTime[%s] = %v, want > 0 (sum of per-job times)", workers, s, par.SchedTime[s])
+			}
+		}
+		if par.Loops != seq.Loops {
+			t.Errorf("parallel=%d: Loops %d != %d", workers, par.Loops, seq.Loops)
+		}
+		if par.Render() != seq.Render() {
+			t.Errorf("parallel=%d: Render differs from sequential", workers)
+		}
+		var pbuf, sbuf bytes.Buffer
+		if err := par.WriteCSV(&pbuf); err != nil {
+			t.Fatal(err)
+		}
+		if err := seq.WriteCSV(&sbuf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pbuf.Bytes(), sbuf.Bytes()) {
+			t.Errorf("parallel=%d: CSV differs from sequential:\n%s\nvs\n%s", workers, pbuf.String(), sbuf.String())
+		}
+	}
+}
+
+func TestRunEmptyCorpus(t *testing.T) {
+	_, err := Run(nil, Config{Clusters: 2, TotalRegs: 32, NBus: 1, LatBus: 1})
+	var empty *EmptyCorpusError
+	if !errors.As(err, &empty) {
+		t.Fatalf("Run(nil) = %v, want *EmptyCorpusError", err)
+	}
+	if empty.Benchmark != "" {
+		t.Errorf("empty corpus error names benchmark %q", empty.Benchmark)
+	}
+}
+
+func TestRunLooplessBenchmark(t *testing.T) {
+	corpus := []*workload.Benchmark{{Name: "hollow"}}
+	_, err := Run(corpus, Config{Clusters: 2, TotalRegs: 32, NBus: 1, LatBus: 1})
+	var empty *EmptyCorpusError
+	if !errors.As(err, &empty) {
+		t.Fatalf("Run = %v, want *EmptyCorpusError", err)
+	}
+	if empty.Benchmark != "hollow" {
+		t.Errorf("error names benchmark %q, want hollow", empty.Benchmark)
+	}
+}
+
+func TestRunZeroWeightBenchmark(t *testing.T) {
+	g := ddg.New("w0/loop0", 10)
+	a := g.AddNode(isa.FPAdd, "a")
+	b := g.AddNode(isa.FPAdd, "b")
+	g.AddDep(a, b, 0)
+	corpus := []*workload.Benchmark{{Name: "w0", Loops: []*workload.Loop{{G: g, Weight: 0}}}}
+	_, err := Run(corpus, Config{Clusters: 2, TotalRegs: 32, NBus: 1, LatBus: 1})
+	var zero *ZeroCycleError
+	if !errors.As(err, &zero) {
+		t.Fatalf("Run = %v, want *ZeroCycleError", err)
+	}
+	if zero.Benchmark != "w0" {
+		t.Errorf("error names benchmark %q, want w0", zero.Benchmark)
+	}
+}
+
+func TestRunContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		cfg := Config{Clusters: 2, TotalRegs: 32, NBus: 1, LatBus: 1, Parallel: workers}
+		_, err := RunContext(ctx, smallCorpus(), cfg)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("parallel=%d: RunContext on canceled ctx = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// TestRunnerMoreWorkersThanJobs pins the pool's clamp: a panel with fewer
+// jobs than workers must still complete and stay deterministic.
+func TestRunnerMoreWorkersThanJobs(t *testing.T) {
+	corpus := smallCorpus()[:1]
+	corpus[0].Loops = corpus[0].Loops[:1]
+	cfg := Config{Clusters: 2, TotalRegs: 32, NBus: 1, LatBus: 1, Parallel: 64}
+	rep, err := Run(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 || rep.Loops != 1 {
+		t.Errorf("got %d rows / %d loops, want 1 / 1", len(rep.Rows), rep.Loops)
+	}
+}

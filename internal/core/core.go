@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -109,8 +110,19 @@ func (r *Result) IPC(g *ddg.Graph) float64 {
 
 // ScheduleLoop schedules one loop on machine m with the selected algorithm.
 func ScheduleLoop(g *ddg.Graph, m *machine.Config, opts *Options) (*Result, error) {
+	return ScheduleLoopContext(context.Background(), g, m, opts)
+}
+
+// ScheduleLoopContext is ScheduleLoop with cancellation: the II escalation
+// loop checks ctx between scheduling attempts, so a canceled context stops
+// the search promptly and returns ctx's error. The experiment harness uses
+// this to abandon in-flight work when a sibling loop fails.
+func ScheduleLoopContext(ctx context.Context, g *ddg.Graph, m *machine.Config, opts *Options) (*Result, error) {
 	if opts == nil {
 		opts = &Options{}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -140,6 +152,9 @@ func ScheduleLoop(g *ddg.Graph, m *machine.Config, opts *Options) (*Result, erro
 
 	limit := res.MII + opts.window()
 	for ii := res.MII; ii <= limit; ii++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: %s at II=%d: %w", g.Name, ii, err)
+		}
 		res.Attempts++
 		sopts := &schedule.Options{Mode: mode, Assign: assign, MeritThreshold: opts.MeritThreshold}
 		s, fail := schedule.TrySchedule(g, m, ii, sopts)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -205,5 +207,29 @@ func TestInputGraphNotMutated(t *testing.T) {
 		if len(g.Nodes) != nodes || len(g.Edges) != edges {
 			t.Fatalf("%v mutated the input graph", alg)
 		}
+	}
+}
+
+func TestScheduleLoopContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ScheduleLoopContext(ctx, sampleLoop(), machine.MustClustered(2, 32, 1, 1), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScheduleLoopContext on canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestScheduleLoopContextBackground(t *testing.T) {
+	res, err := ScheduleLoopContext(context.Background(), sampleLoop(), machine.MustClustered(2, 32, 1, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := ScheduleLoop(sampleLoop(), machine.MustClustered(2, 32, 1, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.II != seq.Schedule.II || res.Attempts != seq.Attempts {
+		t.Errorf("context run II=%d attempts=%d differs from plain run II=%d attempts=%d",
+			res.Schedule.II, res.Attempts, seq.Schedule.II, seq.Attempts)
 	}
 }

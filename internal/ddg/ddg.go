@@ -224,6 +224,14 @@ func (g *Graph) buildAdj() {
 	g.dirty = false
 }
 
+// Freeze precomputes the lazily built adjacency caches so that subsequent
+// read-only use of the graph (Out, In and every analysis built on them) is
+// safe for concurrent readers. The experiment harness calls this before
+// fanning a loop out to worker goroutines. Mutating the graph afterwards
+// (AddNode, AddEdge, AddDep) makes it unsafe for concurrent use again until
+// the next Freeze.
+func (g *Graph) Freeze() { g.buildAdj() }
+
 // Out returns the indices into Edges of v's outgoing edges.
 func (g *Graph) Out(v int) []int { g.buildAdj(); return g.out[v] }
 

@@ -1,6 +1,7 @@
 package ddg
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/isa"
@@ -410,4 +411,35 @@ func TestAddDepUsesProducerLatency(t *testing.T) {
 	if got := g.Edges[0].Lat; got != 4 {
 		t.Errorf("AddDep latency = %d, want 4", got)
 	}
+}
+
+// TestFreezeAllowsConcurrentReaders pins Freeze's contract: after a
+// Freeze, read-only analyses on the same graph are safe from multiple
+// goroutines (run under -race to enforce it).
+func TestFreezeAllowsConcurrentReaders(t *testing.T) {
+	g := New("conc", 100)
+	a := g.AddNode(isa.Load, "")
+	b := g.AddNode(isa.FPAdd, "")
+	c := g.AddNode(isa.Store, "")
+	g.AddDep(a, b, 0)
+	g.AddDep(b, c, 0)
+	g.AddDep(b, b, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_ = g.Out(a)
+				_ = g.In(c)
+				_ = g.RecMII(nil)
+				_ = g.SCCs()
+			}
+		}()
+	}
+	wg.Wait()
 }
