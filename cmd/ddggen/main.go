@@ -1,15 +1,16 @@
-// Command ddggen emits the synthetic SPECfp95 stand-in corpus (or a single
-// benchmark) in the ddgio text format, for use with cmd/gpsched or external
-// tools.
+// Command ddggen emits the synthetic corpora (SPECfp95 stand-in or the
+// DSP/MediaBench-style family) in the ddgio text format, for use with
+// cmd/gpsched or external tools.
 //
 // Usage:
 //
-//	ddggen [-bench name] [-list]
+//	ddggen [-corpus specfp95|dsp] [-bench name] [-list]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
@@ -18,28 +19,53 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "", "emit only this benchmark (default: all)")
-	list := flag.Bool("list", false, "list benchmark names and stats instead of emitting loops")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	corpus := gpsched.SPECfp95Corpus()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ddggen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "", "emit only this benchmark (default: all)")
+	corpusName := fs.String("corpus", "specfp95", "corpus family: specfp95 or dsp")
+	list := fs.Bool("list", false, "list benchmark names and stats instead of emitting loops")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var corpus []*workload.Benchmark
+	switch *corpusName {
+	case "specfp95":
+		corpus = gpsched.SPECfp95Corpus()
+	case "dsp":
+		corpus = gpsched.DSPCorpus()
+	default:
+		fmt.Fprintf(stderr, "ddggen: unknown corpus %q (want specfp95 or dsp)\n", *corpusName)
+		return 2
+	}
 	if *list {
-		fmt.Printf("%-10s %6s %6s %6s %6s %6s\n", "benchmark", "loops", "ops", "mem", "fp", "recs")
+		fmt.Fprintf(stdout, "%-10s %6s %6s %6s %6s %6s\n", "benchmark", "loops", "ops", "mem", "fp", "recs")
 		for _, b := range corpus {
 			s := workload.Summarize(b)
-			fmt.Printf("%-10s %6d %6d %6d %6d %6d\n", b.Name, s.Loops, s.Ops, s.MemOps, s.FPOps, s.Recurrences)
+			fmt.Fprintf(stdout, "%-10s %6d %6d %6d %6d %6d\n", b.Name, s.Loops, s.Ops, s.MemOps, s.FPOps, s.Recurrences)
 		}
-		return
+		return 0
 	}
+	emitted := false
 	for _, b := range corpus {
 		if *bench != "" && b.Name != *bench {
 			continue
 		}
+		emitted = true
 		for _, l := range b.Loops {
-			if err := ddgio.Write(os.Stdout, l.G); err != nil {
-				fmt.Fprintf(os.Stderr, "ddggen: %v\n", err)
-				os.Exit(1)
+			if err := ddgio.Write(stdout, l.G); err != nil {
+				fmt.Fprintf(stderr, "ddggen: %v\n", err)
+				return 1
 			}
 		}
 	}
+	if *bench != "" && !emitted {
+		fmt.Fprintf(stderr, "ddggen: no benchmark %q in corpus %s\n", *bench, *corpusName)
+		return 1
+	}
+	return 0
 }

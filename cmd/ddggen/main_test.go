@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ddgio"
+)
+
+func TestListOutputShape(t *testing.T) {
+	for corpus, want := range map[string]string{"specfp95": "tomcatv", "dsp": "adpcm"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-corpus", corpus, "-list"}, &out, &errb); code != 0 {
+			t.Fatalf("-corpus %s -list exited %d: %s", corpus, code, errb.String())
+		}
+		text := out.String()
+		if !strings.HasPrefix(text, "benchmark") {
+			t.Errorf("-corpus %s -list missing header:\n%s", corpus, text)
+		}
+		if !strings.Contains(text, want) {
+			t.Errorf("-corpus %s -list missing %q:\n%s", corpus, want, text)
+		}
+	}
+}
+
+func TestEmittedLoopsParseBack(t *testing.T) {
+	for _, corpus := range []string{"specfp95", "dsp"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-corpus", corpus}, &out, &errb); code != 0 {
+			t.Fatalf("-corpus %s exited %d: %s", corpus, code, errb.String())
+		}
+		loops, err := ddgio.Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("-corpus %s output does not re-parse: %v", corpus, err)
+		}
+		if len(loops) == 0 {
+			t.Fatalf("-corpus %s emitted no loops", corpus)
+		}
+	}
+}
+
+func TestBenchFilter(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bench", "tomcatv"}, &out, &errb); code != 0 {
+		t.Fatalf("exited %d: %s", code, errb.String())
+	}
+	loops, err := ddgio.Read(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range loops {
+		if !strings.HasPrefix(g.Name, "tomcatv/") {
+			t.Errorf("loop %q leaked past the -bench filter", g.Name)
+		}
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		args []string
+		code int
+	}{
+		{[]string{"-corpus", "bogus"}, 2},
+		{[]string{"-nosuchflag"}, 2},
+		{[]string{"-bench", "nonexistent"}, 1},
+	}
+	for _, tc := range cases {
+		var out, errb bytes.Buffer
+		if code := run(tc.args, &out, &errb); code != tc.code {
+			t.Errorf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.code, errb.String())
+		}
+	}
+}

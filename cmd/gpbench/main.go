@@ -3,37 +3,74 @@
 // bus), Figure 3 (4-cluster, 2-cycle bus), Table 2 (scheduling time) and
 // the headline summary (GP speedup over URACAM and Fixed Partition).
 //
+// Beyond the paper grid, -sweep fans a cross-product of machine
+// descriptions (built-in set or -machine files) × both corpora (SPECfp95 +
+// DSP) × all four schemes across the parallel runner, verifies every
+// schedule with the schedule.Verify oracle, and emits one deterministic
+// CSV.
+//
 // Usage:
 //
 //	gpbench [-table1] [-figure2] [-figure3] [-table2] [-summary] [-ablations] [-all]
+//	        [-machine m1.txt,m2.txt] [-sweep] [-short] [-noverify]
 //	        [-parallel N] [-csv out.csv]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	"repro"
 	"repro/internal/bench"
+	"repro/internal/machine"
 	"repro/internal/partition"
 	"repro/internal/workload"
 )
 
 func main() {
-	t1 := flag.Bool("table1", false, "print Table 1 (configurations)")
-	f2 := flag.Bool("figure2", false, "run Figure 2 (1-cycle bus, 2 and 4 clusters)")
-	f3 := flag.Bool("figure3", false, "run Figure 3 (2-cycle bus, 4 clusters)")
-	t2 := flag.Bool("table2", false, "run Table 2 (scheduling time)")
-	sum := flag.Bool("summary", false, "print the headline speedups")
-	abl := flag.Bool("ablations", false, "run the DESIGN.md ablations")
-	csvPath := flag.String("csv", "", "also write every panel as CSV to this file")
-	all := flag.Bool("all", false, "everything")
-	par := flag.Int("parallel", runtime.GOMAXPROCS(0),
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gpbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	t1 := fs.Bool("table1", false, "print Table 1 (configurations)")
+	f2 := fs.Bool("figure2", false, "run Figure 2 (1-cycle bus, 2 and 4 clusters)")
+	f3 := fs.Bool("figure3", false, "run Figure 3 (2-cycle bus, 4 clusters)")
+	t2 := fs.Bool("table2", false, "run Table 2 (scheduling time)")
+	sum := fs.Bool("summary", false, "print the headline speedups")
+	abl := fs.Bool("ablations", false, "run the DESIGN.md ablations")
+	sweep := fs.Bool("sweep", false, "run the machine × corpus sweep and emit one deterministic CSV")
+	machines := fs.String("machine", "", "comma-separated machine-description files (default: the built-in sweep set)")
+	short := fs.Bool("short", false, "trim every corpus to its first two loops per benchmark (fast CI sweep)")
+	noVerify := fs.Bool("noverify", false, "skip the schedule.Verify oracle during -sweep")
+	csvPath := fs.String("csv", "", "also write every panel (or the sweep) as CSV to this file")
+	all := fs.Bool("all", false, "everything")
+	par := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines scheduling loops (1 = sequential; IPC results are identical for every value)")
-	flag.Parse()
-	if !(*t1 || *f2 || *f3 || *t2 || *sum || *abl || *all) {
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if !*sweep && (*short || *noVerify) {
+		fmt.Fprintln(stderr, "gpbench: -short and -noverify only apply to -sweep runs")
+		return 2
+	}
+	machineSet, err := loadMachines(*machines)
+	if err != nil {
+		fmt.Fprintf(stderr, "gpbench: %v\n", err)
+		return 1
+	}
+
+	if *sweep {
+		return runSweep(machineSet, *par, *short, !*noVerify, *csvPath, stdout, stderr)
+	}
+	if !(*t1 || *f2 || *f3 || *t2 || *sum || *abl || *all || *machines != "") {
 		*all = true
 	}
 
@@ -44,53 +81,79 @@ func main() {
 	}
 
 	var reports []*bench.Report
-	run := func(cfg bench.Config) *bench.Report {
+	runPanel := func(cfg bench.Config) (*bench.Report, bool) {
 		cfg.Parallel = *par
 		rep, err := bench.Run(corpus, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gpbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "gpbench: %v\n", err)
+			return nil, false
 		}
 		bench.SortRowsLike(rep, names)
 		reports = append(reports, rep)
-		return rep
+		return rep, true
 	}
 
 	if *t1 || *all {
-		fmt.Println("=== Table 1: clustered VLIW configurations ===")
-		fmt.Println(bench.RenderTable1(64, 1, 1))
+		fmt.Fprintln(stdout, "=== Table 1: clustered VLIW configurations ===")
+		fmt.Fprintln(stdout, bench.RenderTable1(64, 1, 1))
+	}
+	if *machines != "" {
+		// Custom machines: one four-scheme panel each over the SPECfp95
+		// corpus.
+		for _, m := range machineSet {
+			fmt.Fprintf(stdout, "=== Machine %s ===\n", m.Name)
+			rep, ok := runPanel(bench.Config{Machine: m})
+			if !ok {
+				return 1
+			}
+			fmt.Fprintln(stdout, rep.Render())
+		}
 	}
 	if *f2 || *all {
-		fmt.Println("=== Figure 2: IPC, 1 bus, latency 1 ===")
+		fmt.Fprintln(stdout, "=== Figure 2: IPC, 1 bus, latency 1 ===")
 		for _, cfg := range bench.Figure2Configs() {
-			fmt.Println(run(cfg).Render())
+			rep, ok := runPanel(cfg)
+			if !ok {
+				return 1
+			}
+			fmt.Fprintln(stdout, rep.Render())
 		}
 	}
 	if *f3 || *all {
-		fmt.Println("=== Figure 3: IPC, 1 bus, latency 2 ===")
+		fmt.Fprintln(stdout, "=== Figure 3: IPC, 1 bus, latency 2 ===")
 		for _, cfg := range bench.Figure3Configs() {
-			fmt.Println(run(cfg).Render())
+			rep, ok := runPanel(cfg)
+			if !ok {
+				return 1
+			}
+			fmt.Fprintln(stdout, rep.Render())
 		}
 	}
 	if (*t2 || *sum || *all) && len(reports) == 0 {
 		// Need at least the headline configuration.
-		run(bench.Config{Clusters: 2, TotalRegs: 32, NBus: 1, LatBus: 1})
-		run(bench.Config{Clusters: 4, TotalRegs: 32, NBus: 1, LatBus: 1})
+		for _, cfg := range []bench.Config{
+			{Clusters: 2, TotalRegs: 32, NBus: 1, LatBus: 1},
+			{Clusters: 4, TotalRegs: 32, NBus: 1, LatBus: 1},
+		} {
+			if _, ok := runPanel(cfg); !ok {
+				return 1
+			}
+		}
 	}
 	if *t2 || *all {
-		fmt.Println("=== Table 2: scheduling time per scheme ===")
-		fmt.Println(bench.RenderTable2(reports))
+		fmt.Fprintln(stdout, "=== Table 2: scheduling time per scheme ===")
+		fmt.Fprintln(stdout, bench.RenderTable2(reports))
 	}
 	if *sum || *all {
-		fmt.Println("=== Headline summary ===")
+		fmt.Fprintln(stdout, "=== Headline summary ===")
 		for _, rep := range reports {
-			fmt.Printf("%-28s GP vs URACAM %+6.1f%%   GP vs Fixed %+6.1f%%   URACAM/GP time %.1fx\n",
+			fmt.Fprintf(stdout, "%-28s GP vs URACAM %+6.1f%%   GP vs Fixed %+6.1f%%   URACAM/GP time %.1fx\n",
 				rep.Machine.Name, rep.Speedup(bench.SchemeURACAM), rep.Speedup(bench.SchemeFixed), rep.TimeRatio())
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if *abl || *all {
-		fmt.Println("=== Ablations (2-cluster, 32 regs, 1 bus, latency 1; GP mean IPC) ===")
+		fmt.Fprintln(stdout, "=== Ablations (2-cluster, 32 regs, 1 bus, latency 1; GP mean IPC) ===")
 		base := bench.Config{Clusters: 2, TotalRegs: 32, NBus: 1, LatBus: 1}
 		ablations := []struct {
 			name string
@@ -110,42 +173,116 @@ func main() {
 			}
 			rep, err := bench.Run(corpus, cfg)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "gpbench: ablation %s: %v\n", a.name, err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "gpbench: ablation %s: %v\n", a.name, err)
+				return 1
 			}
-			fmt.Printf("%-55s GP IPC %.3f (vs URACAM %+5.1f%%)\n",
+			fmt.Fprintf(stdout, "%-55s GP IPC %.3f (vs URACAM %+5.1f%%)\n",
 				a.name, rep.MeanIPC[bench.SchemeGP], rep.Speedup(bench.SchemeURACAM))
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	if *csvPath != "" && len(reports) > 0 {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gpbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "gpbench: %v\n", err)
+			return 1
 		}
 		for _, rep := range reports {
 			if err := rep.WriteCSV(f); err != nil {
-				fmt.Fprintf(os.Stderr, "gpbench: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "gpbench: %v\n", err)
+				return 1
 			}
 		}
 		if err := bench.WriteTimesCSV(f, reports); err != nil {
-			fmt.Fprintf(os.Stderr, "gpbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "gpbench: %v\n", err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "gpbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "gpbench: %v\n", err)
+			return 1
 		}
-		fmt.Printf("CSV series written to %s\n", *csvPath)
+		fmt.Fprintf(stdout, "CSV series written to %s\n", *csvPath)
 	}
 
 	if err := workloadSanity(corpus); err != nil {
-		fmt.Fprintf(os.Stderr, "gpbench: corpus sanity: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "gpbench: corpus sanity: %v\n", err)
+		return 1
 	}
+	return 0
+}
+
+// loadMachines parses the comma-separated -machine file list, or returns
+// the built-in sweep set when the flag is empty.
+func loadMachines(flagVal string) ([]*machine.Config, error) {
+	if flagVal == "" {
+		return machine.SweepSet(), nil
+	}
+	var ms []*machine.Config
+	for _, path := range strings.Split(flagVal, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		m, err := machine.Parse(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		ms = append(ms, m)
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("-machine %q names no files", flagVal)
+	}
+	return ms, nil
+}
+
+// runSweep executes the machine × corpus cross-product and writes the
+// deterministic sweep CSV to csvPath (or stdout when empty).
+func runSweep(machines []*machine.Config, parallel int, short, verify bool, csvPath string, stdout, stderr io.Writer) int {
+	maxLoops := 0
+	if short {
+		maxLoops = 2
+	}
+	corpora := bench.SweepCorpora(maxLoops)
+	cfg := bench.Config{Parallel: parallel, Verify: verify}
+	points, err := bench.Sweep(context.Background(), machines, corpora, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "gpbench: sweep: %v\n", err)
+		return 1
+	}
+	for _, pt := range points {
+		if pt.Report == nil {
+			fmt.Fprintf(stderr, "gpbench: sweep: skipped %s × %s: %s\n", pt.Machine.Name, pt.Corpus, pt.SkipReason)
+		}
+	}
+	if csvPath == "" {
+		if err := bench.WriteSweepCSV(stdout, points); err != nil {
+			fmt.Fprintf(stderr, "gpbench: sweep csv: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	f, err := os.Create(csvPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "gpbench: %v\n", err)
+		return 1
+	}
+	if err := bench.WriteSweepCSV(f, points); err != nil {
+		f.Close()
+		fmt.Fprintf(stderr, "gpbench: sweep csv: %v\n", err)
+		return 1
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(stderr, "gpbench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "sweep CSV written to %s (%d cells)\n", csvPath, len(points))
+	return 0
 }
 
 // workloadSanity re-validates the corpus after the run (paranoia: the

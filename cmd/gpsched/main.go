@@ -1,30 +1,45 @@
 // Command gpsched schedules loops from a ddgio text file (or stdin) on a
 // chosen clustered VLIW configuration and prints the resulting modulo
-// schedules.
+// schedules. The machine is either one of the paper's homogeneous grid
+// points (-clusters/-regs/-nbus/-latbus) or an arbitrary — possibly
+// heterogeneous — description file (-machine). Every schedule is checked
+// with the schedule.Verify oracle before printing.
 //
 // Usage:
 //
-//	gpsched [-clusters N] [-regs R] [-nbus B] [-latbus L] [-alg GP|Fixed|URACAM] [file]
+//	gpsched [-clusters N] [-regs R] [-nbus B] [-latbus L] [-machine file]
+//	        [-alg GP|Fixed|URACAM] [-v] [file]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/machine"
 )
 
 func main() {
-	clusters := flag.Int("clusters", 2, "number of clusters (1 = unified)")
-	regs := flag.Int("regs", 64, "total registers")
-	nbus := flag.Int("nbus", 1, "number of inter-cluster buses")
-	latbus := flag.Int("latbus", 1, "bus latency in cycles")
-	alg := flag.String("alg", "GP", "algorithm: GP, Fixed or URACAM")
-	verbose := flag.Bool("v", false, "print the full placement of every operation")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gpsched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	clusters := fs.Int("clusters", 2, "number of clusters (1 = unified)")
+	regs := fs.Int("regs", 64, "total registers")
+	nbus := fs.Int("nbus", 1, "number of inter-cluster buses")
+	latbus := fs.Int("latbus", 1, "bus latency in cycles")
+	machineFile := fs.String("machine", "", "machine-description file (overrides -clusters/-regs/-nbus/-latbus)")
+	alg := fs.String("alg", "GP", "algorithm: GP, Fixed or URACAM")
+	verbose := fs.Bool("v", false, "print the full placement of every operation")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var algorithm core.Algorithm
 	switch strings.ToLower(*alg) {
@@ -35,58 +50,80 @@ func main() {
 	case "uracam":
 		algorithm = gpsched.URACAM
 	default:
-		fmt.Fprintf(os.Stderr, "gpsched: unknown algorithm %q\n", *alg)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "gpsched: unknown algorithm %q\n", *alg)
+		return 2
 	}
 
-	in := os.Stdin
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gpsched: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "gpsched: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		in = f
 	}
 	loops, err := gpsched.ReadLoops(in)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "gpsched: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "gpsched: %v\n", err)
+		return 1
 	}
 
 	var m *gpsched.Machine
-	if *clusters == 1 {
+	switch {
+	case *machineFile != "":
+		f, err := os.Open(*machineFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "gpsched: %v\n", err)
+			return 1
+		}
+		m, err = machine.Parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "gpsched: %s: %v\n", *machineFile, err)
+			return 1
+		}
+	case *clusters == 1:
 		m = gpsched.Unified(*regs)
-	} else {
+	default:
 		m = gpsched.Clustered(*clusters, *regs, *nbus, *latbus)
 	}
-	fmt.Printf("machine: %s   algorithm: %v\n\n", m, algorithm)
+	fmt.Fprintf(stdout, "machine: %s   algorithm: %v\n\n", m, algorithm)
 
 	for _, g := range loops {
 		res, err := gpsched.Run(g, m, &gpsched.Options{Algorithm: algorithm})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gpsched: %s: %v\n", g.Name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "gpsched: %s: %v\n", g.Name, err)
+			return 1
 		}
 		s := res.Schedule
+		if err := gpsched.Verify(g, m, s); err != nil {
+			fmt.Fprintf(stderr, "gpsched: %s: oracle: %v\n", g.Name, err)
+			return 1
+		}
 		kind := "modulo"
 		if res.ListFallback {
 			kind = "list (fallback)"
 		}
-		fmt.Printf("%-24s ops=%-4d MII=%-3d II=%-3d SL=%-4d stages=%d  %s\n",
+		fmt.Fprintf(stdout, "%-24s ops=%-4d MII=%-3d II=%-3d SL=%-4d stages=%d  %s\n",
 			g.Name, g.N(), res.MII, s.II, s.SL, s.Stages(), kind)
-		fmt.Printf("%-24s comms=%d spills=%d memroutes=%d maxlive=%v IPC=%.3f cycles=%d\n",
+		fmt.Fprintf(stdout, "%-24s comms=%d spills=%d memroutes=%d maxlive=%v IPC=%.3f cycles=%d\n",
 			"", len(s.Comms), s.Spills, s.MemRoutes, s.MaxLive, res.IPC(g), s.Cycles(g.Niter))
 		if *verbose {
 			for v, n := range g.Nodes {
-				fmt.Printf("  op %-3d %-8s cluster %d cycle %-4d (slot %d)\n",
+				fmt.Fprintf(stdout, "  op %-3d %-8s cluster %d cycle %-4d (slot %d)\n",
 					v, n.Op, s.Cluster[v], s.Time[v], s.Time[v]%s.II)
 			}
 			for _, c := range s.Comms {
-				fmt.Printf("  bus transfer of op %d at cycle %d\n", c.Producer, c.Start)
+				if c.Dest < 0 {
+					fmt.Fprintf(stdout, "  bus transfer of op %d at cycle %d\n", c.Producer, c.Start)
+				} else {
+					fmt.Fprintf(stdout, "  link transfer of op %d to cluster %d at cycle %d\n", c.Producer, c.Dest, c.Start)
+				}
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return 0
 }

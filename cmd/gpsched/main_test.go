@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+const daxpy = `loop daxpy 1000
+node 0 Load x
+node 1 Load y
+node 2 FPMul ax
+node 3 FPAdd sum
+node 4 Store out
+edge 0 2 2 0 data
+edge 2 3 4 0 data
+edge 1 3 2 0 data
+edge 3 4 3 0 data
+`
+
+func TestScheduleFromFile(t *testing.T) {
+	dir := t.TempDir()
+	loopFile := filepath.Join(dir, "daxpy.ddg")
+	if err := os.WriteFile(loopFile, []byte(daxpy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-clusters", "2", "-regs", "32", loopFile}, nil, &out, &errb); code != 0 {
+		t.Fatalf("exited %d: %s", code, errb.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "machine: 2-cluster/32reg/1bus/lat1") {
+		t.Errorf("missing machine banner:\n%s", text)
+	}
+	if !strings.Contains(text, "daxpy") || !strings.Contains(text, "II=") {
+		t.Errorf("missing schedule row:\n%s", text)
+	}
+}
+
+func TestScheduleFromStdinOnMachineFile(t *testing.T) {
+	dir := t.TempDir()
+	het := machine.MustHetero("c6x-like", []machine.ClusterSpec{
+		{Units: [isa.NumUnitKinds]int{3, 1, 2}, Regs: 24},
+		{Units: [isa.NumUnitKinds]int{1, 3, 2}, Regs: 40},
+	}, machine.SharedBus, 1, 1, false)
+	machFile := filepath.Join(dir, "c6x.machine")
+	if err := os.WriteFile(machFile, []byte(machine.Format(het)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-machine", machFile, "-alg", "URACAM", "-v"},
+		strings.NewReader(daxpy), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exited %d: %s", code, errb.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "machine: c6x-like") {
+		t.Errorf("-machine file not honored:\n%s", text)
+	}
+	if !strings.Contains(text, "cluster") {
+		t.Errorf("-v placement listing missing:\n%s", text)
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	badMachine := filepath.Join(dir, "bad.machine")
+	if err := os.WriteFile(badMachine, []byte("machine broken\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		args  []string
+		stdin string
+		code  int
+	}{
+		{"bad-alg", []string{"-alg", "bogus"}, "", 2},
+		{"bad-flag", []string{"-frobnicate"}, "", 2},
+		{"missing-loop-file", []string{"/does/not/exist.ddg"}, "", 1},
+		{"bad-machine-file", []string{"-machine", badMachine}, daxpy, 1},
+		{"missing-machine-file", []string{"-machine", "/does/not/exist"}, daxpy, 1},
+		{"bad-loop-input", nil, "loop broken\n", 1},
+	}
+	for _, tc := range cases {
+		var out, errb bytes.Buffer
+		if code := run(tc.args, strings.NewReader(tc.stdin), &out, &errb); code != tc.code {
+			t.Errorf("%s: run(%v) = %d, want %d (stderr: %s)", tc.name, tc.args, code, tc.code, errb.String())
+		}
+	}
+}

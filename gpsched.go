@@ -73,6 +73,17 @@ type (
 	Benchmark = workload.Benchmark
 	// Loop pairs a DDG with its execution weight.
 	Loop = workload.Loop
+	// ClusterSpec is the per-cluster resource mix of a heterogeneous
+	// machine.
+	ClusterSpec = machine.ClusterSpec
+	// Topology selects the interconnect model (SharedBus or PointToPoint).
+	Topology = machine.Topology
+)
+
+// Interconnect topologies.
+const (
+	SharedBus    = machine.SharedBus
+	PointToPoint = machine.PointToPoint
 )
 
 // Operation classes.
@@ -132,12 +143,37 @@ func Partition(g *DDG, m *Machine, ii int, opts *PartitionOptions) *PartitionRes
 // MII returns the loop's minimum initiation interval on m.
 func MII(g *DDG, m *Machine) int { return g.MII(m) }
 
+// Hetero returns a heterogeneous machine: one ClusterSpec per cluster,
+// connected by nbus buses (SharedBus) or per-pair links (PointToPoint) of
+// latency latBus, optionally pipelined.
+func Hetero(name string, specs []ClusterSpec, topo Topology, nbus, latBus int, pipelined bool) (*Machine, error) {
+	return machine.NewHetero(name, specs, topo, nbus, latBus, pipelined)
+}
+
+// Verify validates a complete schedule against the dependence graph and
+// machine, independently of the scheduler that produced it: dependences
+// under the actual value routing, per-cluster unit and memory-port
+// occupancy, interconnect occupancy, and register pressure. Tests use it as
+// a differential oracle over every scheme × machine × loop.
+func Verify(g *DDG, m *Machine, s *Schedule) error { return schedule.Verify(g, m, s) }
+
 // SPECfp95Corpus generates the deterministic synthetic stand-in for the
 // paper's SPECfp95 evaluation corpus (see DESIGN.md §4).
 func SPECfp95Corpus() []*Benchmark { return workload.SPECfp95() }
+
+// DSPCorpus generates the deterministic integer-heavy DSP/MediaBench-style
+// corpus: small loop bodies, deep recurrences, large trip counts.
+func DSPCorpus() []*Benchmark { return workload.DSP() }
 
 // ReadLoops parses loops from the ddgio text format.
 func ReadLoops(r io.Reader) ([]*DDG, error) { return ddgio.Read(r) }
 
 // WriteLoops serializes loops to the ddgio text format.
 func WriteLoops(w io.Writer, loops ...*DDG) error { return ddgio.Write(w, loops...) }
+
+// ReadMachine parses one machine description in the text format of
+// machine.Parse (see FormatMachine for the canonical form).
+func ReadMachine(r io.Reader) (*Machine, error) { return machine.Parse(r) }
+
+// FormatMachine renders a machine in the text description format.
+func FormatMachine(m *Machine) string { return machine.Format(m) }

@@ -62,6 +62,10 @@ type Config struct {
 	TotalRegs int
 	NBus      int
 	LatBus    int
+	// Machine, when non-nil, overrides the four homogeneous-grid fields
+	// above with an arbitrary (possibly heterogeneous) configuration. The
+	// unified baseline is then derived via machine.UnifiedOf.
+	Machine *machine.Config
 	// PartitionOpts forwards ablation settings to GP and Fixed.
 	PartitionOpts *corePartitionOpts
 	// Parallel is the number of worker goroutines scheduling loops.
@@ -69,6 +73,9 @@ type Config struct {
 	// exactly. Aggregates are reduced in a fixed order either way, so the
 	// report is identical for every value.
 	Parallel int
+	// Verify runs schedule.Verify on every produced schedule (the
+	// differential oracle); a violation fails the run.
+	Verify bool
 }
 
 func (c Config) workers() int {
@@ -102,11 +109,17 @@ func RunContext(ctx context.Context, bms []*workload.Benchmark, cfg Config) (*Re
 			return nil, &EmptyCorpusError{Benchmark: bm.Name}
 		}
 	}
-	clustered, err := machine.NewClustered(cfg.Clusters, cfg.TotalRegs, cfg.NBus, cfg.LatBus)
-	if err != nil {
+	clustered := cfg.Machine
+	if clustered == nil {
+		var err error
+		clustered, err = machine.NewClustered(cfg.Clusters, cfg.TotalRegs, cfg.NBus, cfg.LatBus)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := clustered.Validate(); err != nil {
 		return nil, err
 	}
-	unified := machine.NewUnified(cfg.TotalRegs)
+	unified := machine.UnifiedOf(clustered)
 
 	rep := &Report{
 		Machine:   clustered,
@@ -132,7 +145,7 @@ func RunContext(ctx context.Context, bms []*workload.Benchmark, cfg Config) (*Re
 	for _, bm := range bms {
 		for _, sc := range schemes {
 			for _, loop := range bm.Loops {
-				jobs = append(jobs, job{benchmark: bm.Name, scheme: sc.name, g: loop.G, m: sc.m, opts: sc.opts})
+				jobs = append(jobs, job{benchmark: bm.Name, scheme: sc.name, g: loop.G, m: sc.m, opts: sc.opts, verify: cfg.Verify})
 			}
 		}
 	}

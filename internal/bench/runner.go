@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ddg"
 	"repro/internal/machine"
+	"repro/internal/schedule"
 )
 
 // job is one independent scheduling unit of a panel: one loop of one
@@ -23,10 +24,26 @@ type job struct {
 	g         *ddg.Graph
 	m         *machine.Config
 	opts      *core.Options
+	verify    bool
 }
 
 func (j *job) wrap(err error) error {
 	return fmt.Errorf("bench: %s/%s on %s: %w", j.benchmark, j.g.Name, j.scheme, err)
+}
+
+// run schedules the job and, when the differential oracle is enabled,
+// verifies the produced schedule against the dependence graph and machine.
+func (j *job) run(ctx context.Context) (*core.Result, error) {
+	res, err := core.ScheduleLoopContext(ctx, j.g, j.m, j.opts)
+	if err != nil {
+		return nil, j.wrap(err)
+	}
+	if j.verify {
+		if err := schedule.Verify(j.g, j.m, res.Schedule); err != nil {
+			return nil, j.wrap(err)
+		}
+	}
+	return res, nil
 }
 
 // runJobs executes every job and returns results index-aligned with jobs:
@@ -52,9 +69,9 @@ func runJobs(ctx context.Context, jobs []job, workers int) ([]*core.Result, erro
 
 	if workers <= 1 {
 		for i := range jobs {
-			res, err := core.ScheduleLoopContext(ctx, jobs[i].g, jobs[i].m, jobs[i].opts)
+			res, err := jobs[i].run(ctx)
 			if err != nil {
-				return nil, jobs[i].wrap(err)
+				return nil, err
 			}
 			results[i] = res
 		}
@@ -85,9 +102,9 @@ func runJobs(ctx context.Context, jobs []job, workers int) ([]*core.Result, erro
 				if ctx.Err() != nil {
 					return
 				}
-				res, err := core.ScheduleLoopContext(ctx, jobs[i].g, jobs[i].m, jobs[i].opts)
+				res, err := jobs[i].run(ctx)
 				if err != nil {
-					errs[i] = jobs[i].wrap(err)
+					errs[i] = err
 					cancel()
 					return
 				}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// Corpus is a named benchmark family for the sweep harness.
+type Corpus struct {
+	Name       string
+	Benchmarks []*workload.Benchmark
+}
+
+// SweepCorpora returns the harness's two workload families: the synthetic
+// SPECfp95 stand-in and the integer-heavy DSP/MediaBench-style family.
+// maxLoops > 0 trims every benchmark to its first maxLoops loops (the
+// -short CI artifact run).
+func SweepCorpora(maxLoops int) []Corpus {
+	corpora := []Corpus{
+		{Name: "SPECfp95", Benchmarks: workload.SPECfp95()},
+		{Name: "DSP", Benchmarks: workload.DSP()},
+	}
+	if maxLoops > 0 {
+		for _, c := range corpora {
+			for _, bm := range c.Benchmarks {
+				if len(bm.Loops) > maxLoops {
+					bm.Loops = bm.Loops[:maxLoops]
+				}
+			}
+		}
+	}
+	return corpora
+}
+
+// SweepPoint is the outcome of one machine × corpus cell of a sweep.
+type SweepPoint struct {
+	Machine *machine.Config
+	Corpus  string
+	// Report is the full four-scheme panel, nil when the cell was skipped.
+	Report *Report
+	// SkipReason explains a skipped cell (e.g. the machine has no units of
+	// a kind the corpus needs).
+	SkipReason string
+}
+
+// Sweep runs the cross-product of machines × corpora through the parallel
+// runner, one four-scheme panel per cell, in deterministic order (machines
+// outer, corpora inner). Cells whose machine cannot execute an operation
+// kind the corpus uses are skipped with a reason instead of failing the
+// sweep. cfg's grid fields are ignored; Parallel, Verify and PartitionOpts
+// apply to every cell.
+func Sweep(ctx context.Context, machines []*machine.Config, corpora []Corpus, cfg Config) ([]SweepPoint, error) {
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("bench: sweep without machines")
+	}
+	if len(corpora) == 0 {
+		return nil, fmt.Errorf("bench: sweep without corpora")
+	}
+	var points []SweepPoint
+	for _, m := range machines {
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("bench: sweep machine: %w", err)
+		}
+		for _, corpus := range corpora {
+			pt := SweepPoint{Machine: m, Corpus: corpus.Name}
+			if reason := infeasible(m, corpus.Benchmarks); reason != "" {
+				pt.SkipReason = reason
+				points = append(points, pt)
+				continue
+			}
+			cell := cfg
+			cell.Machine = m
+			cell.Clusters, cell.TotalRegs, cell.NBus, cell.LatBus = 0, 0, 0, 0
+			rep, err := RunContext(ctx, corpus.Benchmarks, cell)
+			if err != nil {
+				return nil, fmt.Errorf("bench: sweep %s × %s: %w", m.Name, corpus.Name, err)
+			}
+			names := make([]string, 0, len(corpus.Benchmarks))
+			for _, bm := range corpus.Benchmarks {
+				names = append(names, bm.Name)
+			}
+			SortRowsLike(rep, names)
+			pt.Report = rep
+			points = append(points, pt)
+		}
+	}
+	return points, nil
+}
+
+// infeasible reports why a machine cannot run a corpus: an operation kind
+// with no machine-wide functional unit would make the resource MII
+// unbounded. An empty string means the cell is runnable.
+func infeasible(m *machine.Config, bms []*workload.Benchmark) string {
+	var needed [isa.NumUnitKinds]bool
+	for _, bm := range bms {
+		for _, l := range bm.Loops {
+			for _, nd := range l.G.Nodes {
+				needed[nd.Op.Unit()] = true
+			}
+		}
+	}
+	for k := 0; k < isa.NumUnitKinds; k++ {
+		if needed[k] && m.TotalUnits(isa.UnitKind(k)) == 0 {
+			return fmt.Sprintf("machine has no %v units", isa.UnitKind(k))
+		}
+	}
+	return ""
+}
+
+// WriteSweepCSV emits the sweep as one deterministic CSV: a header, then
+// one row per (corpus, machine, benchmark) plus a MEAN row per cell, with
+// skipped cells marked. Identical sweeps produce byte-identical output for
+// every worker count.
+func WriteSweepCSV(w io.Writer, points []SweepPoint) error {
+	header := append([]string{"corpus", "config", "program"}, Schemes...)
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, pt := range points {
+		if pt.Report == nil {
+			if _, err := fmt.Fprintf(w, "%s,%s,SKIPPED(%s),,,,\n", pt.Corpus, pt.Machine.Name, pt.SkipReason); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, row := range pt.Report.Rows {
+			fields := []string{pt.Corpus, pt.Machine.Name, row.Benchmark}
+			for _, s := range Schemes {
+				fields = append(fields, fmt.Sprintf("%.4f", row.IPC[s]))
+			}
+			if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
+				return err
+			}
+		}
+		fields := []string{pt.Corpus, pt.Machine.Name, "MEAN"}
+		for _, s := range Schemes {
+			fields = append(fields, fmt.Sprintf("%.4f", pt.Report.MeanIPC[s]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

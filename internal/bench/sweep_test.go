@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// TestSweepRunsOracleOverAllCells fans the default machine set over both
+// (trimmed) corpora with the schedule.Verify oracle enabled: a single
+// invalid schedule anywhere fails the sweep.
+func TestSweepRunsOracleOverAllCells(t *testing.T) {
+	corpora := SweepCorpora(1)
+	points, err := Sweep(context.Background(), machine.SweepSet(), corpora, Config{Parallel: 2, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(machine.SweepSet()) * len(corpora)
+	if len(points) != wantCells {
+		t.Fatalf("%d sweep points, want %d", len(points), wantCells)
+	}
+	for _, pt := range points {
+		if pt.Report == nil {
+			t.Errorf("cell %s × %s skipped: %s", pt.Machine.Name, pt.Corpus, pt.SkipReason)
+			continue
+		}
+		if pt.Report.Loops == 0 || len(pt.Report.Rows) == 0 {
+			t.Errorf("cell %s × %s produced an empty report", pt.Machine.Name, pt.Corpus)
+		}
+	}
+}
+
+func TestSweepSkipsInfeasibleCells(t *testing.T) {
+	// A C6x-faithful machine with no FP units at all: the FP-heavy
+	// SPECfp95 corpus must be skipped, the FP-free DSP benchmarks still
+	// depend on their own mix.
+	noFP := machine.MustHetero("c6x-nofp", []machine.ClusterSpec{
+		{Units: [isa.NumUnitKinds]int{3, 0, 1}, Regs: 16},
+		{Units: [isa.NumUnitKinds]int{3, 0, 1}, Regs: 16},
+	}, machine.SharedBus, 1, 1, false)
+	spec := Corpus{Name: "SPECfp95", Benchmarks: workload.SPECfp95()[:1]}
+	points, err := Sweep(context.Background(), []*machine.Config{noFP}, []Corpus{spec}, Config{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 || points[0].Report != nil {
+		t.Fatalf("infeasible cell was not skipped: %+v", points)
+	}
+	if !strings.Contains(points[0].SkipReason, "FP") {
+		t.Errorf("skip reason %q does not name the missing unit kind", points[0].SkipReason)
+	}
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SKIPPED") {
+		t.Errorf("sweep CSV does not mark the skipped cell:\n%s", buf.String())
+	}
+}
+
+func TestSweepCSVShape(t *testing.T) {
+	corpora := []Corpus{{Name: "DSP", Benchmarks: workload.DSP()[:2]}}
+	for _, c := range corpora[0].Benchmarks {
+		c.Loops = c.Loops[:1]
+	}
+	m := machine.MustClustered(2, 64, 1, 1)
+	points, err := Sweep(context.Background(), []*machine.Config{m}, corpora, Config{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "corpus,config,program,"+strings.Join(Schemes, ",") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Two benchmarks + one MEAN row.
+	if len(lines) != 1+2+1 {
+		t.Errorf("%d CSV lines, want 4:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[len(lines)-1], "DSP,"+m.Name+",MEAN,") {
+		t.Errorf("last line %q is not the MEAN row", lines[len(lines)-1])
+	}
+}
+
+func TestSweepInputValidation(t *testing.T) {
+	if _, err := Sweep(context.Background(), nil, SweepCorpora(1), Config{}); err == nil {
+		t.Error("sweep without machines accepted")
+	}
+	if _, err := Sweep(context.Background(), machine.SweepSet(), nil, Config{}); err == nil {
+		t.Error("sweep without corpora accepted")
+	}
+	bad := &machine.Config{Name: "broken"}
+	if _, err := Sweep(context.Background(), []*machine.Config{bad}, SweepCorpora(1), Config{}); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+// TestRunWithCustomMachineVerified runs one full panel on a heterogeneous
+// machine with the oracle enabled, exercising Config.Machine.
+func TestRunWithCustomMachineVerified(t *testing.T) {
+	het := machine.MustHetero("het-bench", []machine.ClusterSpec{
+		{Units: [isa.NumUnitKinds]int{3, 1, 2}, Regs: 24},
+		{Units: [isa.NumUnitKinds]int{1, 3, 2}, Regs: 40},
+	}, machine.SharedBus, 1, 1, false)
+	bms := workload.SPECfp95()[:2]
+	for _, bm := range bms {
+		bm.Loops = bm.Loops[:2]
+	}
+	rep, err := Run(bms, Config{Machine: het, Parallel: 2, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Machine.Name != "het-bench" {
+		t.Errorf("report machine %q", rep.Machine.Name)
+	}
+	for _, row := range rep.Rows {
+		for _, s := range Schemes {
+			if row.IPC[s] <= 0 {
+				t.Errorf("%s/%s: IPC %v", row.Benchmark, s, row.IPC[s])
+			}
+		}
+	}
+}

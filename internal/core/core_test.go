@@ -9,6 +9,8 @@ import (
 	"repro/internal/ddg"
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/schedule"
+	"repro/internal/workload"
 )
 
 func sampleLoop() *ddg.Graph {
@@ -231,5 +233,78 @@ func TestScheduleLoopContextBackground(t *testing.T) {
 	if res.Schedule.II != seq.Schedule.II || res.Attempts != seq.Attempts {
 		t.Errorf("context run II=%d attempts=%d differs from plain run II=%d attempts=%d",
 			res.Schedule.II, res.Attempts, seq.Schedule.II, seq.Attempts)
+	}
+}
+
+// TestVerifyOracleAllSchemesAndMachines is the differential oracle: every
+// scheme × machine × loop combination must produce a schedule that the
+// independent schedule.Verify checker accepts, across the paper's
+// homogeneous grid and the generalized machines (heterogeneous unit mixes,
+// uneven register files, pipelined bus, point-to-point links).
+func TestVerifyOracleAllSchemesAndMachines(t *testing.T) {
+	het := machine.MustHetero("het2/24+40reg", []machine.ClusterSpec{
+		{Units: [isa.NumUnitKinds]int{3, 1, 2}, Regs: 24},
+		{Units: [isa.NumUnitKinds]int{1, 3, 2}, Regs: 40},
+	}, machine.SharedBus, 1, 1, false)
+	pipe := machine.MustClustered(4, 64, 1, 2)
+	pipe.Pipelined = true
+	pipe.Name = "4-cluster/64reg/1pbus/lat2"
+	p2p := machine.MustClustered(2, 32, 1, 1)
+	p2p.Topology = machine.PointToPoint
+	p2p.Name = "2-cluster/32reg/p2p/lat1"
+	machines := []*machine.Config{
+		machine.NewUnified(64),
+		machine.MustClustered(2, 32, 1, 1),
+		machine.MustClustered(4, 64, 1, 2),
+		het,
+		pipe,
+		p2p,
+	}
+
+	var loops []*ddg.Graph
+	loops = append(loops, sampleLoop())
+	for _, bm := range workload.SPECfp95()[:3] {
+		loops = append(loops, bm.Loops[0].G)
+	}
+	for _, bm := range workload.DSP()[:3] {
+		loops = append(loops, bm.Loops[0].G)
+	}
+
+	for _, m := range machines {
+		for _, alg := range []Algorithm{GP, FixedPartition, URACAM} {
+			for _, g := range loops {
+				res, err := ScheduleLoop(g, m, &Options{Algorithm: alg})
+				if err != nil {
+					t.Fatalf("%s/%v/%s: %v", m.Name, alg, g.Name, err)
+				}
+				if err := schedule.Verify(g, m, res.Schedule); err != nil {
+					t.Errorf("%s/%v/%s: oracle: %v", m.Name, alg, g.Name, err)
+				}
+			}
+		}
+	}
+}
+
+func TestHeterogeneousMachineKeepsOpsOnCapableClusters(t *testing.T) {
+	// A machine whose cluster 0 has no FP units: every FP op must land in
+	// cluster 1, for every scheme.
+	m := machine.MustHetero("nofp0", []machine.ClusterSpec{
+		{Units: [isa.NumUnitKinds]int{3, 0, 2}, Regs: 32},
+		{Units: [isa.NumUnitKinds]int{1, 4, 2}, Regs: 32},
+	}, machine.SharedBus, 1, 1, false)
+	g := sampleLoop()
+	for _, alg := range []Algorithm{GP, FixedPartition, URACAM} {
+		res, err := ScheduleLoop(g, m, &Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		for v, nd := range g.Nodes {
+			if nd.Op.Unit() == isa.FPUnit && res.Schedule.Cluster[v] != 1 {
+				t.Errorf("%v: FP op %d in cluster %d, which has no FP units", alg, v, res.Schedule.Cluster[v])
+			}
+		}
+		if err := schedule.Verify(g, m, res.Schedule); err != nil {
+			t.Errorf("%v: oracle: %v", alg, err)
+		}
 	}
 }

@@ -443,3 +443,31 @@ func TestFreezeAllowsConcurrentReaders(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestResMIIHeterogeneousMachine(t *testing.T) {
+	// Six FP ops on a machine whose FP units are unevenly split (1 + 3):
+	// the machine-wide bound is ceil(6/4) = 2, not 6/1 or 6/3.
+	m := machine.MustHetero("het", []machine.ClusterSpec{
+		{Units: [isa.NumUnitKinds]int{3, 1, 2}, Regs: 16},
+		{Units: [isa.NumUnitKinds]int{1, 3, 2}, Regs: 16},
+	}, machine.SharedBus, 1, 1, false)
+	g := New("fp6", 10)
+	for i := 0; i < 6; i++ {
+		g.AddNode(isa.FPAdd, "")
+	}
+	if got := g.ResMII(m); got != 2 {
+		t.Errorf("ResMII = %d, want 2 (summed per-cluster FP units)", got)
+	}
+	// A kind with units in only one cluster bounds at that cluster's count.
+	noInt1 := machine.MustHetero("het2", []machine.ClusterSpec{
+		{Units: [isa.NumUnitKinds]int{2, 1, 1}, Regs: 16},
+		{Units: [isa.NumUnitKinds]int{0, 3, 3}, Regs: 16},
+	}, machine.SharedBus, 1, 1, false)
+	gi := New("int4", 10)
+	for i := 0; i < 4; i++ {
+		gi.AddNode(isa.IntALU, "")
+	}
+	if got := gi.ResMII(noInt1); got != 2 {
+		t.Errorf("ResMII = %d, want 2 (4 ops / 2 INT units, all in cluster 0)", got)
+	}
+}

@@ -1,0 +1,65 @@
+package ddgio
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// FuzzReadLoops round-trips the text format: any input that Read accepts
+// must serialize with Write and re-parse to semantically identical graphs.
+func FuzzReadLoops(f *testing.F) {
+	// Seed corpus: a hand-written file exercising every directive, plus the
+	// first generated benchmark of each corpus family.
+	f.Add([]byte("# comment\nloop daxpy 1000\nnode 0 Load x\nnode 1 FPMul\nnode 2 Store y\nedge 0 1 2 0 data\nedge 1 2 4 0 data\nedge 2 0 1 1 mem\n"))
+	f.Add([]byte("loop a 1\nnode 0 IntALU\n\nloop b 2\nnode 0 FPDiv\nedge 0 0 8 1 data\n"))
+	f.Add([]byte("loop bad 0\n"))
+	for _, bms := range [][]*workload.Benchmark{workload.SPECfp95()[:1], workload.DSP()[:1]} {
+		var buf bytes.Buffer
+		for _, l := range bms[0].Loops[:2] {
+			if err := Write(&buf, l.G); err != nil {
+				f.Fatal(err)
+			}
+		}
+		f.Add(buf.Bytes())
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loops, err := Read(bytes.NewReader(data))
+		if err != nil {
+			t.Skip() // rejected input: nothing to round-trip
+		}
+		var out bytes.Buffer
+		if err := Write(&out, loops...); err != nil {
+			t.Fatalf("Write of accepted input: %v", err)
+		}
+		back, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of Write output: %v\n%s", err, out.Bytes())
+		}
+		if len(back) != len(loops) {
+			t.Fatalf("round trip lost loops: %d → %d", len(loops), len(back))
+		}
+		for i := range loops {
+			a, b := loops[i], back[i]
+			if a.Name != b.Name && b.Name != "loop" { // empty names serialize as "loop"
+				t.Fatalf("loop %d name %q → %q", i, a.Name, b.Name)
+			}
+			if a.Niter != b.Niter || a.N() != b.N() || len(a.Edges) != len(b.Edges) {
+				t.Fatalf("loop %d shape changed: niter %d→%d nodes %d→%d edges %d→%d",
+					i, a.Niter, b.Niter, a.N(), b.N(), len(a.Edges), len(b.Edges))
+			}
+			for v := range a.Nodes {
+				if a.Nodes[v].Op != b.Nodes[v].Op || a.Nodes[v].Name != b.Nodes[v].Name {
+					t.Fatalf("loop %d node %d changed: %+v → %+v", i, v, a.Nodes[v], b.Nodes[v])
+				}
+			}
+			for e := range a.Edges {
+				if a.Edges[e] != b.Edges[e] {
+					t.Fatalf("loop %d edge %d changed: %+v → %+v", i, e, a.Edges[e], b.Edges[e])
+				}
+			}
+		}
+	})
+}

@@ -145,3 +145,191 @@ func TestUnifiedAliasOfOneCluster(t *testing.T) {
 		t.Errorf("NewClustered(1,...) = %+v, want equivalent of NewUnified: %+v", b, a)
 	}
 }
+
+func TestHeteroAccessors(t *testing.T) {
+	m, err := NewHetero("het", []ClusterSpec{
+		{Units: [isa.NumUnitKinds]int{3, 1, 2}, Regs: 24},
+		{Units: [isa.NumUnitKinds]int{1, 3, 2}, Regs: 40},
+	}, SharedBus, 1, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Heterogeneous() {
+		t.Error("Heterogeneous() = false")
+	}
+	if m.UnitsIn(0, isa.IntUnit) != 3 || m.UnitsIn(1, isa.IntUnit) != 1 {
+		t.Error("per-cluster INT units wrong")
+	}
+	if m.RegsIn(0) != 24 || m.RegsIn(1) != 40 {
+		t.Error("per-cluster registers wrong")
+	}
+	if m.TotalUnits(isa.IntUnit) != 4 || m.TotalUnits(isa.FPUnit) != 4 || m.TotalUnits(isa.MemUnit) != 4 {
+		t.Error("totals must sum per-cluster mixes")
+	}
+	if m.TotalRegs() != 64 {
+		t.Errorf("TotalRegs = %d, want 64", m.TotalRegs())
+	}
+	if m.IssueWidth() != 12 {
+		t.Errorf("IssueWidth = %d, want 12", m.IssueWidth())
+	}
+	if m.UnitsPerCluster(isa.IntUnit) != 3 {
+		t.Errorf("UnitsPerCluster on hetero = %d, want max 3", m.UnitsPerCluster(isa.IntUnit))
+	}
+}
+
+func TestHeteroValidateErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		specs []ClusterSpec
+		nbus  int
+		lat   int
+	}{
+		{"empty", nil, 1, 1},
+		{"no-units", []ClusterSpec{{Regs: 8}, {Units: [isa.NumUnitKinds]int{1, 1, 1}, Regs: 8}}, 1, 1},
+		{"no-regs", []ClusterSpec{{Units: [isa.NumUnitKinds]int{1, 1, 1}}, {Units: [isa.NumUnitKinds]int{1, 1, 1}, Regs: 8}}, 1, 1},
+		{"no-bus", []ClusterSpec{{Units: [isa.NumUnitKinds]int{1, 1, 1}, Regs: 8}, {Units: [isa.NumUnitKinds]int{1, 1, 1}, Regs: 8}}, 0, 1},
+		{"no-lat", []ClusterSpec{{Units: [isa.NumUnitKinds]int{1, 1, 1}, Regs: 8}, {Units: [isa.NumUnitKinds]int{1, 1, 1}, Regs: 8}}, 1, 0},
+	}
+	for _, tc := range cases {
+		if _, err := NewHetero(tc.name, tc.specs, SharedBus, tc.nbus, tc.lat, false); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+func TestXferOccupancyAndChannels(t *testing.T) {
+	m := MustClustered(4, 64, 1, 2)
+	if m.XferOccupancy() != 2 {
+		t.Errorf("blocking occupancy = %d, want LatBus", m.XferOccupancy())
+	}
+	m.Pipelined = true
+	if m.XferOccupancy() != 1 {
+		t.Errorf("pipelined occupancy = %d, want 1", m.XferOccupancy())
+	}
+	if m.Channels() != 1 {
+		t.Errorf("bus channels = %d, want 1", m.Channels())
+	}
+	m.Topology = PointToPoint
+	if m.Channels() != 12 {
+		t.Errorf("p2p channels = %d, want 12", m.Channels())
+	}
+	if NewUnified(32).Channels() != 0 {
+		t.Error("unified machine has no transfer channels")
+	}
+}
+
+func TestUnifiedOf(t *testing.T) {
+	het := MustHetero("het", []ClusterSpec{
+		{Units: [isa.NumUnitKinds]int{3, 0, 2}, Regs: 24},
+		{Units: [isa.NumUnitKinds]int{1, 4, 2}, Regs: 40},
+	}, PointToPoint, 2, 2, true)
+	u := UnifiedOf(het)
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if u.Clusters != 1 || u.NBus != 0 {
+		t.Error("UnifiedOf must be a single busless cluster")
+	}
+	for k := 0; k < isa.NumUnitKinds; k++ {
+		if u.TotalUnits(isa.UnitKind(k)) != het.TotalUnits(isa.UnitKind(k)) {
+			t.Errorf("unit totals differ for kind %v", isa.UnitKind(k))
+		}
+	}
+	if u.TotalRegs() != het.TotalRegs() {
+		t.Error("register totals differ")
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	machines := append(SweepSet(), NewUnified(64), MustClustered(2, 32, 3, 2))
+	for _, m := range machines {
+		text := Format(m)
+		got, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("%s: parse: %v\n%s", m.Name, err, text)
+		}
+		// Canonical-form fixpoint: formatting the parsed machine must
+		// reproduce the text byte for byte.
+		if Format(got) != text {
+			t.Errorf("%s: round trip drifted:\n%s\nvs\n%s", m.Name, Format(got), text)
+		}
+		if got.Clusters != m.Clusters || got.TotalRegs() != m.TotalRegs() ||
+			got.NBus != m.NBus || got.LatBus != m.LatBus ||
+			got.Pipelined != m.Pipelined || got.Topology != m.Topology {
+			t.Errorf("%s: parsed machine differs: %+v", m.Name, got)
+		}
+		for c := 0; c < m.Clusters; c++ {
+			if got.RegsIn(c) != m.RegsIn(c) {
+				t.Errorf("%s: cluster %d regs differ", m.Name, c)
+			}
+			for k := 0; k < isa.NumUnitKinds; k++ {
+				if got.UnitsIn(c, isa.UnitKind(k)) != m.UnitsIn(c, isa.UnitKind(k)) {
+					t.Errorf("%s: cluster %d units differ", m.Name, c)
+				}
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",            // no machine line
+		"machine m\n", // no clusters
+		"machine m\nmachine n\ncluster 1 1 1 8\n",       // duplicate name
+		"machine m\ncluster 1 1 1\n",                    // short cluster line
+		"machine m\ncluster 1 1 1 x\n",                  // bad number
+		"machine m\ncluster 1 1 1 8\ncluster 1 1 1 8\n", // clustered, no interconnect
+		"machine m\ncluster 1 1 1 8\ninterconnect bogus 1 1 blocking\n",
+		"machine m\ncluster 1 1 1 8\ninterconnect bus 1 1 maybe\n",
+		"machine m\ncluster 1 1 1 8\nlatency Nope 1\n",
+		"machine m\ncluster 1 1 1 8\nfrobnicate\n",
+	}
+	for i, tc := range cases {
+		if _, err := ParseString(tc); err == nil {
+			t.Errorf("case %d: want error for %q", i, tc)
+		}
+	}
+}
+
+func TestParseLatencyOverride(t *testing.T) {
+	m, err := ParseString("machine dsp\ncluster 4 1 2 32\ncluster 4 1 2 32\ninterconnect bus 1 1 blocking\nlatency Load 5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OpLatency(isa.Load) != 5 {
+		t.Errorf("Load latency = %d, want 5", m.OpLatency(isa.Load))
+	}
+	if m.OpLatency(isa.FPMul) != isa.DefaultLatency(isa.FPMul) {
+		t.Error("unspecified latencies must keep defaults")
+	}
+}
+
+func TestSweepSetValid(t *testing.T) {
+	set := SweepSet()
+	if len(set) < 3 {
+		t.Fatalf("SweepSet has %d machines, want ≥ 3", len(set))
+	}
+	var hetero, variant, paper bool
+	for _, m := range set {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		for k := 0; k < isa.NumUnitKinds; k++ {
+			if m.TotalUnits(isa.UnitKind(k)) == 0 {
+				t.Errorf("%s: no %v units machine-wide", m.Name, isa.UnitKind(k))
+			}
+		}
+		if m.Heterogeneous() {
+			hetero = true
+		}
+		if m.Pipelined || m.Topology == PointToPoint {
+			variant = true
+		}
+		if !m.Heterogeneous() && !m.Pipelined && m.Topology == SharedBus {
+			paper = true
+		}
+	}
+	if !hetero || !variant || !paper {
+		t.Errorf("SweepSet must cover hetero/interconnect-variant/paper machines: %v %v %v", hetero, variant, paper)
+	}
+}

@@ -1,11 +1,13 @@
 // Package mrt implements the modulo reservation table used by the modulo
-// scheduler: per-cluster functional-unit slots, per-cluster memory-port
-// slots (the memory units) and the shared inter-cluster bus slots.
+// scheduler: per-cluster functional-unit slots (heterogeneous unit mixes
+// supported), per-cluster memory-port slots (the memory units) and the
+// inter-cluster transfer channels.
 //
 // A resource used at absolute cycle t occupies slot t mod II in every
-// iteration of the steady state. The bus is non-pipelined (paper §3.1): one
-// transfer occupies a bus for LatBus consecutive cycles, i.e. LatBus
-// consecutive modulo slots.
+// iteration of the steady state. The interconnect is either the paper's
+// shared broadcast bus (§3.1) or per-cluster-pair point-to-point links;
+// a non-pipelined transfer occupies its channel for LatBus consecutive
+// modulo slots, a pipelined one for a single slot.
 package mrt
 
 import (
@@ -23,8 +25,12 @@ type Table struct {
 	// fu[c][k*II + s] counts operations of unit kind k issued by cluster c
 	// at modulo slot s.
 	fu [][]int
-	// bus[s] counts bus occupancy at modulo slot s.
-	bus []int
+	// xfer[ch][s] counts transfer occupancy of channel ch at modulo slot s.
+	// SharedBus machines have one channel; PointToPoint machines have one
+	// per ordered cluster pair.
+	xfer [][]int
+	// occ is the number of consecutive slots one transfer occupies.
+	occ int
 }
 
 // New returns an empty reservation table for machine m at initiation
@@ -33,12 +39,15 @@ func New(m *machine.Config, ii int) *Table {
 	if ii < 1 {
 		panic(fmt.Sprintf("mrt: II %d < 1", ii))
 	}
-	t := &Table{II: ii, m: m}
+	t := &Table{II: ii, m: m, occ: m.XferOccupancy()}
 	t.fu = make([][]int, m.Clusters)
 	for c := range t.fu {
 		t.fu[c] = make([]int, isa.NumUnitKinds*ii)
 	}
-	t.bus = make([]int, ii)
+	t.xfer = make([][]int, m.Channels())
+	for ch := range t.xfer {
+		t.xfer[ch] = make([]int, ii)
+	}
 	return t
 }
 
@@ -53,14 +62,14 @@ func (t *Table) slot(cycle int) int {
 // CanPlaceOp reports whether a unit of kind k is free in cluster c at the
 // given absolute cycle.
 func (t *Table) CanPlaceOp(c int, k isa.UnitKind, cycle int) bool {
-	return t.fu[c][int(k)*t.II+t.slot(cycle)] < t.m.UnitsPerCluster(k)
+	return t.fu[c][int(k)*t.II+t.slot(cycle)] < t.m.UnitsIn(c, k)
 }
 
 // PlaceOp reserves a unit of kind k in cluster c at the given cycle. It
 // panics when the slot is full: callers must check CanPlaceOp first.
 func (t *Table) PlaceOp(c int, k isa.UnitKind, cycle int) {
 	i := int(k)*t.II + t.slot(cycle)
-	if t.fu[c][i] >= t.m.UnitsPerCluster(k) {
+	if t.fu[c][i] >= t.m.UnitsIn(c, k) {
 		panic(fmt.Sprintf("mrt: overfull %v slot, cluster %d cycle %d", k, c, cycle))
 	}
 	t.fu[c][i]++
@@ -75,49 +84,70 @@ func (t *Table) RemoveOp(c int, k isa.UnitKind, cycle int) {
 	t.fu[c][i]--
 }
 
-// CanPlaceBus reports whether one bus is free for the LatBus consecutive
-// cycles starting at the given cycle.
-func (t *Table) CanPlaceBus(start int) bool {
-	if t.m.NBus == 0 {
+// Channel returns the transfer-channel index for a src→dst transfer: 0 for
+// the shared-bus pool, the ordered-pair index for point-to-point links.
+// It returns -1 when the machine has no interconnect.
+func (t *Table) Channel(src, dst int) int {
+	if len(t.xfer) == 0 {
+		return -1
+	}
+	if t.m.Topology == machine.PointToPoint {
+		ch := src*(t.m.Clusters-1) + dst
+		if dst > src {
+			ch--
+		}
+		return ch
+	}
+	return 0
+}
+
+// ChannelAt returns the occupancy of channel ch at modulo slot s. It is
+// used by the scheduler's tentative-placement deltas.
+func (t *Table) ChannelAt(ch, s int) int { return t.xfer[ch][t.slot(s)] }
+
+// CanPlaceXfer reports whether one src→dst transfer channel is free for the
+// transfer's occupancy window starting at the given cycle.
+func (t *Table) CanPlaceXfer(src, dst, start int) bool {
+	ch := t.Channel(src, dst)
+	if ch < 0 || t.m.NBus == 0 {
 		return false
 	}
-	if t.m.LatBus >= t.II {
+	if t.occ >= t.II && !t.m.Pipelined {
 		// A non-pipelined transfer longer than the II would collide with
 		// itself in the next iteration.
 		return false
 	}
-	for d := 0; d < t.m.LatBus; d++ {
-		if t.bus[t.slot(start+d)] >= t.m.NBus {
+	for d := 0; d < t.occ; d++ {
+		if t.xfer[ch][t.slot(start+d)] >= t.m.NBus {
 			return false
 		}
 	}
 	return true
 }
 
-// PlaceBus reserves a bus for LatBus cycles starting at start. Callers must
-// check CanPlaceBus first.
-func (t *Table) PlaceBus(start int) {
-	if !t.CanPlaceBus(start) {
-		panic(fmt.Sprintf("mrt: overfull bus at cycle %d", start))
+// PlaceXfer reserves a src→dst transfer starting at start. Callers must
+// check CanPlaceXfer first.
+func (t *Table) PlaceXfer(src, dst, start int) {
+	if !t.CanPlaceXfer(src, dst, start) {
+		panic(fmt.Sprintf("mrt: overfull transfer channel %d→%d at cycle %d", src, dst, start))
 	}
-	for d := 0; d < t.m.LatBus; d++ {
-		t.bus[t.slot(start+d)]++
+	ch := t.Channel(src, dst)
+	for d := 0; d < t.occ; d++ {
+		t.xfer[ch][t.slot(start+d)]++
 	}
 }
 
-// RemoveBus releases a bus reservation made at start.
-func (t *Table) RemoveBus(start int) {
-	for d := 0; d < t.m.LatBus; d++ {
+// RemoveXfer releases a transfer reservation made at start.
+func (t *Table) RemoveXfer(src, dst, start int) {
+	ch := t.Channel(src, dst)
+	for d := 0; d < t.occ; d++ {
 		s := t.slot(start + d)
-		if t.bus[s] <= 0 {
-			panic(fmt.Sprintf("mrt: removing free bus slot %d", s))
+		if t.xfer[ch][s] <= 0 {
+			panic(fmt.Sprintf("mrt: removing free transfer slot %d, channel %d→%d", s, src, dst))
 		}
-		t.bus[s]--
+		t.xfer[ch][s]--
 	}
 }
-
-// BusAt returns the bus occupancy count at modulo slot s.
-func (t *Table) BusAt(s int) int { return t.bus[t.slot(s)] }
 
 // MemAt returns the memory-port occupancy of cluster c at modulo slot s.
 func (t *Table) MemAt(c, s int) int {
@@ -127,7 +157,7 @@ func (t *Table) MemAt(c, s int) int {
 // FreeOpSlots returns the number of free slots of kind k in cluster c
 // across one II window.
 func (t *Table) FreeOpSlots(c int, k isa.UnitKind) int {
-	total := t.m.UnitsPerCluster(k) * t.II
+	total := t.m.UnitsIn(c, k) * t.II
 	used := 0
 	for s := 0; s < t.II; s++ {
 		used += t.fu[c][int(k)*t.II+s]
@@ -135,30 +165,32 @@ func (t *Table) FreeOpSlots(c int, k isa.UnitKind) int {
 	return total - used
 }
 
-// FreeBusSlots returns the number of free bus slot-cycles across one II
-// window.
-func (t *Table) FreeBusSlots() int {
-	total := t.m.NBus * t.II
+// FreeXferSlots returns the number of free transfer slot-cycles across one
+// II window, summed over every channel.
+func (t *Table) FreeXferSlots() int {
+	total := t.m.NBus * t.II * len(t.xfer)
 	used := 0
-	for s := 0; s < t.II; s++ {
-		used += t.bus[s]
+	for ch := range t.xfer {
+		for s := 0; s < t.II; s++ {
+			used += t.xfer[ch][s]
+		}
 	}
 	return total - used
 }
 
-// BusUtilization returns used/total bus slot-cycles, or 0 when the machine
-// has no bus.
-func (t *Table) BusUtilization() float64 {
-	total := t.m.NBus * t.II
+// XferUtilization returns used/total transfer slot-cycles, or 0 when the
+// machine has no interconnect.
+func (t *Table) XferUtilization() float64 {
+	total := t.m.NBus * t.II * len(t.xfer)
 	if total == 0 {
 		return 0
 	}
-	return float64(total-t.FreeBusSlots()) / float64(total)
+	return float64(total-t.FreeXferSlots()) / float64(total)
 }
 
 // MemUtilization returns used/total memory slots in cluster c.
 func (t *Table) MemUtilization(c int) float64 {
-	total := t.m.UnitsPerCluster(isa.MemUnit) * t.II
+	total := t.m.UnitsIn(c, isa.MemUnit) * t.II
 	if total == 0 {
 		return 0
 	}

@@ -71,20 +71,20 @@ func TestRemoveOpPanicsWhenEmpty(t *testing.T) {
 func TestBusNonPipelined(t *testing.T) {
 	m := machine.MustClustered(2, 32, 1, 2) // 1 bus, latency 2
 	tab := New(m, 4)
-	if !tab.CanPlaceBus(1) {
+	if !tab.CanPlaceXfer(0, 1, 1) {
 		t.Fatal("fresh bus refused")
 	}
-	tab.PlaceBus(1) // occupies slots 1 and 2
+	tab.PlaceXfer(0, 1, 1) // occupies slots 1 and 2
 	for _, start := range []int{0, 1, 2} {
-		if tab.CanPlaceBus(start) {
+		if tab.CanPlaceXfer(0, 1, start) {
 			t.Errorf("bus start %d should collide with transfer at 1-2", start)
 		}
 	}
-	if !tab.CanPlaceBus(3) {
+	if !tab.CanPlaceXfer(0, 1, 3) {
 		t.Error("bus start 3 (slots 3,0) should be free")
 	}
-	tab.RemoveBus(1)
-	if !tab.CanPlaceBus(1) {
+	tab.RemoveXfer(0, 1, 1)
+	if !tab.CanPlaceXfer(0, 1, 1) {
 		t.Error("bus not freed")
 	}
 }
@@ -92,11 +92,11 @@ func TestBusNonPipelined(t *testing.T) {
 func TestBusWrapsModulo(t *testing.T) {
 	m := machine.MustClustered(2, 32, 1, 2)
 	tab := New(m, 3)
-	tab.PlaceBus(2) // slots 2 and 0
-	if tab.CanPlaceBus(0) {
+	tab.PlaceXfer(0, 1, 2) // slots 2 and 0
+	if tab.CanPlaceXfer(0, 1, 0) {
 		t.Error("slot 0 should be occupied by the wrapped transfer")
 	}
-	if tab.CanPlaceBus(1) {
+	if tab.CanPlaceXfer(0, 1, 1) {
 		t.Error("latency-2 transfer at 1 needs slots 1,2 and slot 2 is taken")
 	}
 }
@@ -105,7 +105,7 @@ func TestBusLongerThanII(t *testing.T) {
 	m := machine.MustClustered(2, 32, 1, 2)
 	tab := New(m, 2)
 	// LatBus == II: a transfer would collide with itself each iteration.
-	if tab.CanPlaceBus(0) {
+	if tab.CanPlaceXfer(0, 1, 0) {
 		t.Error("LatBus ≥ II must be rejected")
 	}
 }
@@ -113,12 +113,12 @@ func TestBusLongerThanII(t *testing.T) {
 func TestBusCapacityTwoBuses(t *testing.T) {
 	m := machine.MustClustered(2, 32, 2, 1) // 2 buses, latency 1
 	tab := New(m, 2)
-	tab.PlaceBus(0)
-	if !tab.CanPlaceBus(0) {
+	tab.PlaceXfer(0, 1, 0)
+	if !tab.CanPlaceXfer(0, 1, 0) {
 		t.Fatal("second bus should be free")
 	}
-	tab.PlaceBus(0)
-	if tab.CanPlaceBus(0) {
+	tab.PlaceXfer(0, 1, 0)
+	if tab.CanPlaceXfer(0, 1, 0) {
 		t.Error("both buses taken")
 	}
 }
@@ -126,7 +126,7 @@ func TestBusCapacityTwoBuses(t *testing.T) {
 func TestNoBusOnUnified(t *testing.T) {
 	m := machine.NewUnified(32)
 	tab := New(m, 4)
-	if tab.CanPlaceBus(0) {
+	if tab.CanPlaceXfer(0, 1, 0) {
 		t.Error("unified machine has no bus")
 	}
 }
@@ -142,14 +142,14 @@ func TestFreeSlotAccounting(t *testing.T) {
 	if got := tab.FreeOpSlots(0, isa.MemUnit); got != 4 {
 		t.Errorf("FreeOpSlots = %d, want 4", got)
 	}
-	if got := tab.FreeBusSlots(); got != 3 {
+	if got := tab.FreeXferSlots(); got != 3 {
 		t.Errorf("FreeBusSlots = %d, want 3", got)
 	}
-	tab.PlaceBus(1)
-	if got := tab.FreeBusSlots(); got != 2 {
+	tab.PlaceXfer(0, 1, 1)
+	if got := tab.FreeXferSlots(); got != 2 {
 		t.Errorf("FreeBusSlots = %d, want 2", got)
 	}
-	if u := tab.BusUtilization(); u < 0.33 || u > 0.34 {
+	if u := tab.XferUtilization(); u < 0.33 || u > 0.34 {
 		t.Errorf("BusUtilization = %v, want 1/3", u)
 	}
 	if u := tab.MemUtilization(0); u < 0.33 || u > 0.34 {
@@ -177,4 +177,81 @@ func TestNewPanicsOnBadII(t *testing.T) {
 		}
 	}()
 	New(machine.NewUnified(32), 0)
+}
+
+func TestHeterogeneousUnitCapacity(t *testing.T) {
+	m := machine.MustHetero("het", []machine.ClusterSpec{
+		{Units: [isa.NumUnitKinds]int{3, 0, 1}, Regs: 16},
+		{Units: [isa.NumUnitKinds]int{1, 2, 1}, Regs: 16},
+	}, machine.SharedBus, 1, 1, false)
+	tab := New(m, 1)
+	for i := 0; i < 3; i++ {
+		if !tab.CanPlaceOp(0, isa.IntUnit, 0) {
+			t.Fatalf("cluster 0 INT unit %d should be free", i)
+		}
+		tab.PlaceOp(0, isa.IntUnit, 0)
+	}
+	if tab.CanPlaceOp(0, isa.IntUnit, 0) {
+		t.Error("cluster 0 has only 3 INT units")
+	}
+	if tab.CanPlaceOp(0, isa.FPUnit, 0) {
+		t.Error("cluster 0 has no FP units")
+	}
+	if !tab.CanPlaceOp(1, isa.FPUnit, 0) {
+		t.Error("cluster 1 FP unit should be free")
+	}
+	if tab.CanPlaceOp(1, isa.IntUnit, 0) == false {
+		t.Error("cluster 1 INT unit should be free")
+	}
+}
+
+func TestPointToPointChannelsIndependent(t *testing.T) {
+	m := machine.MustClustered(4, 64, 1, 1)
+	m.Topology = machine.PointToPoint
+	tab := New(m, 2)
+	tab.PlaceXfer(0, 1, 0)
+	if tab.CanPlaceXfer(0, 1, 0) {
+		t.Error("link 0→1 should be saturated at slot 0")
+	}
+	if !tab.CanPlaceXfer(0, 2, 0) {
+		t.Error("link 0→2 must be independent of 0→1")
+	}
+	if !tab.CanPlaceXfer(1, 0, 0) {
+		t.Error("link 1→0 must be independent of 0→1")
+	}
+	// Distinct ordered pairs must map to distinct channels.
+	seen := map[int]bool{}
+	for src := 0; src < 4; src++ {
+		for dst := 0; dst < 4; dst++ {
+			if src == dst {
+				continue
+			}
+			ch := tab.Channel(src, dst)
+			if ch < 0 || ch >= 12 {
+				t.Fatalf("channel(%d,%d) = %d out of range", src, dst, ch)
+			}
+			if seen[ch] {
+				t.Fatalf("channel(%d,%d) = %d collides", src, dst, ch)
+			}
+			seen[ch] = true
+		}
+	}
+}
+
+func TestPipelinedBusSingleSlot(t *testing.T) {
+	m := machine.MustClustered(2, 32, 1, 3) // latency 3
+	m.Pipelined = true
+	tab := New(m, 4)
+	tab.PlaceXfer(0, 1, 1)
+	if tab.CanPlaceXfer(0, 1, 1) {
+		t.Error("pipelined bus still has per-slot capacity 1")
+	}
+	if !tab.CanPlaceXfer(0, 1, 2) {
+		t.Error("pipelined bus must accept a new transfer the next cycle")
+	}
+	// A pipelined transfer is legal even when LatBus ≥ II.
+	small := New(m, 2)
+	if !small.CanPlaceXfer(0, 1, 0) {
+		t.Error("pipelined transfer with LatBus ≥ II must be accepted")
+	}
 }

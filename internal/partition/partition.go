@@ -164,14 +164,51 @@ func (p *Partitioner) Partition(ii int) *Result {
 	return res
 }
 
-// IIBusFor returns the bus-imposed II bound for an assignment: the minimum
-// number of cycles needed to schedule the partition's communications on the
-// available buses (paper §3.1).
+// IIBusFor returns the interconnect-imposed II bound for an assignment: the
+// minimum number of cycles needed to schedule the partition's
+// communications on the available buses (paper §3.1) or, for point-to-point
+// machines, on the busiest link.
 func IIBusFor(g *ddg.Graph, m *machine.Config, assign []int) (iiBus, nComm int) {
+	return iiXfer(g, m, assign)
+}
+
+// iiXfer computes the interconnect II bound and the number of communicated
+// values. On the shared bus each communicated value costs one broadcast of
+// XferOccupancy bus slots; on point-to-point links each (producer,
+// destination-cluster) pair costs one transfer on its home→dest link, and
+// the busiest link bounds the II.
+func iiXfer(g *ddg.Graph, m *machine.Config, assign []int) (iiBus, nComm int) {
 	if m.Clusters <= 1 || m.NBus == 0 {
 		return 0, 0
 	}
+	occ := m.XferOccupancy()
 	cross := make([]bool, g.N())
+	if m.Topology == machine.PointToPoint {
+		seen := make(map[[2]int]bool)   // (producer, dest cluster)
+		perLink := make(map[[2]int]int) // (home, dest) → transfer count
+		for _, e := range g.Edges {
+			if e.Kind != ddg.Data || assign[e.From] == assign[e.To] {
+				continue
+			}
+			cross[e.From] = true
+			key := [2]int{e.From, assign[e.To]}
+			if !seen[key] {
+				seen[key] = true
+				perLink[[2]int{assign[e.From], assign[e.To]}]++
+			}
+		}
+		for _, c := range cross {
+			if c {
+				nComm++
+			}
+		}
+		for _, cnt := range perLink {
+			if v := ceilDiv(cnt*occ, m.NBus); v > iiBus {
+				iiBus = v
+			}
+		}
+		return iiBus, nComm
+	}
 	for _, e := range g.Edges {
 		if e.Kind == ddg.Data && assign[e.From] != assign[e.To] {
 			cross[e.From] = true
@@ -182,7 +219,7 @@ func IIBusFor(g *ddg.Graph, m *machine.Config, assign []int) (iiBus, nComm int) 
 			nComm++
 		}
 	}
-	return ceilDiv(nComm*m.LatBus, m.NBus), nComm
+	return ceilDiv(nComm*occ, m.NBus), nComm
 }
 
 // computeWeights fills p.weights with the §3.2.1 edge weights, computed on

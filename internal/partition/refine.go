@@ -1,6 +1,8 @@
 package partition
 
 import (
+	"math"
+
 	"repro/internal/ddg"
 	"repro/internal/isa"
 )
@@ -39,22 +41,16 @@ func (p *Partitioner) evaluate(assign []int, ii int) estimate {
 		p.extra[i] = 0
 	}
 	var est estimate
-	cross := make([]bool, g.N())
 	for i, e := range g.Edges {
 		if e.Kind == ddg.Data && assign[e.From] != assign[e.To] {
 			p.extra[i] = m.LatBus
 			est.nCut++
-			cross[e.From] = true
 		}
 	}
-	for _, c := range cross {
-		if c {
-			est.nComm++
-		}
-	}
-	est.iiBus = ceilDiv(est.nComm*m.LatBus, m.NBus)
+	est.iiBus, est.nComm = iiXfer(g, m, assign)
 
-	// Per-cluster resource MII.
+	// Per-cluster resource MII (heterogeneous unit mixes: each cluster is
+	// bounded by its own units).
 	resII := 1
 	counts := p.clusterCounts(assign)
 	for c := 0; c < m.Clusters; c++ {
@@ -62,7 +58,7 @@ func (p *Partitioner) evaluate(assign []int, ii int) estimate {
 			if counts[c][k] == 0 {
 				continue
 			}
-			units := m.UnitsPerCluster(isa.UnitKind(k))
+			units := m.UnitsIn(c, isa.UnitKind(k))
 			if units == 0 {
 				resII = 1 << 20 // unschedulable partition
 				continue
@@ -132,13 +128,13 @@ func (p *Partitioner) spillPressureII(assign []int, times *ddg.Times, counts [][
 		lifetime[assign[u]] += int64(end - def)
 	}
 	worst := ii
-	memUnits := m.UnitsPerCluster(isa.MemUnit)
-	if memUnits == 0 {
-		return worst
-	}
 	for c := 0; c < m.Clusters; c++ {
+		memUnits := m.UnitsIn(c, isa.MemUnit)
+		if memUnits == 0 {
+			continue
+		}
 		maxLive := int((lifetime[c] + int64(ii) - 1) / int64(ii))
-		over := maxLive - m.RegsPerCluster
+		over := maxLive - m.RegsIn(c)
 		if over <= 0 {
 			continue
 		}
@@ -206,11 +202,16 @@ func (p *Partitioner) balance(lv *level, assign []int, ii int) int {
 		var worst *overload
 		for c := 0; c < m.Clusters; c++ {
 			for k := 0; k < isa.NumUnitKinds; k++ {
-				units := m.UnitsPerCluster(isa.UnitKind(k))
-				if units == 0 || counts[c][k] <= units*capII {
+				units := m.UnitsIn(c, isa.UnitKind(k))
+				if counts[c][k] == 0 || counts[c][k] <= units*capII {
 					continue
 				}
-				r := float64(counts[c][k]) / float64(units*capII)
+				// A cluster with zero units of a kind it was assigned ops of
+				// is infinitely overloaded: those ops can never issue there.
+				r := math.Inf(1)
+				if units > 0 {
+					r = float64(counts[c][k]) / float64(units*capII)
+				}
 				if worst == nil || r > worst.ratio {
 					worst = &overload{c, k, r}
 				}
@@ -235,7 +236,7 @@ func (p *Partitioner) balance(lv *level, assign []int, ii int) int {
 				if c2 == worst.c {
 					continue
 				}
-				units := m.UnitsPerCluster(isa.UnitKind(worst.k))
+				units := m.UnitsIn(c2, isa.UnitKind(worst.k))
 				if counts[c2][worst.k]+gc[worst.k] > units*capII {
 					continue // would overload the destination
 				}
@@ -316,7 +317,7 @@ func (p *Partitioner) minimizeCut(lv *level, assign []int, ii int) int {
 				if gc[k] == 0 {
 					continue
 				}
-				units := m.UnitsPerCluster(isa.UnitKind(k))
+				units := m.UnitsIn(c2, isa.UnitKind(k))
 				if counts[c2][k]-minus[k]+gc[k] > units*capII {
 					return false
 				}
@@ -389,7 +390,7 @@ func fitsReverse(p *Partitioner, counts [][isa.NumUnitKinds]int, oc, gc [isa.Num
 		if oc[k] == 0 {
 			continue
 		}
-		units := p.m.UnitsPerCluster(isa.UnitKind(k))
+		units := p.m.UnitsIn(c1, isa.UnitKind(k))
 		if counts[c1][k]-gc[k]+oc[k] > units*capII {
 			return false
 		}

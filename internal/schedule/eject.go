@@ -49,7 +49,7 @@ func (st *state) unschedule(v int) {
 			st.removeValueSpans(val, c)
 		}
 		if val.comm != nil {
-			st.rt.RemoveBus(val.comm.start)
+			st.removeXfersOf(val.home, val.comm)
 		}
 		if val.mem != nil {
 			st.rt.RemoveOp(val.home, isa.MemUnit, val.mem.store)
@@ -123,16 +123,30 @@ func (st *state) rebuildUses(u int) {
 			}
 		}
 		if val.comm != nil {
-			cross := false
-			for c, first := range val.minUse {
-				if c != val.home && first != noUse {
-					cross = true
-					break
+			if val.comm.dests != nil {
+				// Point-to-point: drop the transfers of destinations that
+				// lost their last consumer.
+				for c, s := range val.comm.dests {
+					if val.minUse[c] == noUse {
+						st.rt.RemoveXfer(val.home, c, s)
+						delete(val.comm.dests, c)
+					}
 				}
-			}
-			if !cross {
-				st.rt.RemoveBus(val.comm.start)
-				val.comm = nil
+				if len(val.comm.dests) == 0 {
+					val.comm = nil
+				}
+			} else {
+				cross := false
+				for c, first := range val.minUse {
+					if c != val.home && first != noUse {
+						cross = true
+						break
+					}
+				}
+				if !cross {
+					st.rt.RemoveXfer(val.home, -1, val.comm.start)
+					val.comm = nil
+				}
 			}
 		}
 	})

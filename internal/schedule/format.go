@@ -41,7 +41,7 @@ func FormatKernel(s *Schedule, g *ddg.Graph, m *machine.Config) string {
 
 	bus := make([]string, s.II)
 	for _, c := range s.Comms {
-		for d := 0; d < m.LatBus; d++ {
+		for d := 0; d < m.XferOccupancy(); d++ {
 			slot := (c.Start + d) % s.II
 			if slot < 0 {
 				slot += s.II

@@ -45,8 +45,8 @@ func (st *state) checkInvariants() error {
 		}
 	}
 	for c := 0; c < m.Clusters; c++ {
-		if st.maxLive(c) > m.RegsPerCluster {
-			return fmt.Errorf("cluster %d MaxLive %d > %d", c, st.maxLive(c), m.RegsPerCluster)
+		if st.maxLive(c) > m.RegsIn(c) {
+			return fmt.Errorf("cluster %d MaxLive %d > %d", c, st.maxLive(c), m.RegsIn(c))
 		}
 	}
 	// Spill/memory ops must sit on valid cycles.

@@ -24,6 +24,7 @@ func ListSchedule(g *ddg.Graph, m *machine.Config, assign []int) *Schedule {
 		Time:    make([]int, n),
 		Cluster: make([]int, n),
 		MaxLive: make([]int, m.Clusters),
+		List:    true,
 	}
 	if n == 0 {
 		s.II, s.SL = 1, 1
@@ -60,7 +61,7 @@ func ListSchedule(g *ddg.Graph, m *machine.Config, assign []int) *Schedule {
 		if cyc >= len(usage[c]) {
 			return true
 		}
-		return usage[c][cyc][k] < m.UnitsPerCluster(isa.UnitKind(k))
+		return usage[c][cyc][k] < m.UnitsIn(c, isa.UnitKind(k))
 	}
 	take := func(c, k, cyc int) {
 		for cyc >= len(usage[c]) {
@@ -78,12 +79,20 @@ func ListSchedule(g *ddg.Graph, m *machine.Config, assign []int) *Schedule {
 		kind := int(op.Unit())
 		bestC, bestT := -1, 0
 		var candidates []int
-		if assign != nil {
+		if assign != nil && m.UnitsIn(assign[v], op.Unit()) > 0 {
 			candidates = []int{assign[v]}
 		} else {
-			candidates = make([]int, m.Clusters)
-			for c := range candidates {
-				candidates[c] = c
+			// No assignment — or the assigned cluster cannot execute this
+			// operation kind (possible on heterogeneous machines): consider
+			// every cluster that can.
+			candidates = make([]int, 0, m.Clusters)
+			for c := 0; c < m.Clusters; c++ {
+				if m.UnitsIn(c, op.Unit()) > 0 {
+					candidates = append(candidates, c)
+				}
+			}
+			if len(candidates) == 0 {
+				panic("schedule: no cluster can execute " + op.String())
 			}
 		}
 		for _, c := range candidates {
@@ -120,6 +129,27 @@ func ListSchedule(g *ddg.Graph, m *machine.Config, assign []int) *Schedule {
 	}
 	if s.SL < 1 {
 		s.SL = 1
+	}
+	// Loop-carried dependences are normally satisfied by the non-overlapping
+	// iterations, but an edge latency beyond the producer's completion — or
+	// the transfer latency of a cut data edge — can still outrun the
+	// iteration period. Growing SL only loosens these constraints, so bump
+	// it until every one holds.
+	for changed := true; changed; {
+		changed = false
+		for _, e := range g.Edges {
+			if e.Dist == 0 {
+				continue
+			}
+			lat := e.Lat
+			if e.Kind == ddg.Data && s.Cluster[e.From] != s.Cluster[e.To] {
+				lat += m.LatBus
+			}
+			if deficit := s.Time[e.From] + lat - s.Time[e.To] - s.SL*e.Dist; deficit > 0 {
+				s.SL += (deficit + e.Dist - 1) / e.Dist
+				changed = true
+			}
+		}
 	}
 	s.II = s.SL // iterations do not overlap
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ddg"
 	"repro/internal/isa"
+	"repro/internal/machine"
 	"repro/internal/regpress"
 )
 
@@ -27,17 +28,21 @@ var failNames = [...]string{"none", "fu", "window", "bus", "regs", "mem"}
 // String returns a short name for the failure reason.
 func (f FailReason) String() string { return failNames[f] }
 
-// commPlan is a new bus transfer for the value produced by val.
+// commPlan is a new transfer for the value produced by val. dest is the
+// destination cluster on point-to-point links and -1 for a shared-bus
+// broadcast.
 type commPlan struct {
 	val   int
+	dest  int
 	start int
 }
 
 // movePlan reschedules an existing transfer of val from old to new (always
 // earlier, to meet a tighter consumer deadline; existing consumers only see
-// the value arrive sooner).
+// the value arrive sooner). dest is -1 for a shared-bus broadcast.
 type movePlan struct {
 	val      int
+	dest     int
 	old, new int
 }
 
@@ -117,8 +122,11 @@ func (st *state) planPlace(v, c, t int) (*plan, FailReason) {
 	}
 
 	p := &plan{v: v, cluster: c, t: t}
-	// busDelta tracks tentative bus occupancy changes by modulo slot.
-	busDelta := map[int]int{}
+	p2p := st.p2p()
+	occ := m.XferOccupancy()
+	// xferDelta tracks tentative transfer occupancy changes by channel and
+	// modulo slot.
+	xferDelta := map[[2]int]int{}
 	slot := func(cyc int) int {
 		s := cyc % ii
 		if s < 0 {
@@ -126,26 +134,29 @@ func (st *state) planPlace(v, c, t int) (*plan, FailReason) {
 		}
 		return s
 	}
-	canBus := func(start int) bool {
-		if m.NBus == 0 || m.LatBus >= ii {
+	canXfer := func(src, dst, start int) bool {
+		if m.NBus == 0 || (!m.Pipelined && m.LatBus >= ii) {
 			return false
 		}
-		for d := 0; d < m.LatBus; d++ {
+		ch := st.rt.Channel(src, dst)
+		for d := 0; d < occ; d++ {
 			s := slot(start + d)
-			if st.rt.BusAt(s)+busDelta[s] >= m.NBus {
+			if st.rt.ChannelAt(ch, s)+xferDelta[[2]int{ch, s}] >= m.NBus {
 				return false
 			}
 		}
 		return true
 	}
-	takeBus := func(start int) {
-		for d := 0; d < m.LatBus; d++ {
-			busDelta[slot(start+d)]++
+	takeXfer := func(src, dst, start int) {
+		ch := st.rt.Channel(src, dst)
+		for d := 0; d < occ; d++ {
+			xferDelta[[2]int{ch, slot(start + d)}]++
 		}
 	}
-	dropBus := func(start int) {
-		for d := 0; d < m.LatBus; d++ {
-			busDelta[slot(start+d)]--
+	dropXfer := func(src, dst, start int) {
+		ch := st.rt.Channel(src, dst)
+		for d := 0; d < occ; d++ {
+			xferDelta[[2]int{ch, slot(start + d)}]--
 		}
 	}
 	// memDelta tracks tentative load placements per cluster and slot. It
@@ -153,7 +164,7 @@ func (st *state) planPlace(v, c, t int) (*plan, FailReason) {
 	// planned load cannot claim the same last free port.
 	memDelta := map[[2]int]int{}
 	canMem := func(cl, cyc int) bool {
-		return st.rt.MemAt(cl, slot(cyc))+memDelta[[2]int{cl, slot(cyc)}] < m.UnitsPerCluster(isa.MemUnit)
+		return st.rt.MemAt(cl, slot(cyc))+memDelta[[2]int{cl, slot(cyc)}] < m.UnitsIn(cl, isa.MemUnit)
 	}
 	if node.Op.Unit() == isa.MemUnit {
 		memDelta[[2]int{c, slot(t)}]++
@@ -161,15 +172,16 @@ func (st *state) planPlace(v, c, t int) (*plan, FailReason) {
 
 	def := t + m.OpLatency(node.Op) // when v's value is written
 
-	// movedTo records comm moves already planned for a value (several
-	// in-edges may read the same producer).
-	movedTo := map[int]int{}
-	commAt := func(val *value, id int) (int, bool) {
-		if n, ok := movedTo[id]; ok {
+	// movedTo records transfer placements already planned for a (value,
+	// destination) pair (several in-edges may read the same producer). The
+	// destination is -1 for shared-bus broadcasts.
+	movedTo := map[[2]int]int{}
+	commAt := func(val *value, id, dest int) (int, bool) {
+		if n, ok := movedTo[[2]int{id, dest}]; ok {
 			return n, true
 		}
 		if val.comm != nil {
-			return val.comm.start, true
+			return val.comm.startFor(dest, p2p)
 		}
 		return 0, false
 	}
@@ -194,6 +206,11 @@ func (st *state) planPlace(v, c, t int) (*plan, FailReason) {
 			return nil, FailWindow
 		}
 		if uc == c {
+			// A spilled value is register-dead between its store and the
+			// reload completion: new home uses must wait for the reload.
+			if val.spill != nil && need > val.spill.store && need < val.spill.load+m.OpLatency(isa.Load) {
+				return nil, FailWindow
+			}
 			p.uses = append(p.uses, usePlan{val: u, cluster: c, use: need})
 			continue
 		}
@@ -224,45 +241,53 @@ func (st *state) planPlace(v, c, t int) (*plan, FailReason) {
 			}
 			continue
 		}
-		if start, ok := commAt(val, u); ok {
+		dest := -1 // shared bus: one broadcast serves every cluster
+		if p2p {
+			dest = c // point-to-point: a dedicated transfer must reach c
+		}
+		if start, ok := commAt(val, u, dest); ok {
 			if start+m.LatBus <= need {
 				p.uses = append(p.uses, usePlan{val: u, cluster: c, use: need})
 				continue
 			}
 			// Try moving the transfer earlier (never violates the comm's
-			// existing consumers).
+			// existing consumers: they only see the value arrive sooner).
 			moved := false
 			for s := need - m.LatBus; s >= val.def && s > need-m.LatBus-ii; s-- {
-				dropBus(start)
-				if canBus(s) {
-					takeBus(s)
-					if _, already := movedTo[u]; already {
+				if !xferDepartOK(val, s, m) {
+					continue
+				}
+				dropXfer(uc, c, start)
+				if canXfer(uc, c, s) {
+					takeXfer(uc, c, s)
+					if _, already := movedTo[[2]int{u, dest}]; already {
 						// The transfer was created or moved earlier in this
 						// plan: update that entry (a plan-created transfer
 						// lives in p.comms, a moved existing one in p.moves).
 						updated := false
 						for i := range p.moves {
-							if p.moves[i].val == u {
+							if p.moves[i].val == u && p.moves[i].dest == dest {
 								p.moves[i].new = s
 								updated = true
 							}
 						}
 						if !updated {
 							for i := range p.comms {
-								if p.comms[i].val == u {
+								if p.comms[i].val == u && p.comms[i].dest == dest {
 									p.comms[i].start = s
 								}
 							}
 						}
 					} else {
-						p.moves = append(p.moves, movePlan{val: u, old: val.comm.start, new: s})
+						old, _ := val.comm.startFor(dest, p2p)
+						p.moves = append(p.moves, movePlan{val: u, dest: dest, old: old, new: s})
 					}
-					movedTo[u] = s
+					movedTo[[2]int{u, dest}] = s
 					p.uses = append(p.uses, usePlan{val: u, cluster: c, use: need})
 					moved = true
 					break
 				}
-				takeBus(start)
+				takeXfer(uc, c, start)
 			}
 			if !moved {
 				return nil, FailBus
@@ -272,10 +297,13 @@ func (st *state) planPlace(v, c, t int) (*plan, FailReason) {
 		// New transfer: earliest feasible start preserves later flexibility.
 		placed := false
 		for s := val.def; s+m.LatBus <= need && s < val.def+ii; s++ {
-			if canBus(s) {
-				takeBus(s)
-				p.comms = append(p.comms, commPlan{val: u, start: s})
-				movedTo[u] = s
+			if !xferDepartOK(val, s, m) {
+				continue
+			}
+			if canXfer(uc, c, s) {
+				takeXfer(uc, c, s)
+				p.comms = append(p.comms, commPlan{val: u, dest: dest, start: s})
+				movedTo[[2]int{u, dest}] = s
 				p.uses = append(p.uses, usePlan{val: u, cluster: c, use: need})
 				placed = true
 				break
@@ -315,24 +343,47 @@ func (st *state) planPlace(v, c, t int) (*plan, FailReason) {
 		p.uses = append(p.uses, usePlan{val: v, cluster: wc, use: need})
 	}
 	if len(crossNeeds) > 0 {
-		// One broadcast transfer must meet the tightest deadline.
-		minNeed := 1 << 30
-		for _, n := range crossNeeds {
-			if n < minNeed {
-				minNeed = n
+		if p2p {
+			// One transfer per destination link, each meeting that
+			// destination's own deadline (deterministic cluster order).
+			for wc := 0; wc < m.Clusters; wc++ {
+				need, ok := crossNeeds[wc]
+				if !ok {
+					continue
+				}
+				placed := false
+				for s := def; s+m.LatBus <= need && s < def+ii; s++ {
+					if canXfer(c, wc, s) {
+						takeXfer(c, wc, s)
+						p.comms = append(p.comms, commPlan{val: v, dest: wc, start: s})
+						placed = true
+						break
+					}
+				}
+				if !placed {
+					return nil, FailBus
+				}
 			}
-		}
-		placed := false
-		for s := def; s+m.LatBus <= minNeed && s < def+ii; s++ {
-			if canBus(s) {
-				takeBus(s)
-				p.comms = append(p.comms, commPlan{val: v, start: s})
-				placed = true
-				break
+		} else {
+			// One broadcast transfer must meet the tightest deadline.
+			minNeed := 1 << 30
+			for _, n := range crossNeeds {
+				if n < minNeed {
+					minNeed = n
+				}
 			}
-		}
-		if !placed {
-			return nil, FailBus
+			placed := false
+			for s := def; s+m.LatBus <= minNeed && s < def+ii; s++ {
+				if canXfer(c, -1, s) {
+					takeXfer(c, -1, s)
+					p.comms = append(p.comms, commPlan{val: v, dest: -1, start: s})
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return nil, FailBus
+			}
 		}
 	}
 
@@ -344,14 +395,14 @@ func (st *state) planPlace(v, c, t int) (*plan, FailReason) {
 	}
 
 	// Figure of merit: fractions of remaining capacity consumed.
-	busUsed := 0
-	for _, d := range busDelta {
+	xferUsed := 0
+	for _, d := range xferDelta {
 		if d > 0 {
-			busUsed += d
+			xferUsed += d
 		}
 	}
 	fm := make(merit, 0, 2*m.Clusters+1)
-	fm = append(fm, fraction(int64(busUsed), int64(st.freeBus())))
+	fm = append(fm, fraction(int64(xferUsed), int64(st.freeXfer())))
 	memUsed := make([]int64, m.Clusters)
 	for k, d := range memDelta {
 		if d > 0 {
@@ -406,6 +457,12 @@ func (st *state) checkRegs(p *plan, def int, addUnits map[int]int64) bool {
 		vw.tmp.maxUse = append([]int(nil), val.maxUse...)
 		if val.comm != nil {
 			cc := *val.comm
+			if val.comm.dests != nil {
+				cc.dests = make(map[int]int, len(val.comm.dests))
+				for k, x := range val.comm.dests {
+					cc.dests[k] = x
+				}
+			}
 			vw.tmp.comm = &cc
 		}
 		if val.mem != nil {
@@ -429,14 +486,32 @@ func (st *state) checkRegs(p *plan, def int, addUnits map[int]int64) bool {
 		views[p.v] = &view{val: nil, tmp: *nv, before: map[int][]regpress.Span{}}
 	}
 
+	// setXfer records a planned transfer start on a hypothetical value view:
+	// the broadcast start for the shared bus, one dests entry per link on
+	// point-to-point machines.
+	setXfer := func(tmp *value, dest, start int) {
+		if dest < 0 {
+			if tmp.comm == nil {
+				tmp.comm = &comm{}
+			}
+			tmp.comm.start = start
+			return
+		}
+		if tmp.comm == nil {
+			tmp.comm = &comm{dests: map[int]int{}}
+		} else if tmp.comm.dests == nil {
+			tmp.comm.dests = map[int]int{}
+		}
+		tmp.comm.dests[dest] = start
+	}
 	for _, mv := range p.moves {
-		getView(mv.val).tmp.comm = &comm{start: mv.new}
+		setXfer(&getView(mv.val).tmp, mv.dest, mv.new)
 	}
 	for _, cp := range p.comms {
 		if cp.val == p.v {
-			views[p.v].tmp.comm = &comm{start: cp.start}
+			setXfer(&views[p.v].tmp, cp.dest, cp.start)
 		} else {
-			getView(cp.val).tmp.comm = &comm{start: cp.start}
+			setXfer(&getView(cp.val).tmp, cp.dest, cp.start)
 		}
 	}
 	for _, lp := range p.loads {
@@ -479,11 +554,27 @@ func (st *state) checkRegs(p *plan, def int, addUnits map[int]int64) bool {
 		if len(rem) == 0 && len(add) == 0 {
 			continue
 		}
-		if !st.press[c].FitsWith(rem, add, m.RegsPerCluster, st.simBuf[:st.ii]) {
+		if !st.press[c].FitsWith(rem, add, m.RegsIn(c), st.simBuf[:st.ii]) {
 			return false
 		}
 		if d := after - before; d > 0 {
 			addUnits[c] += d
+		}
+	}
+	return true
+}
+
+// xferDepartOK reports whether a transfer of val may depart at cycle s: the
+// value must already be written and register-resident — for spilled values,
+// outside the dead window between the spill store and the reload
+// completion.
+func xferDepartOK(val *value, s int, m *machine.Config) bool {
+	if s < val.def {
+		return false
+	}
+	if val.spill != nil {
+		if reload := val.spill.load + m.OpLatency(isa.Load); s > val.spill.store && s < reload {
+			return false
 		}
 	}
 	return true

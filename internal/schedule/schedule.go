@@ -70,10 +70,13 @@ func (f *Failure) Error() string {
 	return fmt.Sprintf("schedule: node %d unplaceable (%s)", f.Node, f.Reason)
 }
 
-// Comm is a scheduled inter-cluster bus transfer in a final Schedule.
+// Comm is a scheduled inter-cluster transfer in a final Schedule.
 type Comm struct {
 	Producer int // producing node
 	Start    int // departure cycle
+	// Dest is the destination cluster of a point-to-point transfer, or -1
+	// for a shared-bus broadcast (which reaches every other cluster).
+	Dest int
 }
 
 // MemOp is a transformation-inserted memory operation in a final Schedule.
@@ -102,6 +105,11 @@ type Schedule struct {
 	Spills, MemRoutes int
 	// Transforms counts applied §3.3.2 transformations.
 	Transforms int
+	// List marks a non-pipelined fallback schedule (ListSchedule):
+	// iterations run back to back, II equals SL, and inter-cluster
+	// transfers are implicit in the cut-edge latencies rather than
+	// reserved on the interconnect.
+	List bool
 }
 
 // Cycles returns the execution time of the loop for a trip count:
@@ -374,15 +382,29 @@ func (st *state) apply(p *plan) {
 			st.removeValueSpans(st.vals[id], c)
 		}
 	}
-	// Mutate.
+	// Mutate. Transfer channels are keyed by the value's home cluster and
+	// the planned destination (ignored on the shared bus).
 	for _, mv := range p.moves {
-		st.rt.RemoveBus(mv.old)
-		st.rt.PlaceBus(mv.new)
-		st.vals[mv.val].comm.start = mv.new
+		val := st.vals[mv.val]
+		st.rt.RemoveXfer(val.home, mv.dest, mv.old)
+		st.rt.PlaceXfer(val.home, mv.dest, mv.new)
+		if mv.dest < 0 {
+			val.comm.start = mv.new
+		} else {
+			val.comm.dests[mv.dest] = mv.new
+		}
 	}
 	for _, cp := range p.comms {
-		st.rt.PlaceBus(cp.start)
-		st.vals[cp.val].comm = &comm{start: cp.start}
+		val := st.vals[cp.val]
+		st.rt.PlaceXfer(val.home, cp.dest, cp.start)
+		if cp.dest < 0 {
+			val.comm = &comm{start: cp.start}
+		} else {
+			if val.comm == nil {
+				val.comm = &comm{dests: map[int]int{}}
+			}
+			val.comm.dests[cp.dest] = cp.start
+		}
 	}
 	for _, lp := range p.loads {
 		st.rt.PlaceOp(lp.cluster, isa.MemUnit, lp.cycle)
@@ -436,8 +458,10 @@ func (st *state) finish(transforms int) *Schedule {
 	for c := 0; c < m.Clusters; c++ {
 		s.MaxLive[c] = st.maxLive(c)
 	}
+	// SL must be computed from the normalized times: with a negative shift,
+	// the unshifted st.time would understate it by |shift|.
 	for v := range g.Nodes {
-		if f := st.time[v] + m.OpLatency(g.Nodes[v].Op); f > s.SL {
+		if f := s.Time[v] + m.OpLatency(g.Nodes[v].Op); f > s.SL {
 			s.SL = f
 		}
 	}
@@ -446,10 +470,26 @@ func (st *state) finish(transforms int) *Schedule {
 			continue
 		}
 		if val.comm != nil {
-			start := val.comm.start - shift
-			s.Comms = append(s.Comms, Comm{Producer: id, Start: start})
-			if f := start + m.LatBus; f > s.SL {
-				s.SL = f
+			if val.comm.dests == nil {
+				start := val.comm.start - shift
+				s.Comms = append(s.Comms, Comm{Producer: id, Start: start, Dest: -1})
+				if f := start + m.LatBus; f > s.SL {
+					s.SL = f
+				}
+			} else {
+				// Point-to-point: one transfer per destination link, in
+				// deterministic cluster order.
+				for c := 0; c < m.Clusters; c++ {
+					start, ok := val.comm.dests[c]
+					if !ok {
+						continue
+					}
+					start -= shift
+					s.Comms = append(s.Comms, Comm{Producer: id, Start: start, Dest: c})
+					if f := start + m.LatBus; f > s.SL {
+						s.SL = f
+					}
+				}
 			}
 		}
 		if val.mem != nil {
@@ -503,8 +543,8 @@ func (s *Schedule) Validate(g *ddg.Graph, m *machine.Config) error {
 		}
 	}
 	for c, ml := range s.MaxLive {
-		if ml > m.RegsPerCluster {
-			return fmt.Errorf("schedule: cluster %d MaxLive %d exceeds %d registers", c, ml, m.RegsPerCluster)
+		if ml > m.RegsIn(c) {
+			return fmt.Errorf("schedule: cluster %d MaxLive %d exceeds %d registers", c, ml, m.RegsIn(c))
 		}
 	}
 	return nil

@@ -26,10 +26,24 @@ import (
 // (bottom-up SMS placement), so -1 would collide.
 const noUse = -1 << 40
 
-// comm is a bus transfer of one value: it departs its home cluster at cycle
-// Start and arrives everywhere else at Start+LatBus (broadcast bus).
+// comm is the interconnect routing of one value. On a shared bus a single
+// broadcast transfer departs the home cluster at start and arrives in every
+// other cluster at start+LatBus. On point-to-point links each destination
+// cluster has its own transfer on the home→dest link, recorded in dests;
+// start is unused.
 type comm struct {
 	start int
+	dests map[int]int // destination cluster → departure cycle (PointToPoint)
+}
+
+// startFor returns the departure cycle of the transfer serving cluster c,
+// or ok=false when no transfer reaches c.
+func (cm *comm) startFor(c int, p2p bool) (int, bool) {
+	if !p2p {
+		return cm.start, true
+	}
+	s, ok := cm.dests[c]
+	return s, ok
 }
 
 // memRoute is a value routed through memory: one store in the home cluster
@@ -88,7 +102,9 @@ func (v *value) arrival(c int, m *machine.Config) (int, bool) {
 		return 0, false
 	}
 	if v.comm != nil {
-		return v.comm.start + m.LatBus, true
+		if s, ok := v.comm.startFor(c, m.Topology == machine.PointToPoint); ok {
+			return s + m.LatBus, true
+		}
 	}
 	return 0, false
 }
@@ -102,8 +118,18 @@ func (v *value) spans(c int, m *machine.Config) []regpress.Span {
 			end = u + 1
 		}
 		// The register must survive until an outgoing transfer or store.
-		if v.comm != nil && v.comm.start+1 > end {
-			end = v.comm.start + 1
+		if v.comm != nil {
+			if v.comm.dests == nil {
+				if v.comm.start+1 > end {
+					end = v.comm.start + 1
+				}
+			} else {
+				for _, s := range v.comm.dests {
+					if s+1 > end {
+						end = s + 1
+					}
+				}
+			}
 		}
 		if v.mem != nil && v.mem.store+1 > end {
 			end = v.mem.store + 1
@@ -201,19 +227,23 @@ func (st *state) maxLive(c int) int { return st.press[c].MaxLive() }
 // regsOK reports whether every cluster currently fits its register file.
 func (st *state) regsOK() bool {
 	for c := 0; c < st.m.Clusters; c++ {
-		if st.maxLive(c) > st.m.RegsPerCluster {
+		if st.maxLive(c) > st.m.RegsIn(c) {
 			return false
 		}
 	}
 	return true
 }
 
-// freeBusBefore and friends report remaining capacity, used by the figure
-// of merit (fraction of *free* resources a candidate consumes).
-func (st *state) freeBus() int { return st.rt.FreeBusSlots() }
+// p2p reports whether the interconnect is point-to-point (per-destination
+// transfers) rather than the shared broadcast bus.
+func (st *state) p2p() bool { return st.m.Topology == machine.PointToPoint }
+
+// freeXfer and friends report remaining capacity, used by the figure of
+// merit (fraction of *free* resources a candidate consumes).
+func (st *state) freeXfer() int { return st.rt.FreeXferSlots() }
 
 func (st *state) freeMem(c int) int { return st.rt.FreeOpSlots(c, isa.MemUnit) }
 
 func (st *state) freeLifetime(c int) int64 {
-	return st.press[c].Free(st.m.RegsPerCluster)
+	return st.press[c].Free(st.m.RegsIn(c))
 }

@@ -26,15 +26,15 @@ func (st *state) transform(reason FailReason) bool {
 	// Register saturation per cluster.
 	for c := 0; c < st.m.Clusters; c++ {
 		c := c
-		sat := float64(st.maxLive(c)) / float64(st.m.RegsPerCluster)
+		sat := float64(st.maxLive(c)) / float64(st.m.RegsIn(c))
 		if reason == FailRegs {
 			sat += 1 // prioritize the failing resource class
 		}
 		targets = append(targets, target{sat: sat, apply: func() bool { return st.trySpill(c) }})
 	}
-	// Bus saturation.
+	// Interconnect saturation.
 	{
-		sat := st.rt.BusUtilization()
+		sat := st.rt.XferUtilization()
 		if reason == FailBus {
 			sat += 1
 		}
@@ -104,6 +104,23 @@ func (st *state) trySpill(c int) bool {
 		if !ok {
 			continue
 		}
+		// Existing transfers must depart while the value is still
+		// register-resident, i.e. before the spill store frees the register.
+		if val.comm != nil {
+			late := false
+			if val.comm.dests == nil {
+				late = val.comm.start > store
+			} else {
+				for _, s := range val.comm.dests {
+					if s > store {
+						late = true
+					}
+				}
+			}
+			if late {
+				continue
+			}
+		}
 		// Reserve the store before searching the load so both cannot claim
 		// the last unit of a shared modulo slot.
 		st.rt.PlaceOp(c, isa.MemUnit, store)
@@ -133,7 +150,7 @@ func (st *state) tryUnspill(c int) bool {
 		}
 		sp := val.spill
 		st.withSpanUpdate(val, func() { val.spill = nil })
-		if st.maxLive(c) > st.m.RegsPerCluster {
+		if st.maxLive(c) > st.m.RegsIn(c) {
 			st.withSpanUpdate(val, func() { val.spill = sp })
 			continue
 		}
@@ -218,7 +235,7 @@ func (st *state) tryBusToMem() bool {
 			}
 			continue
 		}
-		st.rt.RemoveBus(oldComm.start)
+		st.removeXfersOf(val.home, oldComm)
 		st.nMemOps[0]++
 		st.nMemOps[1] += len(loads)
 		return true
@@ -231,7 +248,6 @@ func (st *state) tryBusToMem() bool {
 // reduced … by inserting copy operations that use the interconnection
 // network").
 func (st *state) tryMemToBus(c int) bool {
-	m := st.m
 	for id, val := range st.vals {
 		_ = id
 		if val == nil || val.mem == nil {
@@ -253,28 +269,21 @@ func (st *state) tryMemToBus(c int) bool {
 		if minFirst == 1<<30 {
 			continue
 		}
-		start := -1
-		for s := val.def; s+m.LatBus <= minFirst && s < val.def+st.ii; s++ {
-			if st.rt.CanPlaceBus(s) {
-				start = s
-				break
-			}
-		}
-		if start < 0 {
+		newComm, ok := st.placeXfersFor(val, minFirst)
+		if !ok {
 			continue
 		}
 		oldMem := val.mem
-		st.rt.PlaceBus(start)
 		st.withSpanUpdate(val, func() {
 			val.mem = nil
-			val.comm = &comm{start: start}
+			val.comm = newComm
 		})
 		if !st.regsOK() {
 			st.withSpanUpdate(val, func() {
 				val.comm = nil
 				val.mem = oldMem
 			})
-			st.rt.RemoveBus(start)
+			st.removeXfersOf(val.home, newComm)
 			continue
 		}
 		st.rt.RemoveOp(val.home, isa.MemUnit, oldMem.store)
@@ -303,4 +312,61 @@ func (st *state) findMemSlot(c, from, to, dir int) (int, bool) {
 		n++
 	}
 	return 0, false
+}
+
+// placeXfersFor reserves the interconnect transfers that route val to every
+// cluster where it has scheduled uses: one shared-bus broadcast meeting the
+// tightest deadline (minFirst), or one point-to-point transfer per
+// destination meeting that destination's own deadline. On failure nothing
+// stays reserved.
+func (st *state) placeXfersFor(val *value, minFirst int) (*comm, bool) {
+	m := st.m
+	if st.p2p() {
+		dests := map[int]int{}
+		for c, first := range val.minUse {
+			if c == val.home || first == noUse {
+				continue
+			}
+			start := -1
+			for s := val.def; s+m.LatBus <= first && s < val.def+st.ii; s++ {
+				if st.rt.CanPlaceXfer(val.home, c, s) {
+					start = s
+					break
+				}
+			}
+			if start < 0 {
+				for cc, ss := range dests {
+					st.rt.RemoveXfer(val.home, cc, ss)
+				}
+				return nil, false
+			}
+			st.rt.PlaceXfer(val.home, c, start)
+			dests[c] = start
+		}
+		if len(dests) == 0 {
+			return nil, false
+		}
+		return &comm{dests: dests}, true
+	}
+	for s := val.def; s+m.LatBus <= minFirst && s < val.def+st.ii; s++ {
+		if st.rt.CanPlaceXfer(val.home, -1, s) {
+			st.rt.PlaceXfer(val.home, -1, s)
+			return &comm{start: s}, true
+		}
+	}
+	return nil, false
+}
+
+// removeXfersOf releases every interconnect reservation of cm (nil-safe).
+func (st *state) removeXfersOf(home int, cm *comm) {
+	if cm == nil {
+		return
+	}
+	if cm.dests == nil {
+		st.rt.RemoveXfer(home, -1, cm.start)
+		return
+	}
+	for c, s := range cm.dests {
+		st.rt.RemoveXfer(home, c, s)
+	}
 }

@@ -105,12 +105,12 @@ func forceCross(t *testing.T, m *machine.Config, ii int) (*state, *ddg.Graph) {
 func TestBusToMemAndBack(t *testing.T) {
 	m := machine.MustClustered(2, 32, 1, 1)
 	st, _ := forceCross(t, m, 6)
-	busFree := st.rt.FreeBusSlots()
+	busFree := st.rt.FreeXferSlots()
 	if !st.tryBusToMem() {
 		t.Fatal("bus→memory transformation refused")
 	}
-	if st.rt.FreeBusSlots() != busFree+m.LatBus {
-		t.Errorf("bus slots not freed: %d → %d", busFree, st.rt.FreeBusSlots())
+	if st.rt.FreeXferSlots() != busFree+m.LatBus {
+		t.Errorf("bus slots not freed: %d → %d", busFree, st.rt.FreeXferSlots())
 	}
 	val := st.vals[0]
 	if val.comm != nil || val.mem == nil {
@@ -126,7 +126,7 @@ func TestBusToMemAndBack(t *testing.T) {
 	if val.mem != nil || val.comm == nil {
 		t.Fatal("value routing not switched back to bus")
 	}
-	if st.rt.FreeBusSlots() != busFree {
+	if st.rt.FreeXferSlots() != busFree {
 		t.Errorf("bus occupancy wrong after round trip")
 	}
 	if err := st.checkInvariants(); err != nil {

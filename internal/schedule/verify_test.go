@@ -1,0 +1,217 @@
+package schedule
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// verifyMachines is a small grid covering the homogeneous paper
+// configurations and every generalized-machine axis: heterogeneous unit
+// mixes, uneven register files, a pipelined bus and point-to-point links.
+func verifyMachines() []*machine.Config {
+	het := machine.MustHetero("het2", []machine.ClusterSpec{
+		{Units: [isa.NumUnitKinds]int{3, 1, 2}, Regs: 24},
+		{Units: [isa.NumUnitKinds]int{1, 3, 2}, Regs: 40},
+	}, machine.SharedBus, 1, 1, false)
+	pipe := machine.MustClustered(4, 64, 1, 2)
+	pipe.Pipelined = true
+	pipe.Name = "4-cluster/64reg/1pbus/lat2"
+	p2p := machine.MustClustered(2, 32, 1, 1)
+	p2p.Topology = machine.PointToPoint
+	p2p.Name = "2-cluster/32reg/p2p/lat1"
+	return []*machine.Config{
+		machine.NewUnified(64),
+		machine.MustClustered(2, 32, 1, 1),
+		machine.MustClustered(4, 64, 1, 2),
+		het,
+		pipe,
+		p2p,
+	}
+}
+
+// verifyLoop builds a connected random loop exercising transfers, spills
+// and recurrences.
+func verifyLoop(seed int64, n int) *ddg.Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := ddg.New("rnd", 50)
+	ops := []isa.OpClass{isa.IntALU, isa.IntMul, isa.FPAdd, isa.FPMul, isa.Load, isa.Store}
+	for i := 0; i < n; i++ {
+		op := ops[r.Intn(len(ops))]
+		if i == 0 && op == isa.Store {
+			op = isa.Load
+		}
+		g.AddNode(op, "")
+	}
+	var producers []int
+	for i := 0; i < n; i++ {
+		for k := 0; k < 1+r.Intn(2) && len(producers) > 0; k++ {
+			g.AddDep(producers[r.Intn(len(producers))], i, 0)
+		}
+		if g.Nodes[i].Op.ProducesValue() {
+			producers = append(producers, i)
+		}
+	}
+	if len(producers) > 1 {
+		from := producers[len(producers)-1]
+		g.AddDep(from, producers[0], 1+r.Intn(2))
+	}
+	return g
+}
+
+func scheduleOn(t *testing.T, g *ddg.Graph, m *machine.Config) *Schedule {
+	t.Helper()
+	mii := g.MII(m)
+	for ii := mii; ii <= mii+64; ii++ {
+		s, fail := TrySchedule(g, m, ii, &Options{Mode: ModeURACAM})
+		if fail == nil {
+			return s
+		}
+	}
+	t.Fatalf("no schedule found on %s", m.Name)
+	return nil
+}
+
+func TestVerifyAcceptsValidSchedules(t *testing.T) {
+	for _, m := range verifyMachines() {
+		for seed := int64(1); seed <= 8; seed++ {
+			g := verifyLoop(seed, 12+int(seed))
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			s := scheduleOn(t, g, m)
+			if err := Verify(g, m, s); err != nil {
+				t.Errorf("%s seed %d: %v", m.Name, seed, err)
+			}
+		}
+	}
+}
+
+func TestVerifyAcceptsListSchedules(t *testing.T) {
+	for _, m := range verifyMachines() {
+		g := verifyLoop(3, 14)
+		s := ListSchedule(g, m, nil)
+		if !s.List {
+			t.Fatal("ListSchedule did not mark the schedule")
+		}
+		if err := Verify(g, m, s); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+// TestVerifyRejectsTampering corrupts valid schedules along every checked
+// axis and requires Verify to notice.
+func TestVerifyRejectsTampering(t *testing.T) {
+	m := machine.MustClustered(2, 32, 1, 1)
+	g := verifyLoop(5, 14)
+	base := scheduleOn(t, g, m)
+	if err := Verify(g, m, base); err != nil {
+		t.Fatal(err)
+	}
+	clone := func() *Schedule {
+		c := *base
+		c.Time = append([]int(nil), base.Time...)
+		c.Cluster = append([]int(nil), base.Cluster...)
+		c.MaxLive = append([]int(nil), base.MaxLive...)
+		c.Comms = append([]Comm(nil), base.Comms...)
+		c.MemOps = append([]MemOp(nil), base.MemOps...)
+		return &c
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(s *Schedule) bool // false = mutation not applicable
+		expect string
+	}{
+		{"shift-one-node", func(s *Schedule) bool {
+			s.Time[g.N()-1] += 1 + s.II
+			s.SL += 1 + s.II
+			return true
+		}, ""},
+		{"move-cluster", func(s *Schedule) bool {
+			s.Cluster[0] = 1 - s.Cluster[0]
+			return true
+		}, ""},
+		{"drop-comm", func(s *Schedule) bool {
+			if len(s.Comms) == 0 {
+				return false
+			}
+			s.Comms = s.Comms[:len(s.Comms)-1]
+			return true
+		}, "not routed"},
+		{"early-comm", func(s *Schedule) bool {
+			if len(s.Comms) == 0 {
+				return false
+			}
+			s.Comms[0].Start = -100
+			return true
+		}, "before its value exists"},
+		{"lie-maxlive", func(s *Schedule) bool {
+			s.MaxLive[0]++
+			return true
+		}, "differs from recorded"},
+		{"truncate-sl", func(s *Schedule) bool {
+			s.SL = 1
+			return true
+		}, "past SL"},
+		{"bad-ii", func(s *Schedule) bool {
+			s.II = 0
+			return true
+		}, "II 0 < 1"},
+	}
+	for _, tc := range cases {
+		s := clone()
+		if !tc.mutate(s) {
+			continue
+		}
+		err := Verify(g, m, s)
+		if err == nil {
+			t.Errorf("%s: tampered schedule passed Verify", tc.name)
+			continue
+		}
+		if tc.expect != "" && !strings.Contains(err.Error(), tc.expect) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.expect)
+		}
+	}
+}
+
+func TestVerifyRejectsOverfullUnits(t *testing.T) {
+	// Five IntALU ops forced into one 1-wide cluster slot.
+	m := machine.MustClustered(4, 64, 1, 1)
+	g := ddg.New("jam", 10)
+	for i := 0; i < 5; i++ {
+		g.AddNode(isa.IntALU, "")
+	}
+	s := &Schedule{
+		II: 1, SL: 1,
+		Time:    []int{0, 0, 0, 0, 0},
+		Cluster: []int{0, 0, 0, 0, 0},
+		MaxLive: make([]int, 4),
+	}
+	if err := Verify(g, m, s); err == nil || !strings.Contains(err.Error(), "overfull") {
+		t.Errorf("overfull unit slot not caught: %v", err)
+	}
+}
+
+func TestVerifyRejectsZeroUnitCluster(t *testing.T) {
+	het := machine.MustHetero("nofp0", []machine.ClusterSpec{
+		{Units: [isa.NumUnitKinds]int{3, 0, 1}, Regs: 16},
+		{Units: [isa.NumUnitKinds]int{1, 2, 1}, Regs: 16},
+	}, machine.SharedBus, 1, 1, false)
+	g := ddg.New("fp", 10)
+	g.AddNode(isa.FPAdd, "")
+	s := &Schedule{
+		II: 1, SL: 3,
+		Time:    []int{0},
+		Cluster: []int{0}, // cluster 0 has no FP units
+		MaxLive: []int{1, 0},
+	}
+	if err := Verify(g, het, s); err == nil || !strings.Contains(err.Error(), "no FP units") {
+		t.Errorf("zero-unit cluster not caught: %v", err)
+	}
+}

@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"testing"
+)
+
+// FuzzGenerate is the property test that Generate yields Validate-clean,
+// connected loops for arbitrary (not just the fixed) profiles: any profile
+// that passes Profile.Validate must generate successfully, and every
+// generated loop must be a valid, connected DDG honoring the profile's
+// size and trip-count bounds.
+func FuzzGenerate(f *testing.F) {
+	for _, p := range append(Profiles(), DSPProfiles()...) {
+		f.Add(p.Seed, p.NumLoops, p.MinOps, p.MaxOps, p.MemFrac, p.FPFrac, p.RecDensity, p.TripMin, p.TripMax, p.MaxRecDist)
+	}
+	f.Add(int64(0), 1, 1, 1, 0.0, 0.0, 8.0, 1, 1, 0) // single-op loop, extreme density
+	f.Fuzz(func(t *testing.T, seed int64, numLoops, minOps, maxOps int, memFrac, fpFrac, recDensity float64, tripMin, tripMax, maxRecDist int) {
+		p := Profile{
+			Name: "fuzz", Seed: seed,
+			NumLoops: numLoops % 16, MinOps: minOps % 256, MaxOps: maxOps % 256,
+			MemFrac: memFrac, FPFrac: fpFrac, RecDensity: recDensity,
+			TripMin: tripMin, TripMax: tripMax, MaxRecDist: maxRecDist % 8,
+		}
+		if p.Validate() != nil {
+			t.Skip()
+		}
+		b := Generate(p)
+		if len(b.Loops) != p.NumLoops {
+			t.Fatalf("%d loops, want %d", len(b.Loops), p.NumLoops)
+		}
+		for _, l := range b.Loops {
+			if err := l.G.Validate(); err != nil {
+				t.Fatalf("invalid loop: %v", err)
+			}
+			if !connected(l.G) {
+				t.Fatalf("%s: disconnected body (%d ops)", l.G.Name, l.G.N())
+			}
+			if n := l.G.N(); n < p.MinOps || n > p.MaxOps {
+				t.Fatalf("%s: %d ops outside [%d,%d]", l.G.Name, n, p.MinOps, p.MaxOps)
+			}
+			if l.G.Niter < p.TripMin || l.G.Niter > p.TripMax {
+				t.Fatalf("%s: trip %d outside [%d,%d]", l.G.Name, l.G.Niter, p.TripMin, p.TripMax)
+			}
+		}
+	})
+}

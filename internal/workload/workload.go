@@ -16,7 +16,9 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
+	"strconv"
 
 	"repro/internal/ddg"
 	"repro/internal/isa"
@@ -50,6 +52,43 @@ type Profile struct {
 	RecDensity float64
 	// TripMin/TripMax bound the profiled trip counts.
 	TripMin, TripMax int
+	// MaxRecDist bounds the iteration distance of loop-carried recurrences;
+	// 0 means the default of 2. DSP-style kernels use deeper recurrences.
+	MaxRecDist int
+}
+
+// Validate checks that the profile's parameters are generatable. Generate
+// panics on an invalid profile; callers constructing profiles at run time
+// (fuzzers, config files) should call Validate first.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("workload: profile without a name")
+	case p.NumLoops < 1:
+		return fmt.Errorf("workload: profile %q: NumLoops %d < 1", p.Name, p.NumLoops)
+	case p.MinOps < 1:
+		return fmt.Errorf("workload: profile %q: MinOps %d < 1", p.Name, p.MinOps)
+	case p.MaxOps < p.MinOps:
+		return fmt.Errorf("workload: profile %q: MaxOps %d < MinOps %d", p.Name, p.MaxOps, p.MinOps)
+	case p.MemFrac < 0 || p.FPFrac < 0 || p.MemFrac+p.FPFrac > 1:
+		return fmt.Errorf("workload: profile %q: op-mix fractions mem=%v fp=%v invalid", p.Name, p.MemFrac, p.FPFrac)
+	case p.RecDensity < 0:
+		return fmt.Errorf("workload: profile %q: negative recurrence density", p.Name)
+	case p.TripMin < 1:
+		return fmt.Errorf("workload: profile %q: TripMin %d < 1", p.Name, p.TripMin)
+	case p.TripMax < p.TripMin:
+		return fmt.Errorf("workload: profile %q: TripMax %d < TripMin %d", p.Name, p.TripMax, p.TripMin)
+	case p.MaxRecDist < 0:
+		return fmt.Errorf("workload: profile %q: negative MaxRecDist", p.Name)
+	}
+	return nil
+}
+
+func (p Profile) recDist() int {
+	if p.MaxRecDist > 0 {
+		return p.MaxRecDist
+	}
+	return 2
 }
 
 // Profiles returns the ten SPECfp95 stand-in profiles, in the paper's
@@ -69,9 +108,35 @@ func Profiles() []Profile {
 	}
 }
 
+// DSPProfiles returns a second corpus family in the style of the paper's
+// motivating DSP/media workloads (MediaBench kernels on C6x-class VLIWs):
+// small integer-heavy loop bodies with little or no floating point, deep
+// loop-carried recurrences (feedback filters, bit-serial state machines)
+// and large trip counts.
+func DSPProfiles() []Profile {
+	return []Profile{
+		{Name: "adpcm", Seed: 201, NumLoops: 6, MinOps: 6, MaxOps: 18, MemFrac: 0.30, FPFrac: 0.00, RecDensity: 2.4, TripMin: 200, TripMax: 2000, MaxRecDist: 3},
+		{Name: "g721", Seed: 202, NumLoops: 7, MinOps: 8, MaxOps: 22, MemFrac: 0.28, FPFrac: 0.00, RecDensity: 2.0, TripMin: 160, TripMax: 1200, MaxRecDist: 4},
+		{Name: "gsm", Seed: 203, NumLoops: 8, MinOps: 8, MaxOps: 24, MemFrac: 0.34, FPFrac: 0.04, RecDensity: 1.6, TripMin: 120, TripMax: 900, MaxRecDist: 3},
+		{Name: "jpeg", Seed: 204, NumLoops: 8, MinOps: 10, MaxOps: 28, MemFrac: 0.40, FPFrac: 0.06, RecDensity: 1.2, TripMin: 64, TripMax: 640, MaxRecDist: 2},
+		{Name: "mpeg2", Seed: 205, NumLoops: 7, MinOps: 10, MaxOps: 26, MemFrac: 0.42, FPFrac: 0.05, RecDensity: 1.4, TripMin: 96, TripMax: 720, MaxRecDist: 2},
+		{Name: "fir", Seed: 206, NumLoops: 5, MinOps: 6, MaxOps: 16, MemFrac: 0.38, FPFrac: 0.08, RecDensity: 1.8, TripMin: 256, TripMax: 4096, MaxRecDist: 2},
+		{Name: "iir", Seed: 207, NumLoops: 5, MinOps: 6, MaxOps: 14, MemFrac: 0.26, FPFrac: 0.08, RecDensity: 3.0, TripMin: 256, TripMax: 4096, MaxRecDist: 4},
+		{Name: "viterbi", Seed: 208, NumLoops: 6, MinOps: 8, MaxOps: 20, MemFrac: 0.32, FPFrac: 0.00, RecDensity: 2.6, TripMin: 128, TripMax: 1024, MaxRecDist: 3},
+	}
+}
+
 // SPECfp95 generates the full deterministic corpus.
 func SPECfp95() []*Benchmark {
-	profiles := Profiles()
+	return generateAll(Profiles())
+}
+
+// DSP generates the deterministic DSP/MediaBench-style corpus.
+func DSP() []*Benchmark {
+	return generateAll(DSPProfiles())
+}
+
+func generateAll(profiles []Profile) []*Benchmark {
 	bms := make([]*Benchmark, 0, len(profiles))
 	for _, p := range profiles {
 		bms = append(bms, Generate(p))
@@ -80,8 +145,12 @@ func SPECfp95() []*Benchmark {
 }
 
 // Generate builds one benchmark from a profile. The same profile always
-// yields the same loops.
+// yields the same loops. It panics on an invalid profile (see
+// Profile.Validate) and on a generator bug that produces an invalid loop.
 func Generate(p Profile) *Benchmark {
+	if err := p.Validate(); err != nil {
+		panic(err.Error())
+	}
 	r := rand.New(rand.NewSource(p.Seed))
 	b := &Benchmark{Name: p.Name}
 	for i := 0; i < p.NumLoops; i++ {
@@ -102,10 +171,16 @@ func Generate(p Profile) *Benchmark {
 // occasional memory-ordering edges.
 func genLoop(r *rand.Rand, p Profile, idx, n int) *ddg.Graph {
 	niter := p.TripMin + r.Intn(p.TripMax-p.TripMin+1)
-	g := ddg.New(p.Name+"/loop"+itoa(idx), niter)
+	g := ddg.New(p.Name+"/loop"+strconv.Itoa(idx), niter)
 
 	for i := 0; i < n; i++ {
-		g.AddNode(pickOp(r, p), "")
+		op := pickOp(r, p)
+		if i == 0 && !op.ProducesValue() {
+			// The first node must produce a value so every later node can
+			// draw at least one producer edge, keeping the body connected.
+			op = isa.Load
+		}
+		g.AddNode(op, "")
 	}
 
 	// Forward data edges: every node after the first gets 1–3 producers
@@ -136,8 +211,12 @@ func genLoop(r *rand.Rand, p Profile, idx, n int) *ddg.Graph {
 		}
 	}
 
-	// Loop-carried recurrences: back edges j→i (i < j) at distance 1–2.
+	// Loop-carried recurrences: back edges j→i (i < j) at distance
+	// 1–MaxRecDist.
 	recs := int(p.RecDensity * float64(n) / 8)
+	if n < 2 {
+		recs = 0
+	}
 	for k := 0; k < recs; k++ {
 		i := r.Intn(n - 1)
 		j := i + 1 + r.Intn(n-i-1)
@@ -147,7 +226,7 @@ func genLoop(r *rand.Rand, p Profile, idx, n int) *ddg.Graph {
 		g.AddEdge(ddg.Edge{
 			From: j, To: i,
 			Lat:  isa.DefaultLatency(g.Nodes[j].Op),
-			Dist: 1 + r.Intn(2),
+			Dist: 1 + r.Intn(p.recDist()),
 			Kind: ddg.Data,
 		})
 	}
@@ -210,20 +289,6 @@ func pickOp(r *rand.Rand, p Profile) isa.OpClass {
 		}
 		return isa.IntMul
 	}
-}
-
-func itoa(i int) string {
-	if i == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	pos := len(buf)
-	for i > 0 {
-		pos--
-		buf[pos] = byte('0' + i%10)
-		i /= 10
-	}
-	return string(buf[pos:])
 }
 
 // Stats summarizes a benchmark's structure, used by tests and tools.

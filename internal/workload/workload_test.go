@@ -3,6 +3,7 @@ package workload
 import (
 	"testing"
 
+	"repro/internal/ddg"
 	"repro/internal/isa"
 	"repro/internal/machine"
 )
@@ -137,5 +138,138 @@ func TestSummarize(t *testing.T) {
 	}
 	if s.MemOps == 0 || s.FPOps == 0 {
 		t.Errorf("tomcatv should have both mem and FP ops: %+v", s)
+	}
+}
+
+func TestDSPCorpusShape(t *testing.T) {
+	bms := DSP()
+	profiles := DSPProfiles()
+	if len(bms) != len(profiles) {
+		t.Fatalf("DSP corpus has %d benchmarks for %d profiles", len(bms), len(profiles))
+	}
+	for i, b := range bms {
+		if b.Name != profiles[i].Name {
+			t.Errorf("benchmark %d = %q, want %q", i, b.Name, profiles[i].Name)
+		}
+		for _, l := range b.Loops {
+			if err := l.G.Validate(); err != nil {
+				t.Fatalf("%s: %v", l.G.Name, err)
+			}
+		}
+	}
+}
+
+func TestDSPCorpusIsIntHeavyAndRecurrenceBound(t *testing.T) {
+	// The DSP family must be structurally different from SPECfp95: far
+	// fewer FP ops per op, and denser recurrences.
+	frac := func(bms []*Benchmark) (fp float64, recsPerOp float64) {
+		var fpOps, ops, recs int
+		for _, b := range bms {
+			s := Summarize(b)
+			fpOps += s.FPOps
+			ops += s.Ops
+			recs += s.Recurrences
+		}
+		return float64(fpOps) / float64(ops), float64(recs) / float64(ops)
+	}
+	dspFP, dspRec := frac(DSP())
+	specFP, specRec := frac(SPECfp95())
+	if dspFP >= specFP/4 {
+		t.Errorf("DSP fp fraction %.3f not far below SPECfp95's %.3f", dspFP, specFP)
+	}
+	if dspRec <= specRec {
+		t.Errorf("DSP recurrence density %.3f not above SPECfp95's %.3f", dspRec, specRec)
+	}
+}
+
+func TestDSPLoopsSchedulable(t *testing.T) {
+	// Every DSP loop must have a finite MII even on an FP-less C6x-like
+	// machine... except loops that do contain FP ops, which need ≥ 1 FP
+	// unit. Use the heterogeneous sweep machine.
+	m := machine.MustHetero("c6x", []machine.ClusterSpec{
+		{Units: [isa.NumUnitKinds]int{3, 1, 2}, Regs: 24},
+		{Units: [isa.NumUnitKinds]int{1, 3, 2}, Regs: 40},
+	}, machine.SharedBus, 1, 1, false)
+	for _, b := range DSP() {
+		for _, l := range b.Loops {
+			mii := l.G.MII(m)
+			if mii < 1 || mii > 2000 {
+				t.Errorf("%s: MII %d out of range", l.G.Name, mii)
+			}
+		}
+	}
+}
+
+func TestGeneratedLoopsConnected(t *testing.T) {
+	for _, bms := range [][]*Benchmark{SPECfp95(), DSP()} {
+		for _, b := range bms {
+			for _, l := range b.Loops {
+				if !connected(l.G) {
+					t.Errorf("%s is not connected", l.G.Name)
+				}
+			}
+		}
+	}
+}
+
+// connected reports weak connectivity of the loop body.
+func connected(g *ddg.Graph) bool {
+	n := g.N()
+	if n <= 1 {
+		return true
+	}
+	adj := make([][]int, n)
+	for _, e := range g.Edges {
+		if e.From != e.To {
+			adj[e.From] = append(adj[e.From], e.To)
+			adj[e.To] = append(adj[e.To], e.From)
+		}
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	cnt := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				cnt++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return cnt == n
+}
+
+func TestGeneratePanicsOnInvalidProfile(t *testing.T) {
+	bad := []Profile{
+		{},
+		{Name: "x"},
+		{Name: "x", NumLoops: 1},
+		{Name: "x", NumLoops: 1, MinOps: 5, MaxOps: 4, TripMin: 1, TripMax: 2},
+		{Name: "x", NumLoops: 1, MinOps: 1, MaxOps: 2, MemFrac: 0.8, FPFrac: 0.5, TripMin: 1, TripMax: 2},
+		{Name: "x", NumLoops: 1, MinOps: 1, MaxOps: 2, TripMin: 5, TripMax: 4},
+		{Name: "x", NumLoops: 1, MinOps: 1, MaxOps: 2, TripMin: 1, TripMax: 2, RecDensity: -1},
+		{Name: "x", NumLoops: 1, MinOps: 1, MaxOps: 2, TripMin: 1, TripMax: 2, MaxRecDist: -1},
+	}
+	for i, p := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: Generate(%+v) did not panic", i, p)
+				}
+			}()
+			Generate(p)
+		}()
+		if p.Validate() == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+	for _, p := range append(Profiles(), DSPProfiles()...) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("fixed profile %s invalid: %v", p.Name, err)
+		}
 	}
 }
