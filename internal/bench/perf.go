@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/workload"
+)
+
+// Perf snapshots give the repo a measured performance trajectory: gpbench
+// -bench-json writes one BENCH_partition.json per run (CI keeps them as
+// artifacts), so a regression in the partitioner's hot path shows up as a
+// diff between snapshots rather than as an anecdote.
+
+// PerfBenchmark is one micro-benchmark measurement.
+type PerfBenchmark struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// PerfSnapshot is the machine-readable result of one MeasurePerf run.
+type PerfSnapshot struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Benchmarks are the partitioner micro-benchmarks: full partitioning
+	// of a medium and a large loop, and the steady-state evaluate (whose
+	// allocs_per_op must stay 0 — the allocation-free contract).
+	Benchmarks []PerfBenchmark `json:"benchmarks"`
+	// LoopsScheduled and SchedulesPerSec measure end-to-end GP scheduling
+	// throughput over the SPECfp95 corpus on the paper's 4-cluster machine.
+	LoopsScheduled  int     `json:"loops_scheduled"`
+	SchedulesPerSec float64 `json:"schedules_per_sec"`
+}
+
+// perfLoops returns deterministic workloads for the micro-benchmarks: the
+// first tomcatv loop (medium) and a generated 100-op loop (large).
+func perfLoops() (medium, large *workload.Loop) {
+	spec := workload.SPECfp95()
+	medium = spec[0].Loops[0]
+	big := workload.Generate(workload.Profile{
+		Name: "perf-large", Seed: 7, NumLoops: 1,
+		MinOps: 96, MaxOps: 104, MemFrac: 0.30, FPFrac: 0.40,
+		RecDensity: 0.25, TripMin: 100, TripMax: 120,
+	})
+	large = big.Loops[0]
+	return medium, large
+}
+
+// MeasurePerf runs the partitioner micro-benchmarks (via testing.Benchmark)
+// and an end-to-end GP scheduling throughput measurement, and returns the
+// snapshot.
+func MeasurePerf() (*PerfSnapshot, error) {
+	medium, large := perfLoops()
+	m2 := machine.MustClustered(2, 32, 1, 1)
+	m4 := machine.MustClustered(4, 64, 1, 2)
+
+	snap := &PerfSnapshot{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+
+	record := func(name string, f func(b *testing.B)) {
+		r := testing.Benchmark(f)
+		snap.Benchmarks = append(snap.Benchmarks, PerfBenchmark{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+
+	record("partition_medium_2cluster", func(b *testing.B) {
+		ii := medium.G.MII(m2)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			partition.New(medium.G, m2, nil).Partition(ii)
+		}
+	})
+	record("partition_large_4cluster", func(b *testing.B) {
+		ii := large.G.MII(m4)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			partition.New(large.G, m4, nil).Partition(ii)
+		}
+	})
+	record("evaluate_steady_state", func(b *testing.B) {
+		ii := large.G.MII(m4)
+		p := partition.New(large.G, m4, nil)
+		assign := make([]int, large.G.N())
+		for v := range assign {
+			assign[v] = v % m4.Clusters
+		}
+		p.EvaluateForBenchmark(assign, ii) // warm the scratch arena
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.EvaluateForBenchmark(assign, ii)
+		}
+	})
+
+	// End-to-end throughput: every SPECfp95 loop through the GP scheme.
+	corpus := workload.SPECfp95()
+	var loops []*workload.Loop
+	for _, bm := range corpus {
+		loops = append(loops, bm.Loops...)
+	}
+	sched := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, l := range loops {
+				if _, err := core.ScheduleLoop(l.G, m4, nil); err != nil {
+					b.Fatalf("schedule %s: %v", l.G.Name, err)
+				}
+			}
+		}
+	})
+	snap.LoopsScheduled = len(loops)
+	if perCorpus := sched.NsPerOp(); perCorpus > 0 {
+		snap.SchedulesPerSec = float64(len(loops)) / (float64(perCorpus) / 1e9)
+	}
+	if len(loops) == 0 {
+		return nil, fmt.Errorf("bench: empty SPECfp95 corpus")
+	}
+	return snap, nil
+}
+
+// WritePerfJSON writes the snapshot as indented JSON.
+func WritePerfJSON(w io.Writer, s *PerfSnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestSweepShortGolden pins the -short sweep CSV byte for byte against the
+// snapshot captured before the incremental-refinement refactor
+// (testdata/sweep_short_golden.csv): the partitioner rewrite must choose
+// exactly the same moves, assignments and schedules. CI re-checks the same
+// bytes against the gpbench artifact. Regenerate the golden only for an
+// intentional behavior change:
+//
+//	go run ./cmd/gpbench -sweep -short -parallel 4 -csv internal/bench/testdata/sweep_short_golden.csv
+func TestSweepShortGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full short-sweep comparison (seconds); CI covers it via the artifact step")
+	}
+	points, err := Sweep(context.Background(), machine.SweepSet(), SweepCorpora(2),
+		Config{Parallel: 4, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := WriteSweepCSV(&got, points); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/sweep_short_golden.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("sweep CSV diverged from the pre-refactor golden:\n%s", firstDiff(want, got.Bytes()))
+	}
+}
+
+// firstDiff renders the first differing line of two CSV bodies.
+func firstDiff(want, got []byte) string {
+	wl, gl := bytes.Split(want, []byte("\n")), bytes.Split(got, []byte("\n"))
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g []byte
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if !bytes.Equal(w, g) {
+			return fmt.Sprintf("line %d:\n  want %q\n  got  %q", i+1, w, g)
+		}
+	}
+	return "(no line-level diff: length mismatch)"
+}

@@ -277,7 +277,15 @@ func (g *Graph) ResMII(m *machine.Config) int {
 // indexed by edge (used by the partitioner's delay(e) and cut estimates);
 // extra may be nil or shorter than Edges (missing entries are zero).
 func (g *Graph) FeasibleII(ii int, extra []int) bool {
-	_, ok := g.longestPaths(ii, extra)
+	var t Times
+	return g.feasibleIIInto(ii, extra, &t)
+}
+
+// feasibleIIInto is FeasibleII probing with t.Earliest as the relaxation
+// buffer (left in an unspecified state afterwards).
+func (g *Graph) feasibleIIInto(ii int, extra []int, t *Times) bool {
+	est, ok := g.longestPathsInto(ii, extra, t.Earliest)
+	t.Earliest = est
 	return ok
 }
 
@@ -286,6 +294,12 @@ func (g *Graph) FeasibleII(ii int, extra []int) bool {
 // nil. The result is found by binary search over [1, maxLat·maxDistSum],
 // using the property that feasibility is monotone in ii.
 func (g *Graph) RecMII(extra []int) int {
+	var t Times
+	return g.recMIIInto(extra, &t)
+}
+
+// recMIIInto is RecMII using t's buffers for every feasibility probe.
+func (g *Graph) recMIIInto(extra []int, t *Times) int {
 	// Upper bound: the latency of any cycle is at most the sum of all edge
 	// latencies, and every cycle has distance ≥ 1, so RecMII ≤ that sum.
 	lo, hi := 1, 1
@@ -295,12 +309,12 @@ func (g *Graph) RecMII(extra []int) int {
 			hi += lat
 		}
 	}
-	if g.FeasibleII(lo, extra) {
+	if g.feasibleIIInto(lo, extra, t) {
 		return lo
 	}
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if g.FeasibleII(mid, extra) {
+		if g.feasibleIIInto(mid, extra, t) {
 			hi = mid
 		} else {
 			lo = mid + 1
@@ -319,13 +333,18 @@ func (g *Graph) MII(m *machine.Config) int {
 	return res
 }
 
-// longestPaths computes earliest start times consistent with II = ii using
-// Bellman-Ford longest-path relaxation over arcs of weight lat − ii·dist,
-// with every node's start clamped at ≥ 0. It reports ok = false when a
-// positive-weight cycle exists (ii below RecMII).
-func (g *Graph) longestPaths(ii int, extra []int) (est []int, ok bool) {
+// longestPathsInto computes earliest start times consistent with II = ii
+// using Bellman-Ford longest-path relaxation over arcs of weight
+// lat − ii·dist, with every node's start clamped at ≥ 0. It reports
+// ok = false when a positive-weight cycle exists (ii below RecMII). The
+// relaxation runs in buf when its capacity suffices (the returned slice is
+// always the buffer actually used, so callers can retain it for reuse).
+func (g *Graph) longestPathsInto(ii int, extra []int, buf []int) (est []int, ok bool) {
 	n := len(g.Nodes)
-	est = make([]int, n) // all zero: every node may start at cycle 0
+	est = resizeInts(buf, n)
+	for i := range est {
+		est[i] = 0 // every node may start at cycle 0
+	}
 	if n == 0 {
 		return est, true
 	}
@@ -342,7 +361,7 @@ func (g *Graph) longestPaths(ii int, extra []int) (est []int, ok bool) {
 			return est, true
 		}
 		if round >= n {
-			return nil, false
+			return est, false
 		}
 	}
 }
@@ -362,19 +381,52 @@ type Times struct {
 // interval ii on machine m, with optional per-edge latency additions. It
 // reports ok = false when ii is below the recurrence-constrained minimum.
 func (g *Graph) StartTimes(m *machine.Config, ii int, extra []int) (*Times, bool) {
-	est, ok := g.longestPaths(ii, extra)
-	if !ok {
+	t := &Times{}
+	if !g.StartTimesInto(m, ii, extra, t) {
 		return nil, false
 	}
-	n := len(g.Nodes)
+	return t, true
+}
+
+// StartTimesInto is StartTimes writing into t: the Earliest and Latest
+// buffers are reused when their capacity suffices, so a caller that keeps
+// one Times across calls performs no allocation in the steady state. On
+// ok = false, t's buffers remain usable but its contents are unspecified.
+func (g *Graph) StartTimesInto(m *machine.Config, ii int, extra []int, t *Times) bool {
+	return g.earliestInto(m, ii, extra, t) && g.LatestInto(m, extra, t)
+}
+
+// earliestInto computes the ASAP half of StartTimesInto: it fills t.II,
+// t.Earliest and t.SL, reporting false when ii is below the
+// recurrence-constrained minimum. t.Latest is left untouched.
+func (g *Graph) earliestInto(m *machine.Config, ii int, extra []int, t *Times) bool {
+	est, ok := g.longestPathsInto(ii, extra, t.Earliest)
+	t.Earliest = est
+	if !ok {
+		return false
+	}
 	sl := 0
-	for v := 0; v < n; v++ {
+	for v := 0; v < len(g.Nodes); v++ {
 		if f := est[v] + m.OpLatency(g.Nodes[v].Op); f > sl {
 			sl = f
 		}
 	}
-	// ALAP: backward relaxation from the deadline implied by sl.
-	lst := make([]int, n)
+	t.II, t.SL = ii, sl
+	return true
+}
+
+// LatestInto completes t with the ALAP start times for the schedule length
+// already recorded in t: a backward relaxation from the deadline implied by
+// t.SL, at t.II, with the same extra latencies the forward pass used.
+// Callers that only need the execution-time estimate (no edge slacks) can
+// skip this pass entirely — that is the point of the split: the refinement
+// inner loop completes the tie-break slacks only for candidate moves whose
+// primary key survives screening.
+func (g *Graph) LatestInto(m *machine.Config, extra []int, t *Times) bool {
+	n := len(g.Nodes)
+	ii, sl := t.II, t.SL
+	lst := resizeInts(t.Latest, n)
+	t.Latest = lst
 	for v := 0; v < n; v++ {
 		lst[v] = sl - m.OpLatency(g.Nodes[v].Op)
 	}
@@ -388,15 +440,14 @@ func (g *Graph) StartTimes(m *machine.Config, ii int, extra []int) (*Times, bool
 			}
 		}
 		if !changed {
-			break
+			return true
 		}
 		if round >= n {
 			// Cannot happen when the forward pass succeeded, but guard
 			// against inconsistent extra maps.
-			return nil, false
+			return false
 		}
 	}
-	return &Times{II: ii, Earliest: est, Latest: lst, SL: sl}, true
 }
 
 // Slack returns the slack of edge ei under the given start times: the
@@ -423,17 +474,28 @@ func (g *Graph) Slack(t *Times, ei int, extra []int) int {
 // paper's delay(e) definition where adding a bus latency to an edge may
 // raise the II. The II actually used is returned alongside the time.
 func (g *Graph) EstimateTime(m *machine.Config, ii int, extra []int) (cycles int64, usedII int) {
+	var t Times
+	return g.EstimateTimeInto(m, ii, extra, &t)
+}
+
+// EstimateTimeInto is EstimateTime reusing t's buffers for the feasibility
+// probes, the RecMII search and the start-time computation — with a
+// retained Times, zero allocations. The forward pass doubles as the
+// feasibility probe (one relaxation instead of two in the common, feasible
+// case). On return t holds the ASAP times at the used II: t.II, t.Earliest
+// and t.SL are valid; t.Latest is NOT computed — call LatestInto when edge
+// slacks are needed.
+func (g *Graph) EstimateTimeInto(m *machine.Config, ii int, extra []int, t *Times) (cycles int64, usedII int) {
 	use := ii
-	if !g.FeasibleII(use, extra) {
-		rec := g.RecMII(extra)
-		if rec > use {
+	if !g.earliestInto(m, use, extra, t) {
+		// Infeasible at ii: the recurrence minimum is above it.
+		if rec := g.recMIIInto(extra, t); rec > use {
 			use = rec
 		}
-	}
-	t, ok := g.StartTimes(m, use, extra)
-	if !ok {
-		// Unreachable: use ≥ RecMII by construction.
-		panic("ddg: EstimateTime: infeasible II after RecMII adjustment")
+		if !g.earliestInto(m, use, extra, t) {
+			// Unreachable: use ≥ RecMII by construction.
+			panic("ddg: EstimateTime: infeasible II after RecMII adjustment")
+		}
 	}
 	return int64(g.Niter-1)*int64(use) + int64(t.SL), use
 }
@@ -451,6 +513,15 @@ func (g *Graph) CriticalOps(t *Times) []int {
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// resizeInts returns s resliced to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func resizeInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}
 
 // extraAt reads an optional per-edge latency addition.
 func extraAt(extra []int, i int) int {

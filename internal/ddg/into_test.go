@@ -1,0 +1,130 @@
+package ddg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+// The *Into analysis variants are the allocation-free backbone of the
+// partitioner's refinement loop. They must match the classic entry points
+// exactly and, once a Times is warm, stop allocating.
+
+// TestIntoVariantsMatchClassic: one retained Times driven through a random
+// sequence of analyses must reproduce StartTimes/EstimateTime/FeasibleII/
+// RecMII exactly, including with per-edge extra latencies.
+func TestIntoVariantsMatchClassic(t *testing.T) {
+	m := machine.NewUnified(64)
+	f := func(seed int64, iiBump uint8, which uint8, add uint8) bool {
+		g := genGraph(seed, 24)
+		extra := make([]int, len(g.Edges))
+		extra[int(which)%len(g.Edges)] = int(add % 6)
+		var reused Times
+		r := rand.New(rand.NewSource(seed ^ 0x5eed))
+		for probe := 0; probe < 8; probe++ {
+			ii := 1 + r.Intn(g.RecMII(extra)+int(iiBump%4))
+			ext := extra
+			if r.Intn(2) == 0 {
+				ext = nil
+			}
+			cyc, used := g.EstimateTime(m, ii, ext)
+			cycInto, usedInto := g.EstimateTimeInto(m, ii, ext, &reused)
+			if cyc != cycInto || used != usedInto {
+				return false
+			}
+			want, ok := g.StartTimes(m, used, ext)
+			if !ok {
+				return false
+			}
+			// EstimateTimeInto leaves the ASAP half; LatestInto completes it.
+			if !g.LatestInto(m, ext, &reused) {
+				return false
+			}
+			if reused.II != want.II || reused.SL != want.SL {
+				return false
+			}
+			for v := range g.Nodes {
+				if reused.Earliest[v] != want.Earliest[v] || reused.Latest[v] != want.Latest[v] {
+					return false
+				}
+			}
+			// A fresh StartTimesInto must agree too (forward+backward path).
+			if !g.StartTimesInto(m, used, ext, &reused) {
+				return false
+			}
+			for v := range g.Nodes {
+				if reused.Earliest[v] != want.Earliest[v] || reused.Latest[v] != want.Latest[v] {
+					return false
+				}
+			}
+			for i := range g.Edges {
+				if g.Slack(&reused, i, ext) != g.Slack(want, i, ext) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntoInfeasibleMatchesClassic: below RecMII both paths must agree on
+// infeasibility, and the reused buffers must stay usable afterwards.
+func TestIntoInfeasibleMatchesClassic(t *testing.T) {
+	m := machine.NewUnified(64)
+	f := func(seed int64) bool {
+		g := genGraph(seed, 20)
+		rec := g.RecMII(nil)
+		if rec <= 1 {
+			return true
+		}
+		var reused Times
+		if g.StartTimesInto(m, rec-1, nil, &reused) {
+			return false // classic StartTimes also rejects rec-1
+		}
+		if _, ok := g.StartTimes(m, rec-1, nil); ok {
+			return false
+		}
+		// The failed probe must not corrupt the buffers for the next call.
+		if !g.StartTimesInto(m, rec, nil, &reused) {
+			return false
+		}
+		want, _ := g.StartTimes(m, rec, nil)
+		for v := range g.Nodes {
+			if reused.Earliest[v] != want.Earliest[v] || reused.Latest[v] != want.Latest[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntoVariantsZeroAlloc pins the steady-state allocation contract: with
+// a warm Times, the analyses allocate nothing.
+func TestIntoVariantsZeroAlloc(t *testing.T) {
+	m := machine.NewUnified(64)
+	g := genGraph(99, 24)
+	g.Freeze()
+	extra := make([]int, len(g.Edges))
+	var reused Times
+	ii := g.RecMII(nil)
+	g.EstimateTimeInto(m, ii, extra, &reused) // warm the buffers
+	if n := testing.AllocsPerRun(50, func() {
+		g.EstimateTimeInto(m, ii, extra, &reused)
+		g.LatestInto(m, extra, &reused)
+	}); n != 0 {
+		t.Errorf("warm EstimateTimeInto+LatestInto allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		g.StartTimesInto(m, ii, extra, &reused)
+	}); n != 0 {
+		t.Errorf("warm StartTimesInto allocates %.1f/op, want 0", n)
+	}
+}

@@ -54,8 +54,66 @@ func BenchmarkEvaluate(b *testing.B) {
 	for v := range assign {
 		assign[v] = v % 4
 	}
+	p.evaluate(assign, ii) // warm the scratch arena: steady state is 0 allocs/op
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.evaluate(assign, ii)
+	}
+}
+
+// BenchmarkEngineEvaluate measures the incremental path the refinement
+// inner loop actually takes: one group move, the full estimate, and the
+// undo move. Steady state must be allocation-free.
+func BenchmarkEngineEvaluate(b *testing.B) {
+	r := rand.New(rand.NewSource(65))
+	g := randomDAG(r, 60)
+	m := machine.MustClustered(4, 64, 1, 1)
+	ii := g.MII(m)
+	p := New(g, m, nil)
+	p.computeWeights(ii)
+	assign := make([]int, g.N())
+	for v := range assign {
+		assign[v] = v % 4
+	}
+	en := newEngine(p, assign)
+	group := []int{0}
+	// One full warm-up round: steady state is 0 allocs/op.
+	en.move(group, 1)
+	en.estimate(ii)
+	en.move(group, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en.move(group, 1)
+		en.estimate(ii)
+		en.move(group, 0)
+	}
+}
+
+// BenchmarkEngineScreen measures the screened probe (move + lower bound +
+// undo) that rejects most refinement candidates without a time estimate.
+func BenchmarkEngineScreen(b *testing.B) {
+	r := rand.New(rand.NewSource(66))
+	g := randomDAG(r, 60)
+	m := machine.MustClustered(4, 64, 1, 1)
+	ii := g.MII(m)
+	p := New(g, m, nil)
+	p.computeWeights(ii)
+	assign := make([]int, g.N())
+	for v := range assign {
+		assign[v] = v % 4
+	}
+	en := newEngine(p, assign)
+	group := []int{0}
+	en.move(group, 1)
+	en.lowerBoundT(ii)
+	en.move(group, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en.move(group, 1)
+		en.lowerBoundT(ii)
+		en.move(group, 0)
 	}
 }

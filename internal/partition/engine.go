@@ -1,0 +1,293 @@
+// Incremental partition-evaluation engine.
+//
+// The refinement heuristics of §3.2.2 probe thousands of candidate moves
+// per level; re-deriving the cut-edge set, per-cluster unit counts and
+// interconnect tallies from the full assignment for every probe is
+// O(candidates × (V+E)) before the longest-path analysis even starts. The
+// engine instead delta-maintains that state under an apply/undo move API:
+// moving a macro-node touches only its incident data edges, so the cheap
+// screening bound below is O(affected edges + clusters) per candidate and
+// the expensive time estimate runs only for candidates the bound cannot
+// reject.
+//
+// Invariants (held between moves, checked by the engine equivalence test):
+//   - cut[ei] ⇔ edge ei is a Data edge with endpoints in different clusters
+//   - extra[ei] = LatBus when cut[ei], else 0
+//   - nCut = |{ei : cut[ei]}|
+//   - counts[c][k] = number of nodes of unit kind k assigned to cluster c
+//   - crossOut[v] = number of cut outgoing data edges of v;
+//     nComm = |{v : crossOut[v] > 0}|
+//   - point-to-point only: destCnt[v·C+d] = cut out-edges of v into cluster
+//     d; perLink[h·C+d] = |{(v,d) : assign[v]=h, destCnt[v·C+d] > 0}|
+//
+// move(members, c2) is an exact inverse of move(members, c1): every tally
+// is integral and updated symmetrically, so apply → undo restores the
+// state bit for bit.
+package partition
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// engine carries the delta-maintained evaluation state for one Partitioner
+// run. Its assign slice aliases the caller's: moves mutate it in place.
+type engine struct {
+	p      *Partitioner
+	assign []int
+
+	cut      []bool // per edge: cut Data edge
+	extra    []int  // per edge: LatBus on cut Data edges, 0 otherwise
+	nCut     int
+	counts   [][isa.NumUnitKinds]int // per-cluster op counts by unit kind
+	crossOut []int                   // per node: cut outgoing Data edges
+	nComm    int
+	destCnt  []int // node·C+dest tallies (point-to-point only, else nil)
+	perLink  []int // home·C+dest distinct-transfer counts (p2p only)
+
+	mark    []int // per-edge visit stamps for move's dedupe
+	epoch   int
+	touched []int // edges incident to the moving group, deduplicated
+
+	times ddg.Times // reusable start-time buffers for estimate
+}
+
+// newEngine returns an engine synchronized with assign.
+func newEngine(p *Partitioner, assign []int) *engine {
+	en := &engine{p: p}
+	en.reset(assign)
+	return en
+}
+
+// reset rebuilds the full state from assign (which the engine aliases and
+// mutates on move).
+func (en *engine) reset(assign []int) {
+	g, m := en.p.g, en.p.m
+	en.assign = assign
+	nE, n, c := len(g.Edges), g.N(), m.Clusters
+
+	en.cut = resizeBools(en.cut, nE)
+	en.extra = resizeInts(en.extra, nE)
+	en.mark = resizeInts(en.mark, nE)
+	for i := 0; i < nE; i++ {
+		en.cut[i], en.extra[i], en.mark[i] = false, 0, 0
+	}
+	en.epoch = 0
+	en.crossOut = resizeInts(en.crossOut, n)
+	for i := range en.crossOut {
+		en.crossOut[i] = 0
+	}
+	if cap(en.counts) >= c {
+		en.counts = en.counts[:c]
+	} else {
+		en.counts = make([][isa.NumUnitKinds]int, c)
+	}
+	for i := range en.counts {
+		en.counts[i] = [isa.NumUnitKinds]int{}
+	}
+	en.destCnt, en.perLink = nil, nil
+	if m.Topology == machine.PointToPoint {
+		en.destCnt = resizeInts(en.destCnt, n*c)
+		en.perLink = resizeInts(en.perLink, c*c)
+		for i := range en.destCnt {
+			en.destCnt[i] = 0
+		}
+		for i := range en.perLink {
+			en.perLink[i] = 0
+		}
+	}
+	en.nCut, en.nComm = 0, 0
+
+	for v, nd := range g.Nodes {
+		en.counts[assign[v]][nd.Op.Unit()]++
+	}
+	for ei := range g.Edges {
+		en.admit(ei)
+	}
+}
+
+// admit installs edge ei's contribution to the cut state if it is a Data
+// edge crossing clusters under the current assignment.
+func (en *engine) admit(ei int) {
+	g, m := en.p.g, en.p.m
+	e := &g.Edges[ei]
+	if e.Kind != ddg.Data || en.assign[e.From] == en.assign[e.To] {
+		return
+	}
+	en.cut[ei] = true
+	en.extra[ei] = m.LatBus
+	en.nCut++
+	if en.crossOut[e.From]++; en.crossOut[e.From] == 1 {
+		en.nComm++
+	}
+	if en.destCnt != nil {
+		c := m.Clusters
+		di := e.From*c + en.assign[e.To]
+		if en.destCnt[di]++; en.destCnt[di] == 1 {
+			en.perLink[en.assign[e.From]*c+en.assign[e.To]]++
+		}
+	}
+}
+
+// retire removes edge ei's contribution, if any, under the current
+// assignment (the exact inverse of the admit that installed it).
+func (en *engine) retire(ei int) {
+	if !en.cut[ei] {
+		return
+	}
+	g, m := en.p.g, en.p.m
+	e := &g.Edges[ei]
+	en.cut[ei] = false
+	en.extra[ei] = 0
+	en.nCut--
+	if en.crossOut[e.From]--; en.crossOut[e.From] == 0 {
+		en.nComm--
+	}
+	if en.destCnt != nil {
+		c := m.Clusters
+		di := e.From*c + en.assign[e.To]
+		if en.destCnt[di]--; en.destCnt[di] == 0 {
+			en.perLink[en.assign[e.From]*c+en.assign[e.To]]--
+		}
+	}
+}
+
+// move reassigns every member of one macro-node to cluster c2, updating the
+// state in O(incident data edges). Undo is move(members, c1) with the
+// original cluster.
+func (en *engine) move(members []int, c2 int) {
+	g := en.p.g
+	en.epoch++
+	en.touched = en.touched[:0]
+	for _, v := range members {
+		for _, ei := range g.Out(v) {
+			if g.Edges[ei].Kind == ddg.Data && en.mark[ei] != en.epoch {
+				en.mark[ei] = en.epoch
+				en.touched = append(en.touched, ei)
+			}
+		}
+		for _, ei := range g.In(v) {
+			if g.Edges[ei].Kind == ddg.Data && en.mark[ei] != en.epoch {
+				en.mark[ei] = en.epoch
+				en.touched = append(en.touched, ei)
+			}
+		}
+	}
+	for _, ei := range en.touched {
+		en.retire(ei)
+	}
+	for _, v := range members {
+		k := g.Nodes[v].Op.Unit()
+		en.counts[en.assign[v]][k]--
+		en.counts[c2][k]++
+		en.assign[v] = c2
+	}
+	for _, ei := range en.touched {
+		en.admit(ei)
+	}
+}
+
+// xfer returns the interconnect II bound and communicated-value count from
+// the maintained tallies (same contract as iiXfer).
+func (en *engine) xfer() (iiBus, nComm int) {
+	m := en.p.m
+	if m.Clusters <= 1 || m.NBus == 0 {
+		return 0, 0
+	}
+	occ := m.XferOccupancy()
+	if en.destCnt != nil {
+		for _, cnt := range en.perLink {
+			if v := ceilDiv(cnt*occ, m.NBus); v > iiBus {
+				iiBus = v
+			}
+		}
+		return iiBus, en.nComm
+	}
+	return ceilDiv(en.nComm*occ, m.NBus), en.nComm
+}
+
+// estimate computes the full §3.2.2 quality estimate for the current
+// assignment from the maintained state: only the longest-path time analysis
+// runs on the graph; the cut set, counts and interconnect tallies are
+// already up to date. Produces bit-identical results to
+// Partitioner.evaluate.
+func (en *engine) estimate(ii int) estimate {
+	est := en.estimateFast(ii)
+	en.finishSlack(&est)
+	return est
+}
+
+// estimateFast computes everything but the cut-slack tie-break: the
+// execution time needs only the forward (ASAP) relaxation, so the ALAP
+// pass and the per-edge slack sum are deferred to finishSlack and run only
+// for candidates whose primary key is competitive. est.cutSlack is left 0
+// and est.slackII records the II the deferred slacks are defined at.
+func (en *engine) estimateFast(ii int) estimate {
+	p := en.p
+	g, m := p.g, p.m
+	var est estimate
+	est.nCut = en.nCut
+	est.iiBus, est.nComm = en.xfer()
+
+	resII := resIIFrom(m, en.counts)
+	base := ii
+	if resII > base {
+		base = resII
+	}
+	if est.iiBus > base {
+		base = est.iiBus
+	}
+	t, used := g.EstimateTimeInto(m, base, en.extra, &en.times)
+	est.t, est.ii = t, used
+	est.slackII = used
+
+	if p.opts.RegisterAware {
+		if extraMemII := p.spillPressureII(en.assign, &en.times, en.counts); extraMemII > used {
+			t2, used2 := g.EstimateTimeInto(m, extraMemII, en.extra, &en.times)
+			est.t, est.ii = t2, used2
+		}
+	}
+	return est
+}
+
+// finishSlack completes a fast estimate with its cut-slack tie-break. Must
+// be called before the next move/estimate on the engine (it reuses the
+// forward times estimateFast left behind when they are still at the slack
+// II; the register-aware pass may have advanced them, in which case the
+// forward pass is re-run).
+func (en *engine) finishSlack(est *estimate) {
+	g, m := en.p.g, en.p.m
+	if en.times.II != est.slackII {
+		if !g.StartTimesInto(m, est.slackII, en.extra, &en.times) {
+			panic("partition: slack II infeasible") // unreachable: it was used for the estimate
+		}
+	} else {
+		g.LatestInto(m, en.extra, &en.times)
+	}
+	for i := range g.Edges {
+		if en.cut[i] {
+			est.cutSlack += int64(g.Slack(&en.times, i, en.extra))
+		}
+	}
+}
+
+// lowerBoundT returns a proven lower bound on estimate(ii).t for the
+// current assignment without running the longest-path analysis: the
+// estimator never uses an II below max(ii, resource MII, interconnect II),
+// and the schedule length is at least the largest single-operation latency
+// (every node starts at cycle ≥ 0), so T = (niter−1)·II + SL is bounded
+// below accordingly. The register-aware pass can only raise the II, so the
+// bound holds there too.
+func (en *engine) lowerBoundT(ii int) int64 {
+	p := en.p
+	iiBus, _ := en.xfer()
+	base := ii
+	if resII := resIIFrom(p.m, en.counts); resII > base {
+		base = resII
+	}
+	if iiBus > base {
+		base = iiBus
+	}
+	return int64(p.g.Niter-1)*int64(base) + int64(p.maxOpLat)
+}

@@ -1,0 +1,278 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ddg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// The incremental engine must be observationally identical to full
+// re-evaluation: same maintained state as a from-scratch rebuild after any
+// move sequence, same estimates as Partitioner.evaluate, and — through the
+// screening inner loop — the same chosen move sequence as exhaustive
+// evaluation of every candidate.
+
+func engineMachines() []*machine.Config {
+	p2p := machine.MustClustered(4, 64, 1, 2)
+	p2p = &machine.Config{
+		Name: "p2p", Clusters: p2p.Clusters, Units: p2p.Units,
+		RegsPerCluster: p2p.RegsPerCluster, NBus: 1, LatBus: 2,
+		Topology: machine.PointToPoint, Latency: p2p.Latency,
+	}
+	return []*machine.Config{
+		machine.MustClustered(2, 32, 1, 1),
+		machine.MustClustered(4, 64, 1, 2),
+		machine.MustClustered(4, 32, 2, 1),
+		p2p,
+	}
+}
+
+// estimatesEqual compares every field the selection logic can observe.
+func estimatesEqual(a, b estimate) bool {
+	return a.t == b.t && a.ii == b.ii && a.iiBus == b.iiBus &&
+		a.nComm == b.nComm && a.cutSlack == b.cutSlack && a.nCut == b.nCut
+}
+
+// TestEngineStateMatchesRebuild drives random single-group moves through
+// one engine and, after every move, compares each piece of delta-maintained
+// state against a second engine rebuilt from scratch, plus the estimates
+// against the full evaluator.
+func TestEngineStateMatchesRebuild(t *testing.T) {
+	f := func(seed int64, mIdx uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 5+r.Intn(35))
+		m := engineMachines()[int(mIdx)%4]
+		p := New(g, m, nil)
+		ii := g.MII(m)
+		p.computeWeights(ii)
+
+		assign := make([]int, g.N())
+		for v := range assign {
+			assign[v] = r.Intn(m.Clusters)
+		}
+		en := newEngine(p, assign)
+
+		// Random macro-nodes of 1-3 members, all drawn from one cluster so
+		// the group invariant (members share a cluster) holds.
+		for step := 0; step < 40; step++ {
+			c1 := r.Intn(m.Clusters)
+			var members []int
+			for v := range assign {
+				if assign[v] == c1 {
+					members = append(members, v)
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			r.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
+			if n := 1 + r.Intn(3); len(members) > n {
+				members = members[:n]
+			}
+			c2 := r.Intn(m.Clusters)
+			en.move(members, c2)
+
+			fresh := newEngine(New(g, m, nil), append([]int(nil), assign...))
+			if en.nCut != fresh.nCut || en.nComm != fresh.nComm {
+				return false
+			}
+			for i := range g.Edges {
+				if en.cut[i] != fresh.cut[i] || en.extra[i] != fresh.extra[i] {
+					return false
+				}
+			}
+			for c := 0; c < m.Clusters; c++ {
+				if en.counts[c] != fresh.counts[c] {
+					return false
+				}
+			}
+			for v := range g.Nodes {
+				if en.crossOut[v] != fresh.crossOut[v] {
+					return false
+				}
+			}
+			if m.Topology == machine.PointToPoint {
+				for i := range en.perLink {
+					if en.perLink[i] != fresh.perLink[i] {
+						return false
+					}
+				}
+				for i := range en.destCnt {
+					if en.destCnt[i] != fresh.destCnt[i] {
+						return false
+					}
+				}
+			}
+			if !estimatesEqual(en.estimate(ii), p.evaluate(assign, ii)) {
+				return false
+			}
+			// Undo must restore the state exactly (spot-check via estimate).
+			en.move(members, c1)
+			if !estimatesEqual(en.estimate(ii), p.evaluate(assign, ii)) {
+				return false
+			}
+			en.move(members, c2) // keep the move and continue
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLowerBoundSound: the screening bound must never exceed the true
+// estimate's execution time, for any assignment (otherwise screening could
+// drop a winning candidate).
+func TestLowerBoundSound(t *testing.T) {
+	f := func(seed int64, mIdx uint8, regAware bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 4+r.Intn(30))
+		m := engineMachines()[int(mIdx)%4]
+		opts := &Options{RegisterAware: regAware}
+		p := New(g, m, opts)
+		ii := g.MII(m)
+		assign := make([]int, g.N())
+		for v := range assign {
+			assign[v] = r.Intn(m.Clusters)
+		}
+		en := newEngine(p, assign)
+		return en.lowerBoundT(ii) <= en.estimate(ii).t
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// partitionResultsEqual compares everything Partition returns.
+func partitionResultsEqual(a, b *Result) bool {
+	if a.IIBus != b.IIBus || a.NComm != b.NComm || a.EstTime != b.EstTime ||
+		a.EstII != b.EstII || a.Levels != b.Levels || a.Moves != b.Moves {
+		return false
+	}
+	for v := range a.Assign {
+		if a.Assign[v] != b.Assign[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEngineMoveSequenceEquivalence pins the tentpole contract: the
+// incremental, screened refinement chooses exactly the moves that
+// exhaustive full re-evaluation of every candidate chooses, across fuzzed
+// loops, machines and option sets.
+func TestEngineMoveSequenceEquivalence(t *testing.T) {
+	f := func(seed int64, mIdx uint8, optBits uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 4+r.Intn(40))
+		m := engineMachines()[int(mIdx)%4]
+		opts := &Options{
+			Weights:        WeightScheme(optBits & 1),
+			RegisterAware:  optBits&2 != 0,
+			BalanceBestFit: optBits&4 != 0,
+		}
+		ii := g.MII(m)
+		fast := New(g, m, opts).Partition(ii)
+		ref := New(g, m, opts)
+		ref.debugFullEval = true
+		slow := ref.Partition(ii)
+		return partitionResultsEqual(fast, slow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineCorpusEquivalence runs the same screened-vs-exhaustive
+// comparison over the real sweep workloads (both corpora, every sweep
+// machine) — the loops behind the golden sweep CSV.
+func TestEngineCorpusEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus-wide equivalence is covered by the fuzz variant in -short mode")
+	}
+	for _, corpus := range [][]*workload.Benchmark{workload.SPECfp95(), workload.DSP()} {
+		for _, bm := range corpus {
+			for _, l := range bm.Loops {
+				for _, m := range machine.SweepSet() {
+					if m.Clusters <= 1 {
+						continue
+					}
+					ii := l.G.MII(m)
+					if ii >= 1<<20 {
+						continue // machine cannot run this loop at all
+					}
+					fast := New(l.G, m, nil).Partition(ii)
+					ref := New(l.G, m, nil)
+					ref.debugFullEval = true
+					slow := ref.Partition(ii)
+					if !partitionResultsEqual(fast, slow) {
+						t.Fatalf("%s/%s on %s: incremental and exhaustive refinement diverge:\nfast %+v\nslow %+v",
+							bm.Name, l.G.Name, m.Name, fast, slow)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBalanceFirstFit pins the destination-scan semantics of the balancing
+// pass: by default the first feasible cluster in index order receives the
+// evicted macro-node even when a later cluster is less loaded; with
+// Options.BalanceBestFit the least-loaded feasible destination wins.
+func TestBalanceFirstFit(t *testing.T) {
+	// Cluster 0 has no FP units but holds the FP ops (infinitely
+	// overloaded); clusters 1 and 2 both fit them, cluster 1 carrying one
+	// FP op already, cluster 2 none.
+	spec := func(fp int) machine.ClusterSpec {
+		return machine.ClusterSpec{Units: [isa.NumUnitKinds]int{1, fp, 1}, Regs: 16}
+	}
+	m := machine.MustHetero("balance-pin",
+		[]machine.ClusterSpec{spec(0), spec(2), spec(2)}, machine.SharedBus, 1, 1, false)
+
+	build := func() (*Partitioner, []int, *level) {
+		g := ddgNewBalanceLoop()
+		p := New(g, m, nil)
+		p.computeWeights(1)
+		assign := []int{0, 1, 2, 1} // FP op in cluster 0; glue elsewhere
+		lv := &level{groups: [][]int{{0}, {1}, {2}, {3}}}
+		return p, assign, lv
+	}
+
+	p, assign, lv := build()
+	en := newEngine(p, assign)
+	if moves := p.balance(lv, en, 1); moves == 0 {
+		t.Fatal("balance did not move the stranded FP op")
+	}
+	if assign[0] != 1 {
+		t.Errorf("first-fit: FP op moved to cluster %d, want 1 (first feasible)", assign[0])
+	}
+
+	p, assign, lv = build()
+	p.opts.BalanceBestFit = true
+	en = newEngine(p, assign)
+	if moves := p.balance(lv, en, 1); moves == 0 {
+		t.Fatal("best-fit balance did not move the stranded FP op")
+	}
+	if assign[0] != 2 {
+		t.Errorf("best-fit: FP op moved to cluster %d, want 2 (least loaded)", assign[0])
+	}
+}
+
+// ddgNewBalanceLoop is the four-op loop behind TestBalanceFirstFit: one FP
+// op stranded on a cluster without FP units, one FP op pre-loading cluster
+// 1, and two int ops as glue.
+func ddgNewBalanceLoop() *ddg.Graph {
+	g := ddg.New("balance-pin", 10)
+	a := g.AddNode(isa.FPAdd, "stranded")
+	b := g.AddNode(isa.FPAdd, "preload")
+	c := g.AddNode(isa.IntALU, "glue1")
+	d := g.AddNode(isa.IntALU, "glue2")
+	g.AddDep(a, c, 0)
+	g.AddDep(b, d, 0)
+	return g
+}

@@ -28,6 +28,7 @@ package partition
 import (
 	"repro/internal/ddg"
 	"repro/internal/graph"
+	"repro/internal/isa"
 	"repro/internal/machine"
 )
 
@@ -68,6 +69,12 @@ type Options struct {
 	// pressure-aware partitioning as future work; this option implements
 	// it (ablation A6).
 	RegisterAware bool
+	// BalanceBestFit makes the workload-balancing pass scan every feasible
+	// destination cluster and move the macro-node to the one least loaded
+	// on the overloaded resource. The default (false) is first-fit by
+	// construction — the first feasible cluster in index order is taken —
+	// which preserves the golden paper outputs; see TestBalanceFirstFit.
+	BalanceBestFit bool
 }
 
 // Result is a computed cluster assignment.
@@ -97,6 +104,17 @@ type Partitioner struct {
 
 	weights []int64 // per original edge; 0 for non-data edges
 	extra   []int   // scratch per-edge latency additions
+
+	// maxOpLat is the largest single-operation latency of the loop body on
+	// m: a lower bound on any schedule length, used by the refinement
+	// candidate screen.
+	maxOpLat int
+	sc       scratch // persistent evaluation arena, reused across calls
+
+	// debugFullEval forces full re-evaluation (no incremental state, no
+	// screening) for every refinement candidate. Test hook: the engine
+	// equivalence suite pins that both paths choose the same moves.
+	debugFullEval bool
 }
 
 // New returns a partitioner for graph g on machine m. opts may be nil for
@@ -105,6 +123,11 @@ func New(g *ddg.Graph, m *machine.Config, opts *Options) *Partitioner {
 	p := &Partitioner{g: g, m: m, extra: make([]int, len(g.Edges))}
 	if opts != nil {
 		p.opts = *opts
+	}
+	for _, n := range g.Nodes {
+		if lat := m.OpLatency(n.Op); lat > p.maxOpLat {
+			p.maxOpLat = lat
+		}
 	}
 	return p
 }
@@ -150,11 +173,14 @@ func (p *Partitioner) Partition(ii int) *Result {
 
 	// Refinement from coarsest to finest (paper §3.2.2). Even with
 	// refinement disabled, one balancing pass keeps the partition feasible.
+	// One incremental engine carries the cut/count/transfer state across
+	// all levels; its moves mutate res.Assign in place.
+	en := newEngine(p, res.Assign)
 	for li := len(levels) - 1; li >= 0; li-- {
 		lv := levels[li]
-		res.Moves += p.balance(lv, res.Assign, ii)
+		res.Moves += p.balance(lv, en, ii)
 		if !p.opts.SkipRefinement {
-			res.Moves += p.minimizeCut(lv, res.Assign, ii)
+			res.Moves += p.minimizeCut(lv, en, ii)
 		}
 	}
 
@@ -162,6 +188,16 @@ func (p *Partitioner) Partition(ii int) *Result {
 	res.IIBus, res.NComm = final.iiBus, final.nComm
 	res.EstTime, res.EstII = final.t, final.ii
 	return res
+}
+
+// EvaluateForBenchmark runs the internal partition-quality estimator once
+// for the given assignment at interval ii and returns the estimated
+// execution time and II. It exists for the perf-snapshot harness
+// (internal/bench, gpbench -bench-json), which pins the estimator's
+// steady-state allocation count from outside the package.
+func (p *Partitioner) EvaluateForBenchmark(assign []int, ii int) (estTime int64, estII int) {
+	e := p.evaluate(assign, ii)
+	return e.t, e.ii
 }
 
 // IIBusFor returns the interconnect-imposed II bound for an assignment: the
@@ -178,31 +214,54 @@ func IIBusFor(g *ddg.Graph, m *machine.Config, assign []int) (iiBus, nComm int) 
 // destination-cluster) pair costs one transfer on its home→dest link, and
 // the busiest link bounds the II.
 func iiXfer(g *ddg.Graph, m *machine.Config, assign []int) (iiBus, nComm int) {
+	var s xferScratch
+	return s.compute(g, m, assign)
+}
+
+// xferScratch holds the reusable tally buffers behind iiXfer so the hot
+// evaluation path recomputes the interconnect bound without allocating.
+type xferScratch struct {
+	cross   []bool // per node: has a cut outgoing data edge
+	destCnt []int  // node·C+dest cut-edge counts (point-to-point only)
+	perLink []int  // home·C+dest distinct-transfer counts (p2p only)
+}
+
+func (x *xferScratch) compute(g *ddg.Graph, m *machine.Config, assign []int) (iiBus, nComm int) {
 	if m.Clusters <= 1 || m.NBus == 0 {
 		return 0, 0
 	}
 	occ := m.XferOccupancy()
-	cross := make([]bool, g.N())
+	n := g.N()
+	x.cross = resizeBools(x.cross, n)
+	for i := range x.cross {
+		x.cross[i] = false
+	}
 	if m.Topology == machine.PointToPoint {
-		seen := make(map[[2]int]bool)   // (producer, dest cluster)
-		perLink := make(map[[2]int]int) // (home, dest) → transfer count
+		c := m.Clusters
+		x.destCnt = resizeInts(x.destCnt, n*c)
+		for i := range x.destCnt {
+			x.destCnt[i] = 0
+		}
+		x.perLink = resizeInts(x.perLink, c*c)
+		for i := range x.perLink {
+			x.perLink[i] = 0
+		}
 		for _, e := range g.Edges {
 			if e.Kind != ddg.Data || assign[e.From] == assign[e.To] {
 				continue
 			}
-			cross[e.From] = true
-			key := [2]int{e.From, assign[e.To]}
-			if !seen[key] {
-				seen[key] = true
-				perLink[[2]int{assign[e.From], assign[e.To]}]++
+			x.cross[e.From] = true
+			di := e.From*c + assign[e.To]
+			if x.destCnt[di]++; x.destCnt[di] == 1 {
+				x.perLink[assign[e.From]*c+assign[e.To]]++
 			}
 		}
-		for _, c := range cross {
-			if c {
+		for _, crossed := range x.cross {
+			if crossed {
 				nComm++
 			}
 		}
-		for _, cnt := range perLink {
+		for _, cnt := range x.perLink {
 			if v := ceilDiv(cnt*occ, m.NBus); v > iiBus {
 				iiBus = v
 			}
@@ -211,11 +270,11 @@ func iiXfer(g *ddg.Graph, m *machine.Config, assign []int) (iiBus, nComm int) {
 	}
 	for _, e := range g.Edges {
 		if e.Kind == ddg.Data && assign[e.From] != assign[e.To] {
-			cross[e.From] = true
+			x.cross[e.From] = true
 		}
 	}
-	for _, c := range cross {
-		if c {
+	for _, crossed := range x.cross {
+		if crossed {
 			nComm++
 		}
 	}
@@ -227,7 +286,10 @@ func iiXfer(g *ddg.Graph, m *machine.Config, assign []int) (iiBus, nComm int) {
 // per §2.1.2).
 func (p *Partitioner) computeWeights(ii int) {
 	g := p.g
-	p.weights = make([]int64, len(g.Edges))
+	p.weights = resizeInt64s(p.weights, len(g.Edges))
+	for i := range p.weights {
+		p.weights[i] = 0
+	}
 	if p.opts.Weights == UniformWeights {
 		for i, e := range g.Edges {
 			if e.Kind == ddg.Data {
@@ -236,31 +298,35 @@ func (p *Partitioner) computeWeights(ii int) {
 		}
 		return
 	}
-	baseT, usedII := g.EstimateTime(p.m, ii, nil)
-	times, ok := g.StartTimes(p.m, usedII, nil)
-	if !ok {
-		panic("partition: StartTimes infeasible at estimator II")
-	}
+	// EstimateTimeInto leaves p.sc.times holding the ASAP times at usedII;
+	// one ALAP completion gives the slacks with no second forward pass.
+	baseT, usedII := g.EstimateTimeInto(p.m, ii, nil, &p.sc.times)
+	g.LatestInto(p.m, nil, &p.sc.times)
 	// Slack and maxslack over data edges.
-	slack := make([]int, len(g.Edges))
+	slack := resizeInts(p.sc.slack, len(g.Edges))
+	p.sc.slack = slack
 	maxsl := 0
 	for i, e := range g.Edges {
 		if e.Kind != ddg.Data {
 			continue
 		}
-		slack[i] = g.Slack(times, i, nil)
+		slack[i] = g.Slack(&p.sc.times, i, nil)
 		if slack[i] > maxsl {
 			maxsl = slack[i]
 		}
 	}
-	scratch := make([]int, len(g.Edges))
+	probe := resizeInts(p.sc.probe, len(g.Edges))
+	p.sc.probe = probe
+	for i := range probe {
+		probe[i] = 0
+	}
 	for i, e := range g.Edges {
 		if e.Kind != ddg.Data {
 			continue
 		}
-		scratch[i] = p.m.LatBus
-		delayT, _ := g.EstimateTime(p.m, usedII, scratch)
-		scratch[i] = 0
+		probe[i] = p.m.LatBus
+		delayT, _ := g.EstimateTimeInto(p.m, usedII, probe, &p.sc.times)
+		probe[i] = 0
 		delay := delayT - baseT
 		if delay < 0 {
 			delay = 0
@@ -275,6 +341,9 @@ type level struct {
 	groups [][]int
 	// edges are the collapsed inter-group data edges with summed weights.
 	edges []graph.Edge
+	// gcs caches the per-group unit counts (lazily, via groupCountsOf):
+	// they depend only on the fixed group membership, not the assignment.
+	gcs [][isa.NumUnitKinds]int
 }
 
 // coarsen builds the level hierarchy, finest first, stopping once the

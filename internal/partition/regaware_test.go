@@ -76,7 +76,7 @@ func TestSpillPressureIIDetectsOverflow(t *testing.T) {
 	if !ok {
 		t.Fatal("infeasible")
 	}
-	counts := p.clusterCounts(assign)
+	counts := p.clusterCountsInto(assign)
 	ii := p.spillPressureII(assign, times, counts)
 	if ii <= times.II {
 		t.Errorf("packed assignment not penalized: ii=%d base=%d", ii, times.II)
@@ -88,7 +88,7 @@ func TestSpillPressureIIDetectsOverflow(t *testing.T) {
 	for v := range spread {
 		spread[v] = v % m.Clusters
 	}
-	counts = p.clusterCounts(spread)
+	counts = p.clusterCountsInto(spread)
 	if got := p.spillPressureII(spread, times, counts); got > ii {
 		t.Errorf("spread assignment penalized more (%d) than packed (%d)", got, ii)
 	}
@@ -113,7 +113,7 @@ func TestSpillPressureIIDetectsOverflow(t *testing.T) {
 	for v := range hAssign {
 		hAssign[v] = v % m.Clusters
 	}
-	hCounts := ph.clusterCounts(hAssign)
+	hCounts := ph.clusterCountsInto(hAssign)
 	if got := ph.spillPressureII(hAssign, ht, hCounts); got != ht.II {
 		t.Errorf("short lifetimes penalized: ii=%d base=%d", got, ht.II)
 	}
