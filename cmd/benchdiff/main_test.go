@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func writeSnapshot(t *testing.T, dir, name string, benchmarks []bench.PerfBenchmark) string {
+	t.Helper()
+	snap := bench.PerfSnapshot{GoVersion: "go-test", Benchmarks: benchmarks, LoopsScheduled: 81, SchedulesPerSec: 100}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baselineBenchmarks() []bench.PerfBenchmark {
+	return []bench.PerfBenchmark{
+		{Name: "partition_medium_2cluster", Iterations: 100, NsPerOp: 1000, AllocsPerOp: 50},
+		{Name: "partition_large_4cluster", Iterations: 100, NsPerOp: 5000, AllocsPerOp: 200},
+		{Name: "evaluate_steady_state", Iterations: 1000, NsPerOp: 2500, AllocsPerOp: 0},
+	}
+}
+
+func TestBenchdiffPass(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnapshot(t, dir, "base.json", baselineBenchmarks())
+	cur := writeSnapshot(t, dir, "cur.json", []bench.PerfBenchmark{
+		{Name: "partition_medium_2cluster", NsPerOp: 1250, AllocsPerOp: 50}, // +25% < 30%
+		{Name: "partition_large_4cluster", NsPerOp: 4000, AllocsPerOp: 190}, // faster
+		{Name: "evaluate_steady_state", NsPerOp: 2400, AllocsPerOp: 0},      // allocation-free held
+		{Name: "brand_new_benchmark", NsPerOp: 123456, AllocsPerOp: 999},    // new entries never gate
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-baseline", base, "-current", cur}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "PASS") {
+		t.Fatalf("no PASS in output: %s", stdout.String())
+	}
+}
+
+func TestBenchdiffNsPerOpRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnapshot(t, dir, "base.json", baselineBenchmarks())
+	cur := writeSnapshot(t, dir, "cur.json", []bench.PerfBenchmark{
+		{Name: "partition_medium_2cluster", NsPerOp: 1400, AllocsPerOp: 50}, // +40% > 30%
+		{Name: "partition_large_4cluster", NsPerOp: 5000, AllocsPerOp: 200},
+		{Name: "evaluate_steady_state", NsPerOp: 2500, AllocsPerOp: 0},
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-baseline", base, "-current", cur}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "ns/op regressed") {
+		t.Fatalf("missing regression message: %s", stderr.String())
+	}
+
+	// The documented override knobs report but do not fail.
+	if code := run([]string{"-baseline", base, "-current", cur, "-accept"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-accept: exit %d, want 0", code)
+	}
+	t.Setenv("BENCHDIFF_ACCEPT", "1")
+	if code := run([]string{"-baseline", base, "-current", cur}, &stdout, &stderr); code != 0 {
+		t.Fatalf("BENCHDIFF_ACCEPT=1: exit %d, want 0", code)
+	}
+}
+
+func TestBenchdiffAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnapshot(t, dir, "base.json", baselineBenchmarks())
+	cur := writeSnapshot(t, dir, "cur.json", []bench.PerfBenchmark{
+		{Name: "partition_medium_2cluster", NsPerOp: 1000, AllocsPerOp: 500}, // non-evaluator: allocs not gated
+		{Name: "partition_large_4cluster", NsPerOp: 5000, AllocsPerOp: 200},
+		{Name: "evaluate_steady_state", NsPerOp: 2500, AllocsPerOp: 1}, // contract broken
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-baseline", base, "-current", cur}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "allocs/op increased 0 → 1") {
+		t.Fatalf("missing alloc message: %s", stderr.String())
+	}
+	if strings.Contains(stderr.String(), "partition_medium_2cluster: allocs") {
+		t.Fatalf("non-evaluator allocs wrongly gated: %s", stderr.String())
+	}
+}
+
+func TestBenchdiffMissingBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnapshot(t, dir, "base.json", baselineBenchmarks())
+	cur := writeSnapshot(t, dir, "cur.json", []bench.PerfBenchmark{
+		{Name: "partition_medium_2cluster", NsPerOp: 1000, AllocsPerOp: 50},
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-baseline", base, "-current", cur}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "missing from current") {
+		t.Fatalf("missing-benchmark violation absent: %s", stderr.String())
+	}
+}
+
+func TestBenchdiffBadInvocation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{}, &stdout, &stderr); code != 2 {
+		t.Fatalf("no -current: exit %d, want 2", code)
+	}
+	if code := run([]string{"-baseline", "/nonexistent.json", "-current", "/nonexistent2.json"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing files: exit %d, want 2", code)
+	}
+}

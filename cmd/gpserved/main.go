@@ -1,0 +1,125 @@
+// Command gpserved is the scheduling-as-a-service daemon: it serves the
+// paper's GP/Fixed/URACAM schedulers over HTTP with a content-addressed
+// result cache, singleflight coalescing of identical in-flight requests,
+// and a bounded worker pool that sheds load with 429 + Retry-After when
+// saturated. SIGINT/SIGTERM drain in-flight work before exit.
+//
+// Usage:
+//
+//	gpserved [-addr :8037] [-workers N] [-queue N] [-cache N]
+//	gpserved -bench-json BENCH_server.json [-bench-requests N] [-bench-concurrency N]
+//
+// The -bench-json mode does not serve: it boots an in-process daemon,
+// drives it with a sustained request mix over loopback HTTP, writes the
+// throughput snapshot and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gpserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8037", "listen address")
+	workers := fs.Int("workers", 0, "scheduling worker goroutines (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "bounded queue depth before 429 backpressure")
+	cacheN := fs.Int("cache", 1024, "LRU result-cache entries")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	benchJSON := fs.String("bench-json", "", "measure sustained throughput and write the snapshot to this JSON file, then exit")
+	benchReqs := fs.Int("bench-requests", 400, "total requests of the -bench-json measurement")
+	benchConc := fs.Int("bench-concurrency", 8, "client goroutines of the -bench-json measurement")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := server.Config{Workers: *workers, QueueDepth: *queue, CacheEntries: *cacheN}
+
+	if *benchJSON != "" {
+		snap, err := server.MeasureThroughput(cfg, server.PerfOptions{
+			Requests:    *benchReqs,
+			Concurrency: *benchConc,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "gpserved: bench: %v\n", err)
+			return 1
+		}
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fmt.Fprintf(stderr, "gpserved: %v\n", err)
+			return 1
+		}
+		if err := bench.WriteServerPerfJSON(f, snap); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "gpserved: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "gpserved: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "server perf snapshot written to %s (%.0f req/s, %.0f%% cache hits, p99 %.0fµs)\n",
+			*benchJSON, snap.RequestsPerSec, snap.CacheHitRate*100, snap.P99Micros)
+		return 0
+	}
+
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "gpserved: %v\n", err)
+		return 1
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "gpserved listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(stderr, "gpserved: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, wait out in-flight handlers, then
+	// drain the worker pool's queue — all within the -drain budget, so a
+	// supervisor's termination grace period is respected even when a long
+	// sweep is mid-flight (the process exits and abandons it rather than
+	// earn a SIGKILL).
+	fmt.Fprintln(stdout, "gpserved: draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(stderr, "gpserved: shutdown: %v (abandoning in-flight work)\n", err)
+		return 1
+	}
+	poolDone := make(chan struct{})
+	go func() { srv.Close(); close(poolDone) }()
+	select {
+	case <-poolDone:
+		fmt.Fprintln(stdout, "gpserved: drained, bye")
+		return 0
+	case <-shutCtx.Done():
+		fmt.Fprintln(stderr, "gpserved: drain budget exceeded, abandoning queued work")
+		return 1
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/partition"
 	"repro/internal/schedule"
+	"repro/internal/server"
 	"repro/internal/workload"
 )
 
@@ -177,3 +178,25 @@ func ReadMachine(r io.Reader) (*Machine, error) { return machine.Parse(r) }
 
 // FormatMachine renders a machine in the text description format.
 func FormatMachine(m *Machine) string { return machine.Format(m) }
+
+// JSON wire format. LoopJSON is the JSON encoding of one loop DDG;
+// ScheduleRequest/ScheduleResponse and SweepRequest are the stable
+// request/response bodies of the gpserved HTTP API (POST /v1/schedule and
+// POST /v1/sweep — see cmd/gpserved and the README's "HTTP API" section).
+type (
+	// LoopJSON is the JSON encoding of one loop DDG.
+	LoopJSON = ddgio.JSONLoop
+	// ScheduleRequest is the body of POST /v1/schedule.
+	ScheduleRequest = server.ScheduleRequest
+	// ScheduleResponse is the body of a successful POST /v1/schedule.
+	ScheduleResponse = server.ScheduleResponse
+	// SweepRequest is the body of POST /v1/sweep.
+	SweepRequest = server.SweepRequest
+)
+
+// ReadLoopsJSON parses loops from the JSON wire format: an array of loop
+// objects or a single loop object.
+func ReadLoopsJSON(r io.Reader) ([]*DDG, error) { return ddgio.ReadJSON(r) }
+
+// WriteLoopsJSON serializes loops as one JSON array.
+func WriteLoopsJSON(w io.Writer, loops ...*DDG) error { return ddgio.WriteJSON(w, loops...) }

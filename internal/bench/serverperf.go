@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ServerPerfSnapshot is the machine-readable result of one gpserved
+// sustained-throughput measurement (`gpserved -bench-json`), written to
+// BENCH_server.json the same way MeasurePerf's snapshot goes to
+// BENCH_partition.json. The measurement itself lives in internal/server
+// (which imports this package for the sweep runner, so the types sit here
+// to keep the dependency one-way).
+type ServerPerfSnapshot struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+
+	// Requests is the total number of /v1/schedule requests fired;
+	// UniqueRequests of them were distinct (the rest re-request the same
+	// loops and should be cache hits or coalesced).
+	Requests       int `json:"requests"`
+	UniqueRequests int `json:"unique_requests"`
+	Concurrency    int `json:"concurrency"`
+	Errors         int `json:"errors"`
+	Rejected       int `json:"rejected"` // 429 backpressure responses
+
+	DurationSec    float64 `json:"duration_sec"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	P50Micros      float64 `json:"p50_micros"`
+	P99Micros      float64 `json:"p99_micros"`
+}
+
+// WriteServerPerfJSON writes the snapshot as indented JSON.
+func WriteServerPerfJSON(w io.Writer, s *ServerPerfSnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -56,22 +56,40 @@ type SweepPoint struct {
 // sweep. cfg's grid fields are ignored; Parallel, Verify and PartitionOpts
 // apply to every cell.
 func Sweep(ctx context.Context, machines []*machine.Config, corpora []Corpus, cfg Config) ([]SweepPoint, error) {
+	var points []SweepPoint
+	err := SweepStream(ctx, machines, corpora, cfg, func(pt SweepPoint) error {
+		points = append(points, pt)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// SweepStream is Sweep with incremental delivery: emit is called with each
+// cell's point as soon as its panel completes, in the same deterministic
+// order Sweep returns, so long sweeps can be streamed (the gpserved
+// /v1/sweep endpoint streams each cell as CSV rows). An emit error aborts
+// the sweep.
+func SweepStream(ctx context.Context, machines []*machine.Config, corpora []Corpus, cfg Config, emit func(SweepPoint) error) error {
 	if len(machines) == 0 {
-		return nil, fmt.Errorf("bench: sweep without machines")
+		return fmt.Errorf("bench: sweep without machines")
 	}
 	if len(corpora) == 0 {
-		return nil, fmt.Errorf("bench: sweep without corpora")
+		return fmt.Errorf("bench: sweep without corpora")
 	}
-	var points []SweepPoint
 	for _, m := range machines {
 		if err := m.Validate(); err != nil {
-			return nil, fmt.Errorf("bench: sweep machine: %w", err)
+			return fmt.Errorf("bench: sweep machine: %w", err)
 		}
 		for _, corpus := range corpora {
 			pt := SweepPoint{Machine: m, Corpus: corpus.Name}
 			if reason := infeasible(m, corpus.Benchmarks); reason != "" {
 				pt.SkipReason = reason
-				points = append(points, pt)
+				if err := emit(pt); err != nil {
+					return err
+				}
 				continue
 			}
 			cell := cfg
@@ -79,7 +97,7 @@ func Sweep(ctx context.Context, machines []*machine.Config, corpora []Corpus, cf
 			cell.Clusters, cell.TotalRegs, cell.NBus, cell.LatBus = 0, 0, 0, 0
 			rep, err := RunContext(ctx, corpus.Benchmarks, cell)
 			if err != nil {
-				return nil, fmt.Errorf("bench: sweep %s × %s: %w", m.Name, corpus.Name, err)
+				return fmt.Errorf("bench: sweep %s × %s: %w", m.Name, corpus.Name, err)
 			}
 			names := make([]string, 0, len(corpus.Benchmarks))
 			for _, bm := range corpus.Benchmarks {
@@ -87,10 +105,12 @@ func Sweep(ctx context.Context, machines []*machine.Config, corpora []Corpus, cf
 			}
 			SortRowsLike(rep, names)
 			pt.Report = rep
-			points = append(points, pt)
+			if err := emit(pt); err != nil {
+				return err
+			}
 		}
 	}
-	return points, nil
+	return nil
 }
 
 // infeasible reports why a machine cannot run a corpus: an operation kind
@@ -118,33 +138,44 @@ func infeasible(m *machine.Config, bms []*workload.Benchmark) string {
 // skipped cells marked. Identical sweeps produce byte-identical output for
 // every worker count.
 func WriteSweepCSV(w io.Writer, points []SweepPoint) error {
-	header := append([]string{"corpus", "config", "program"}, Schemes...)
-	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+	if err := WriteSweepHeader(w); err != nil {
 		return err
 	}
 	for _, pt := range points {
-		if pt.Report == nil {
-			if _, err := fmt.Fprintf(w, "%s,%s,SKIPPED(%s),,,,\n", pt.Corpus, pt.Machine.Name, pt.SkipReason); err != nil {
-				return err
-			}
-			continue
+		if err := WriteSweepPointCSV(w, pt); err != nil {
+			return err
 		}
-		for _, row := range pt.Report.Rows {
-			fields := []string{pt.Corpus, pt.Machine.Name, row.Benchmark}
-			for _, s := range Schemes {
-				fields = append(fields, fmt.Sprintf("%.4f", row.IPC[s]))
-			}
-			if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
-				return err
-			}
-		}
-		fields := []string{pt.Corpus, pt.Machine.Name, "MEAN"}
+	}
+	return nil
+}
+
+// WriteSweepHeader writes the sweep CSV header row.
+func WriteSweepHeader(w io.Writer) error {
+	header := append([]string{"corpus", "config", "program"}, Schemes...)
+	_, err := fmt.Fprintln(w, strings.Join(header, ","))
+	return err
+}
+
+// WriteSweepPointCSV writes one cell's CSV rows (benchmarks plus MEAN, or
+// the SKIPPED marker). SweepStream emitters use it to stream a sweep.
+func WriteSweepPointCSV(w io.Writer, pt SweepPoint) error {
+	if pt.Report == nil {
+		_, err := fmt.Fprintf(w, "%s,%s,SKIPPED(%s),,,,\n", pt.Corpus, pt.Machine.Name, pt.SkipReason)
+		return err
+	}
+	for _, row := range pt.Report.Rows {
+		fields := []string{pt.Corpus, pt.Machine.Name, row.Benchmark}
 		for _, s := range Schemes {
-			fields = append(fields, fmt.Sprintf("%.4f", pt.Report.MeanIPC[s]))
+			fields = append(fields, fmt.Sprintf("%.4f", row.IPC[s]))
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
 			return err
 		}
 	}
-	return nil
+	fields := []string{pt.Corpus, pt.Machine.Name, "MEAN"}
+	for _, s := range Schemes {
+		fields = append(fields, fmt.Sprintf("%.4f", pt.Report.MeanIPC[s]))
+	}
+	_, err := fmt.Fprintln(w, strings.Join(fields, ","))
+	return err
 }

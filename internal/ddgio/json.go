@@ -1,0 +1,124 @@
+package ddgio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/ddg"
+)
+
+// JSONLoop is the JSON encoding of one loop DDG, the wire format of the
+// gpserved HTTP API. It carries exactly the information of the text format:
+//
+//	{"name": "daxpy", "niter": 1000,
+//	 "nodes": [{"op": "Load", "name": "x[i]"}, ...],
+//	 "edges": [{"from": 0, "to": 2, "lat": 2, "dist": 0, "kind": "data"}, ...]}
+//
+// Node IDs are implicit array indices, so a JSONLoop cannot express the
+// sparse-ID graphs the text format already rejects.
+type JSONLoop struct {
+	Name  string     `json:"name"`
+	Niter int        `json:"niter"`
+	Nodes []JSONNode `json:"nodes"`
+	Edges []JSONEdge `json:"edges,omitempty"`
+}
+
+// JSONNode is one operation: its class mnemonic and an optional label.
+type JSONNode struct {
+	Op   string `json:"op"`
+	Name string `json:"name,omitempty"`
+}
+
+// JSONEdge is one dependence. Kind is "data" or "mem"; empty means "data".
+type JSONEdge struct {
+	From int    `json:"from"`
+	To   int    `json:"to"`
+	Lat  int    `json:"lat"`
+	Dist int    `json:"dist"`
+	Kind string `json:"kind,omitempty"`
+}
+
+// ToJSON converts a graph to its JSON form. It does not validate; graphs
+// from the constructors or Read/FromJSON are already valid.
+func ToJSON(g *ddg.Graph) *JSONLoop {
+	l := &JSONLoop{Name: g.Name, Niter: g.Niter, Nodes: make([]JSONNode, 0, len(g.Nodes))}
+	for _, n := range g.Nodes {
+		l.Nodes = append(l.Nodes, JSONNode{Op: n.Op.String(), Name: n.Name})
+	}
+	for _, e := range g.Edges {
+		l.Edges = append(l.Edges, JSONEdge{From: e.From, To: e.To, Lat: e.Lat, Dist: e.Dist, Kind: e.Kind.String()})
+	}
+	return l
+}
+
+// FromJSON builds and validates a graph from its JSON form.
+func FromJSON(l *JSONLoop) (*ddg.Graph, error) {
+	if l == nil {
+		return nil, fmt.Errorf("ddgio: nil loop")
+	}
+	if len(l.Nodes) == 0 {
+		return nil, fmt.Errorf("ddgio: loop %q has no nodes", l.Name)
+	}
+	g := ddg.New(l.Name, l.Niter)
+	for i, n := range l.Nodes {
+		op, err := ParseOpClass(n.Op)
+		if err != nil {
+			return nil, fmt.Errorf("ddgio: node %d: %v", i, err)
+		}
+		g.AddNode(op, n.Name)
+	}
+	for i, e := range l.Edges {
+		var kind ddg.EdgeKind
+		switch e.Kind {
+		case "data", "":
+			kind = ddg.Data
+		case "mem":
+			kind = ddg.Mem
+		default:
+			return nil, fmt.Errorf("ddgio: edge %d: bad kind %q", i, e.Kind)
+		}
+		g.AddEdge(ddg.Edge{From: e.From, To: e.To, Lat: e.Lat, Dist: e.Dist, Kind: kind})
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("ddgio: %w", err)
+	}
+	return g, nil
+}
+
+// WriteJSON serializes loops as one JSON array.
+func WriteJSON(w io.Writer, loops ...*ddg.Graph) error {
+	out := make([]*JSONLoop, 0, len(loops))
+	for _, g := range loops {
+		out = append(out, ToJSON(g))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses loops from JSON: either an array of loop objects or a
+// single loop object. Every loop is validated.
+func ReadJSON(r io.Reader) ([]*ddg.Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("ddgio: %w", err)
+	}
+	var arr []*JSONLoop
+	if err := json.Unmarshal(data, &arr); err != nil {
+		var one JSONLoop
+		if err2 := json.Unmarshal(data, &one); err2 != nil {
+			return nil, fmt.Errorf("ddgio: %w", err)
+		}
+		arr = []*JSONLoop{&one}
+	}
+	loops := make([]*ddg.Graph, 0, len(arr))
+	for _, l := range arr {
+		g, err := FromJSON(l)
+		if err != nil {
+			return nil, err
+		}
+		loops = append(loops, g)
+	}
+	return loops, nil
+}

@@ -1,0 +1,113 @@
+package ddgio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/isa"
+)
+
+func jsonSampleLoop(t *testing.T) *ddg.Graph {
+	t.Helper()
+	g := ddg.New("daxpy", 1000)
+	x := g.AddNode(isa.Load, "x[i]")
+	y := g.AddNode(isa.Load, "y[i]")
+	m := g.AddNode(isa.FPMul, "a*x")
+	a := g.AddNode(isa.FPAdd, "")
+	s := g.AddNode(isa.Store, "y[i]=")
+	g.AddDep(x, m, 0)
+	g.AddDep(m, a, 0)
+	g.AddDep(y, a, 0)
+	g.AddDep(a, s, 0)
+	g.AddEdge(ddg.Edge{From: s, To: y, Lat: 1, Dist: 1, Kind: ddg.Mem})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := jsonSampleLoop(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	loops, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(loops))
+	}
+	got := loops[0]
+	if got.Name != g.Name || got.Niter != g.Niter || got.N() != g.N() || len(got.Edges) != len(g.Edges) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, g)
+	}
+	for i := range g.Nodes {
+		if got.Nodes[i].Op != g.Nodes[i].Op || got.Nodes[i].Name != g.Nodes[i].Name {
+			t.Errorf("node %d: got %+v want %+v", i, got.Nodes[i], g.Nodes[i])
+		}
+	}
+	for i := range g.Edges {
+		if got.Edges[i] != g.Edges[i] {
+			t.Errorf("edge %d: got %+v want %+v", i, got.Edges[i], g.Edges[i])
+		}
+	}
+}
+
+func TestJSONTextEquivalence(t *testing.T) {
+	// The two codecs describe the same graph: text → JSON → text is identity.
+	g := jsonSampleLoop(t)
+	var text1 bytes.Buffer
+	if err := Write(&text1, g); err != nil {
+		t.Fatal(err)
+	}
+	var jbuf bytes.Buffer
+	if err := WriteJSON(&jbuf, g); err != nil {
+		t.Fatal(err)
+	}
+	loops, err := ReadJSON(&jbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text2 bytes.Buffer
+	if err := Write(&text2, loops[0]); err != nil {
+		t.Fatal(err)
+	}
+	if text1.String() != text2.String() {
+		t.Fatalf("text after JSON round trip differs:\n%s\nvs\n%s", text1.String(), text2.String())
+	}
+}
+
+func TestReadJSONSingleObject(t *testing.T) {
+	in := `{"name":"one","niter":10,"nodes":[{"op":"IntALU"}]}`
+	loops, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != 1 || loops[0].Name != "one" || loops[0].N() != 1 {
+		t.Fatalf("bad parse: %+v", loops)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"garbage", `{{{`},
+		{"no nodes", `{"name":"x","niter":1,"nodes":[]}`},
+		{"bad op", `{"name":"x","niter":1,"nodes":[{"op":"Quantum"}]}`},
+		{"bad kind", `{"name":"x","niter":1,"nodes":[{"op":"IntALU"},{"op":"IntALU"}],"edges":[{"from":0,"to":1,"lat":1,"kind":"psychic"}]}`},
+		{"edge out of range", `{"name":"x","niter":1,"nodes":[{"op":"IntALU"}],"edges":[{"from":0,"to":5,"lat":1}]}`},
+		{"zero niter", `{"name":"x","niter":0,"nodes":[{"op":"IntALU"}]}`},
+		{"data edge from store", `{"name":"x","niter":1,"nodes":[{"op":"Store"},{"op":"IntALU"}],"edges":[{"from":0,"to":1,"lat":1}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := ReadJSON(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: want error, got none", tc.name)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package machine
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	machines := []*Config{
+		NewUnified(64),
+		MustClustered(4, 64, 1, 2),
+		MustHetero("het", []ClusterSpec{
+			{Units: [isa.NumUnitKinds]int{3, 1, 2}, Regs: 24},
+			{Units: [isa.NumUnitKinds]int{1, 3, 2}, Regs: 40},
+		}, PointToPoint, 2, 3, true),
+	}
+	for _, m := range machines {
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", m.Name, err)
+		}
+		var got Config
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%s: unmarshal: %v", m.Name, err)
+		}
+		if got.Clusters != m.Clusters || got.NBus != m.NBus || got.LatBus != m.LatBus ||
+			got.Topology != m.Topology || got.Pipelined != m.Pipelined ||
+			got.TotalRegs() != m.TotalRegs() {
+			t.Fatalf("%s: round trip mismatch:\n got %+v\nwant %+v", m.Name, &got, m)
+		}
+		for cl := 0; cl < m.Clusters; cl++ {
+			if got.RegsIn(cl) != m.RegsIn(cl) {
+				t.Errorf("%s: cluster %d regs %d != %d", m.Name, cl, got.RegsIn(cl), m.RegsIn(cl))
+			}
+			for k := 0; k < isa.NumUnitKinds; k++ {
+				if got.UnitsIn(cl, isa.UnitKind(k)) != m.UnitsIn(cl, isa.UnitKind(k)) {
+					t.Errorf("%s: cluster %d unit kind %d mismatch", m.Name, cl, k)
+				}
+			}
+		}
+		if got.Latency != m.Latency {
+			t.Errorf("%s: latency table mismatch", m.Name)
+		}
+	}
+}
+
+func TestConfigMarshalInvalid(t *testing.T) {
+	bad := &Config{} // zero value is not a valid configuration
+	if _, err := bad.MarshalText(); err == nil {
+		t.Fatal("marshal of invalid config: want error")
+	}
+	var c Config
+	if err := c.UnmarshalText([]byte("machine x\n")); err == nil {
+		t.Fatal("unmarshal of clusterless description: want error")
+	}
+}

@@ -70,21 +70,23 @@ func (f *Failure) Error() string {
 	return fmt.Sprintf("schedule: node %d unplaceable (%s)", f.Node, f.Reason)
 }
 
-// Comm is a scheduled inter-cluster transfer in a final Schedule.
+// Comm is a scheduled inter-cluster transfer in a final Schedule. The JSON
+// tags are the gpserved wire format; they are stable API.
 type Comm struct {
-	Producer int // producing node
-	Start    int // departure cycle
+	Producer int `json:"producer"` // producing node
+	Start    int `json:"start"`    // departure cycle
 	// Dest is the destination cluster of a point-to-point transfer, or -1
 	// for a shared-bus broadcast (which reaches every other cluster).
-	Dest int
+	Dest int `json:"dest"`
 }
 
 // MemOp is a transformation-inserted memory operation in a final Schedule.
+// The JSON tags are the gpserved wire format; they are stable API.
 type MemOp struct {
-	Producer int
-	Cluster  int
-	Cycle    int
-	IsStore  bool
+	Producer int  `json:"producer"`
+	Cluster  int  `json:"cluster"`
+	Cycle    int  `json:"cycle"`
+	IsStore  bool `json:"is_store,omitempty"`
 }
 
 // Schedule is a completed modulo schedule.

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := newLRUCache(3)
+	c.Add("a", []byte("A"))
+	c.Add("b", []byte("B"))
+	c.Add("c", []byte("C"))
+	if got := c.Keys(); !reflect.DeepEqual(got, []string{"c", "b", "a"}) {
+		t.Fatalf("keys after fill: %v", got)
+	}
+
+	// A Get refreshes recency: "a" moves to the front, so the next insert
+	// evicts "b", the least recently used.
+	if v, ok := c.Get("a"); !ok || string(v) != "A" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	c.Add("d", []byte("D"))
+	if got := c.Keys(); !reflect.DeepEqual(got, []string{"d", "a", "c"}) {
+		t.Fatalf("keys after eviction: %v (want [d a c])", got)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("evicted entry b still present")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+
+	// Re-adding an existing key refreshes value and recency, no eviction.
+	c.Add("c", []byte("C2"))
+	if got := c.Keys(); !reflect.DeepEqual(got, []string{"c", "d", "a"}) {
+		t.Fatalf("keys after re-add: %v", got)
+	}
+	if v, _ := c.Get("c"); string(v) != "C2" {
+		t.Fatalf("re-added value = %q", v)
+	}
+}
+
+func TestLRUConcurrentAccess(t *testing.T) {
+	c := newLRUCache(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (w*7+i)%32)
+				c.Add(key, []byte(key))
+				if v, ok := c.Get(key); ok && string(v) != key {
+					t.Errorf("got %q for key %q", v, key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("capacity exceeded: %d", c.Len())
+	}
+}
+
+func TestSingleflightSequentialNotShared(t *testing.T) {
+	var g flightGroup
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, shared, err := g.Do("k", func() ([]byte, error) {
+			calls++
+			return []byte("v"), nil
+		})
+		if err != nil || shared || string(v) != "v" {
+			t.Fatalf("Do #%d = %q, shared=%v, err=%v", i, v, shared, err)
+		}
+	}
+	if calls != 3 {
+		// Sequential calls must each execute: singleflight coalesces only
+		// concurrent duplicates, it is not a cache.
+		t.Fatalf("sequential calls executed %d times, want 3", calls)
+	}
+}

@@ -1,0 +1,44 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzScheduleRequest fuzzes the /v1/schedule JSON decoder: arbitrary bytes
+// must never panic, and any body it accepts must yield a validated graph
+// and machine with a deterministic cache key (the content address the whole
+// caching story hangs on).
+func FuzzScheduleRequest(f *testing.F) {
+	f.Add([]byte(`{"loop_text":"loop t 10\nnode 0 IntALU\n","clusters":2}`))
+	f.Add([]byte(`{"loop":{"name":"x","niter":5,"nodes":[{"op":"Load"},{"op":"IntALU"}],"edges":[{"from":0,"to":1,"lat":2}]},"clusters":4,"regs":64}`))
+	f.Add([]byte(`{"loop":{"name":"h","niter":1,"nodes":[{"op":"FPMul"}]},"machine":"machine m\ncluster 1 1 1 8\n","scheme":"URACAM"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{{{`))
+	f.Add([]byte(`{"loop_text":"loop t 10\nnode 0 Store\nedge 0 0 1 1 data\n","clusters":2}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		job, err := parseScheduleRequest(data)
+		if err != nil {
+			return
+		}
+		// Accepted requests are fully validated and deterministically keyed.
+		if err := job.g.Validate(); err != nil {
+			t.Fatalf("accepted an invalid graph: %v", err)
+		}
+		if err := job.m.Validate(); err != nil {
+			t.Fatalf("accepted an invalid machine: %v", err)
+		}
+		k1 := job.cacheKey()
+		job2, err := parseScheduleRequest(data)
+		if err != nil {
+			t.Fatalf("second parse of accepted body failed: %v", err)
+		}
+		if k2 := job2.cacheKey(); k1 != k2 {
+			t.Fatalf("cache key not deterministic: %s vs %s", k1, k2)
+		}
+		if bytes.ContainsAny([]byte(k1), " \n") || len(k1) != 64 {
+			t.Fatalf("malformed cache key %q", k1)
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow is the number of recent request latencies kept for the
+// p50/p99 estimates. A fixed ring keeps /metrics allocation-bounded under
+// sustained traffic.
+const latencyWindow = 1024
+
+// metrics holds the daemon's counters and the recent-latency ring. All
+// counters are monotonic totals in the Prometheus style.
+type metrics struct {
+	requests       atomic.Int64 // every HTTP request seen
+	scheduleReqs   atomic.Int64
+	sweepReqs      atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	coalesced      atomic.Int64 // requests folded into an in-flight twin
+	rejected       atomic.Int64 // 429 backpressure rejections
+	badRequests    atomic.Int64 // 400s
+	verifyFailures atomic.Int64 // schedules the Verify oracle rejected
+
+	mu      sync.Mutex
+	ring    [latencyWindow]time.Duration
+	ringLen int
+	ringPos int
+}
+
+// observe records one served /v1/schedule latency.
+func (m *metrics) observe(d time.Duration) {
+	m.mu.Lock()
+	m.ring[m.ringPos] = d
+	m.ringPos = (m.ringPos + 1) % latencyWindow
+	if m.ringLen < latencyWindow {
+		m.ringLen++
+	}
+	m.mu.Unlock()
+}
+
+// quantiles returns the p50 and p99 of the recent-latency window.
+func (m *metrics) quantiles() (p50, p99 time.Duration) {
+	m.mu.Lock()
+	n := m.ringLen
+	buf := make([]time.Duration, n)
+	copy(buf, m.ring[:n])
+	m.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf[quantileIndex(n, 0.50)], buf[quantileIndex(n, 0.99)]
+}
+
+func quantileIndex(n int, q float64) int {
+	i := int(q * float64(n-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// render writes the metrics in the Prometheus text exposition format.
+func (m *metrics) render(w io.Writer, queueDepth, cacheEntries int) {
+	p50, p99 := m.quantiles()
+	fmt.Fprintf(w, "gpserved_requests_total %d\n", m.requests.Load())
+	fmt.Fprintf(w, "gpserved_schedule_requests_total %d\n", m.scheduleReqs.Load())
+	fmt.Fprintf(w, "gpserved_sweep_requests_total %d\n", m.sweepReqs.Load())
+	fmt.Fprintf(w, "gpserved_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintf(w, "gpserved_cache_misses_total %d\n", m.cacheMisses.Load())
+	fmt.Fprintf(w, "gpserved_cache_entries %d\n", cacheEntries)
+	fmt.Fprintf(w, "gpserved_coalesced_total %d\n", m.coalesced.Load())
+	fmt.Fprintf(w, "gpserved_rejected_total %d\n", m.rejected.Load())
+	fmt.Fprintf(w, "gpserved_bad_requests_total %d\n", m.badRequests.Load())
+	fmt.Fprintf(w, "gpserved_verify_failures_total %d\n", m.verifyFailures.Load())
+	fmt.Fprintf(w, "gpserved_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "gpserved_latency_p50_seconds %g\n", p50.Seconds())
+	fmt.Fprintf(w, "gpserved_latency_p99_seconds %g\n", p99.Seconds())
+}
+
+// hitRate returns cache hits / (hits + misses), or 0 before any lookup.
+func (m *metrics) hitRate() float64 {
+	h, mi := m.cacheHits.Load(), m.cacheMisses.Load()
+	if h+mi == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+mi)
+}

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/ddgio"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// PerfOptions tunes MeasureThroughput.
+type PerfOptions struct {
+	// Requests is the total number of /v1/schedule requests (default 400).
+	Requests int
+	// Concurrency is the number of client goroutines (default 8).
+	Concurrency int
+}
+
+func (o PerfOptions) requests() int {
+	if o.Requests > 0 {
+		return o.Requests
+	}
+	return 400
+}
+
+func (o PerfOptions) concurrency() int {
+	if o.Concurrency > 0 {
+		return o.Concurrency
+	}
+	return 8
+}
+
+// MeasureThroughput boots a daemon on a loopback listener, drives it with a
+// sustained mix of distinct and repeated /v1/schedule requests over real
+// HTTP, and returns the throughput snapshot written to BENCH_server.json.
+// The request mix cycles through every SPECfp95 loop on the paper's
+// 4-cluster machine, so steady state is mostly cache hits with periodic
+// cold misses — the service's intended traffic shape.
+func MeasureThroughput(cfg Config, opts PerfOptions) (*bench.ServerPerfSnapshot, error) {
+	bodies, err := perfRequestBodies()
+	if err != nil {
+		return nil, err
+	}
+
+	srv := New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer func() {
+		_ = hs.Close()
+		srv.Close()
+	}()
+	base := "http://" + ln.Addr().String()
+
+	total := opts.requests()
+	conc := opts.concurrency()
+	client := &http.Client{}
+
+	var next atomic.Int64
+	var errCount, rejected atomic.Int64
+	latencies := make([]time.Duration, total)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				body := bodies[i%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/schedule", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rejected.Add(1)
+				case resp.StatusCode != http.StatusOK:
+					errCount.Add(1)
+				default:
+					// Only served responses count toward the latency
+					// quantiles; errors and sheds would skew them low.
+					latencies[i] = time.Since(t0)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	served := make([]time.Duration, 0, total)
+	for _, d := range latencies {
+		if d > 0 {
+			served = append(served, d)
+		}
+	}
+	sort.Slice(served, func(i, j int) bool { return served[i] < served[j] })
+	var p50, p99 time.Duration
+	if len(served) > 0 {
+		p50 = served[quantileIndex(len(served), 0.50)]
+		p99 = served[quantileIndex(len(served), 0.99)]
+	}
+
+	snap := &bench.ServerPerfSnapshot{
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		Requests:       total,
+		UniqueRequests: len(bodies),
+		Concurrency:    conc,
+		Errors:         int(errCount.Load()),
+		Rejected:       int(rejected.Load()),
+		DurationSec:    elapsed.Seconds(),
+		RequestsPerSec: float64(total) / elapsed.Seconds(),
+		CacheHitRate:   srv.metrics.hitRate(),
+		P50Micros:      float64(p50) / float64(time.Microsecond),
+		P99Micros:      float64(p99) / float64(time.Microsecond),
+	}
+	return snap, nil
+}
+
+// perfRequestBodies builds one request body per SPECfp95 loop (the paper's
+// 4-cluster machine as a typed description — machine.Config.MarshalText
+// puts it on the wire — GP scheme), the distinct-request working set of
+// the benchmark.
+func perfRequestBodies() ([][]byte, error) {
+	m4 := machine.MustClustered(4, 64, 1, 1)
+	var bodies [][]byte
+	for _, bm := range workload.SPECfp95() {
+		for _, l := range bm.Loops {
+			var text bytes.Buffer
+			if err := ddgio.Write(&text, l.G); err != nil {
+				return nil, err
+			}
+			body, err := json.Marshal(&ScheduleRequest{
+				LoopText: text.String(),
+				Machine:  m4,
+				Scheme:   "GP",
+			})
+			if err != nil {
+				return nil, err
+			}
+			bodies = append(bodies, body)
+		}
+	}
+	if len(bodies) == 0 {
+		return nil, fmt.Errorf("server: empty SPECfp95 corpus")
+	}
+	return bodies, nil
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrSaturated reports that the worker pool's queue is full: the caller
+// should shed the request (the HTTP layer turns this into 429 +
+// Retry-After).
+var ErrSaturated = errors.New("server: worker pool saturated")
+
+// ErrClosed reports a submission after Close; the HTTP layer turns it into
+// 503 during shutdown.
+var ErrClosed = errors.New("server: worker pool closed")
+
+// ErrWorkerPanic reports that the submitted function panicked. The worker
+// recovers it — tasks run untrusted-input compute outside net/http's
+// per-connection recover, so an unrecovered panic would kill the whole
+// daemon — and Do surfaces it as this error (a 500, not a crash).
+var ErrWorkerPanic = errors.New("server: worker panicked")
+
+// workerPool executes submitted functions on a fixed number of goroutines
+// with a bounded queue. Admission is non-blocking: a full queue rejects
+// immediately with ErrSaturated instead of building unbounded latency —
+// the admission-control half of the service's backpressure story.
+type workerPool struct {
+	tasks chan *poolTask
+	depth atomic.Int64 // queued, not yet started
+	wg    sync.WaitGroup
+
+	// mu orders admissions against Close: submissions hold the read side
+	// across the enqueue attempt, Close flips closed and closes the channel
+	// under the write side, so Do can never send on a closed channel.
+	mu     sync.RWMutex
+	closed bool
+}
+
+type poolTask struct {
+	fn       func()
+	done     chan struct{}
+	panicErr error // set before done closes when fn panicked
+}
+
+// run executes the task, converting a panic into panicErr.
+func (t *poolTask) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			t.panicErr = fmt.Errorf("%w: %v", ErrWorkerPanic, r)
+		}
+		close(t.done)
+	}()
+	t.fn()
+}
+
+func newWorkerPool(workers, queue int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &workerPool{tasks: make(chan *poolTask, queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for t := range p.tasks {
+				p.depth.Add(-1)
+				t.run()
+			}
+		}()
+	}
+	return p
+}
+
+// Do submits fn and waits for it to finish, or rejects immediately when the
+// queue is full. A canceled ctx stops the wait but NOT the task: once
+// admitted, fn still runs to completion when a worker picks it up, so
+// shared side effects like cache insertion survive abandoned waits. A
+// caller whose fn captures per-request state (like an http.ResponseWriter)
+// must therefore pass a context that outlives fn — not the request context.
+func (p *workerPool) Do(ctx context.Context, fn func()) error {
+	t := &poolTask{fn: fn, done: make(chan struct{})}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return ErrClosed
+	}
+	admitted := false
+	select {
+	case p.tasks <- t:
+		// Counted after the send succeeds, so an observed QueueDepth
+		// happens-after the enqueue.
+		p.depth.Add(1)
+		admitted = true
+	default:
+	}
+	p.mu.RUnlock()
+	if !admitted {
+		return ErrSaturated
+	}
+	select {
+	case <-t.done:
+		return t.panicErr
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// QueueDepth returns the number of queued tasks not yet picked up. The
+// count can transiently read as negative when a worker picks a task between
+// its enqueue and the submitter's increment; clamp for display.
+func (p *workerPool) QueueDepth() int {
+	if d := p.depth.Load(); d > 0 {
+		return int(d)
+	}
+	return 0
+}
+
+// Close drains the pool: no new submissions are admitted (they get
+// ErrClosed), every already queued task still runs, and Close returns when
+// the workers have exited. Safe to call concurrently with Do and more than
+// once.
+func (p *workerPool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := newWorkerPool(2, 4)
+	defer p.Close()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Retry on saturation: 8 submitters vs. 2 workers + 4 slots.
+			for {
+				err := p.Do(context.Background(), func() { n.Add(1) })
+				if err == nil {
+					return
+				}
+				if !errors.Is(err, ErrSaturated) {
+					t.Errorf("Do: %v", err)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if n.Load() != 8 {
+		t.Fatalf("ran %d tasks, want 8", n.Load())
+	}
+}
+
+func TestPoolSaturation(t *testing.T) {
+	p := newWorkerPool(1, 1)
+	defer p.Close()
+
+	gate := make(chan struct{})
+	running := make(chan struct{})
+
+	// Occupy the single worker.
+	go p.Do(context.Background(), func() { close(running); <-gate })
+	<-running
+
+	// Fill the single queue slot.
+	queued := make(chan error, 1)
+	go func() {
+		queued <- p.Do(context.Background(), func() {})
+	}()
+	for p.QueueDepth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// The queue is full: the next submission must shed, not wait.
+	if err := p.Do(context.Background(), func() {}); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("Do on full queue = %v, want ErrSaturated", err)
+	}
+
+	close(gate)
+	if err := <-queued; err != nil {
+		t.Fatalf("queued task: %v", err)
+	}
+}
+
+func TestPoolCloseDrainsQueue(t *testing.T) {
+	p := newWorkerPool(1, 4)
+
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	go p.Do(context.Background(), func() { close(running); <-gate })
+	<-running
+
+	// Queue three more tasks behind the blocked worker.
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Do(context.Background(), func() { done.Add(1) }); err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	for p.QueueDepth() != 3 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Release the worker and close: every queued task must still run.
+	close(gate)
+	p.Close()
+	wg.Wait()
+	if done.Load() != 3 {
+		t.Fatalf("drained %d queued tasks, want 3", done.Load())
+	}
+
+	// After Close, submissions are refused.
+	if err := p.Do(context.Background(), func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Do after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestPoolRecoversPanic(t *testing.T) {
+	p := newWorkerPool(1, 2)
+	defer p.Close()
+
+	err := p.Do(context.Background(), func() { panic("scheduler bug") })
+	if !errors.Is(err, ErrWorkerPanic) || !strings.Contains(err.Error(), "scheduler bug") {
+		t.Fatalf("Do with panicking fn = %v, want ErrWorkerPanic", err)
+	}
+
+	// The worker survives the panic and keeps serving.
+	ran := false
+	if err := p.Do(context.Background(), func() { ran = true }); err != nil || !ran {
+		t.Fatalf("pool dead after recovered panic: err=%v ran=%v", err, ran)
+	}
+}
+
+func TestPoolCanceledContext(t *testing.T) {
+	p := newWorkerPool(1, 1)
+	defer p.Close()
+
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	go p.Do(context.Background(), func() { close(running); <-gate })
+	<-running
+
+	// A canceled waiter returns promptly, but its task still runs once a
+	// worker frees up (side effects like cache insertion must survive
+	// client disconnects).
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() { errc <- p.Do(ctx, func() { close(ran) }) }()
+	for p.QueueDepth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do with canceled ctx = %v", err)
+	}
+	close(gate)
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned task never ran")
+	}
+}

@@ -1,0 +1,391 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/schedule"
+)
+
+// Config tunes the daemon. The zero value picks the defaults below.
+type Config struct {
+	// Workers is the number of scheduling goroutines (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of admitted-but-not-started jobs
+	// (default 64). A full queue sheds load with 429.
+	QueueDepth int
+	// CacheEntries is the LRU result-cache capacity (default 1024).
+	CacheEntries int
+	// MaxBodyBytes caps a request body (default 8 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 64
+}
+
+func (c Config) cacheEntries() int {
+	if c.CacheEntries > 0 {
+		return c.CacheEntries
+	}
+	return 1024
+}
+
+func (c Config) maxBodyBytes() int64 {
+	if c.MaxBodyBytes > 0 {
+		return c.MaxBodyBytes
+	}
+	return 8 << 20
+}
+
+func (c Config) retryAfter() time.Duration {
+	if c.RetryAfter > 0 {
+		return c.RetryAfter
+	}
+	return time.Second
+}
+
+// Server is the gpserved HTTP daemon. Create with New, serve its Handler,
+// and Close it after the HTTP server has shut down (Close drains the
+// worker pool).
+type Server struct {
+	cfg     Config
+	cache   *lruCache
+	flight  flightGroup
+	pool    *workerPool
+	metrics metrics
+	mux     *http.ServeMux
+
+	// computeHook, when set, observes every actual schedule computation
+	// (cache misses that reached a worker). Tests use it to prove
+	// singleflight coalescing.
+	computeHook func(key string)
+}
+
+// New returns a ready-to-serve daemon.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg,
+		cache: newLRUCache(cfg.cacheEntries()),
+		pool:  newWorkerPool(cfg.workers(), cfg.queueDepth()),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s }
+
+// ServeHTTP dispatches to the daemon's endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close drains the worker pool: queued work finishes, later submissions
+// get 503. Normally called after the HTTP server has shut down, but safe
+// against stragglers either way.
+func (s *Server) Close() { s.pool.Close() }
+
+// Metrics returns a point-in-time snapshot of selected counters (used by
+// the throughput benchmark and tests).
+func (s *Server) Metrics() (cacheHits, cacheMisses, coalesced, rejected int64) {
+	return s.metrics.cacheHits.Load(), s.metrics.cacheMisses.Load(),
+		s.metrics.coalesced.Load(), s.metrics.rejected.Load()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.metrics.render(w, s.pool.QueueDepth(), s.cache.Len())
+}
+
+// readBody reads at most MaxBodyBytes of the request body.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	if status == http.StatusBadRequest {
+		s.metrics.badRequests.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	s.metrics.scheduleReqs.Add(1)
+	start := time.Now()
+
+	body, err := s.readBody(w, r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	job, err := parseScheduleRequest(body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := job.cacheKey()
+
+	if cached, ok := s.cache.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		s.writeScheduleBody(w, cached, "hit")
+		s.metrics.observe(time.Since(start))
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	// Coalesce concurrent identical requests: one leader computes on the
+	// pool, followers share its bytes without occupying a worker slot. The
+	// leader waits with a detached context: a compute is short, its result
+	// is cached for everyone, and tying the wait to the leader's request
+	// context would turn one client's disconnect into spurious
+	// context-canceled errors for every coalesced follower.
+	resp, shared, err := s.flight.Do(key, func() ([]byte, error) {
+		var out []byte
+		var computeErr error
+		poolErr := s.pool.Do(context.Background(), func() {
+			out, computeErr = s.compute(key, job)
+		})
+		if poolErr != nil {
+			return nil, poolErr
+		}
+		return out, computeErr
+	})
+	if shared {
+		s.metrics.coalesced.Add(1)
+	}
+	var cerr *clientError
+	switch {
+	case errors.Is(err, ErrSaturated):
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.retryAfter().Round(time.Second)/time.Second)))
+		s.writeError(w, http.StatusTooManyRequests, "scheduling queue is full, retry later")
+		return
+	case errors.Is(err, ErrClosed):
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	case errors.As(err, &cerr):
+		s.writeError(w, http.StatusBadRequest, "%v", cerr)
+		return
+	case err != nil:
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.writeScheduleBody(w, resp, "miss")
+	s.metrics.observe(time.Since(start))
+}
+
+func (s *Server) writeScheduleBody(w http.ResponseWriter, body []byte, xcache string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", xcache)
+	_, _ = w.Write(body)
+}
+
+// compute schedules the job, Verify-checks the result, marshals the
+// deterministic response body and inserts it into the cache. It runs on a
+// pool worker.
+func (s *Server) compute(key string, job *scheduleJob) ([]byte, error) {
+	if s.computeHook != nil {
+		s.computeHook(key)
+	}
+	// The expensive half of admission, deliberately behind backpressure.
+	if err := job.admissionCheck(); err != nil {
+		return nil, err
+	}
+	res, err := core.ScheduleLoop(job.g, job.m, &core.Options{Algorithm: job.alg})
+	if err != nil {
+		return nil, fmt.Errorf("schedule: %v", err)
+	}
+	// The oracle gate: nothing unverified is ever served or cached.
+	if err := schedule.Verify(job.g, job.m, res.Schedule); err != nil {
+		s.metrics.verifyFailures.Add(1)
+		return nil, fmt.Errorf("schedule failed verification: %v", err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(buildResponse(job, res)); err != nil {
+		return nil, err
+	}
+	body := buf.Bytes()
+	s.cache.Add(key, body)
+	return body, nil
+}
+
+// SweepRequest is the body of POST /v1/sweep. Empty Machines means the
+// built-in machine.SweepSet; empty Corpora means both workload families.
+type SweepRequest struct {
+	// Machines are machine-description texts on the wire (JSON strings,
+	// machine.Parse format); decoding parses and validates each via
+	// machine.Config's TextUnmarshaler.
+	Machines []machine.Config `json:"machines,omitempty"`
+	// Corpora picks workload families by name: "SPECfp95", "DSP".
+	Corpora []string `json:"corpora,omitempty"`
+	// MaxLoops > 0 trims every benchmark to its first MaxLoops loops.
+	MaxLoops int `json:"max_loops,omitempty"`
+	// Verify runs the schedule.Verify oracle on every produced schedule.
+	Verify bool `json:"verify,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.metrics.sweepReqs.Add(1)
+
+	body, err := s.readBody(w, r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	var req SweepRequest
+	if len(bytes.TrimSpace(body)) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	}
+	machines, corpora, err := resolveSweep(&req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// A sweep is one long-running unit of work: it takes a single pool slot
+	// so schedule traffic and sweeps share the same admission control. The
+	// handler waits for the task with a detached context — the task writes
+	// to w, so it must never outlive this handler (net/http recycles the
+	// ResponseWriter once the handler returns). A disconnected client
+	// cancels r.Context(), which aborts the sweep itself promptly.
+	flusher, _ := w.(http.Flusher)
+	cw := &countingWriter{w: w}
+	var streamErr error
+	poolErr := s.pool.Do(context.Background(), func() {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		if streamErr = bench.WriteSweepHeader(cw); streamErr != nil {
+			return
+		}
+		cfg := bench.Config{Verify: req.Verify, Parallel: 1}
+		streamErr = bench.SweepStream(r.Context(), machines, corpora, cfg, func(pt bench.SweepPoint) error {
+			if err := bench.WriteSweepPointCSV(cw, pt); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+	})
+	switch {
+	case errors.Is(poolErr, ErrSaturated):
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.retryAfter().Round(time.Second)/time.Second)))
+		s.writeError(w, http.StatusTooManyRequests, "scheduling queue is full, retry later")
+	case errors.Is(poolErr, ErrClosed):
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	case streamErr != nil && cw.n == 0:
+		// Nothing streamed yet: the status code is still ours to set.
+		s.writeError(w, http.StatusInternalServerError, "sweep: %v", streamErr)
+	case streamErr != nil:
+		// The 200 and part of the CSV are already on the wire; mark the
+		// truncation in-band so clients can tell it from a complete sweep.
+		fmt.Fprintf(w, "ERROR,%q,,,,,\n", streamErr.Error())
+	}
+}
+
+// maxSweepMachines bounds a sweep request's machine list (a sweep runs one
+// full four-scheme panel per machine × corpus cell).
+const maxSweepMachines = 32
+
+// countingWriter tracks whether any response bytes were written, i.e.
+// whether the status code is already committed.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// resolveSweep materializes the request's machine and corpus lists.
+func resolveSweep(req *SweepRequest) ([]*machine.Config, []bench.Corpus, error) {
+	var machines []*machine.Config
+	if len(req.Machines) == 0 {
+		machines = machine.SweepSet()
+	} else {
+		if len(req.Machines) > maxSweepMachines {
+			return nil, nil, fmt.Errorf("%d machines, limit %d", len(req.Machines), maxSweepMachines)
+		}
+		for i := range req.Machines {
+			if err := checkServedMachine(&req.Machines[i]); err != nil {
+				return nil, nil, fmt.Errorf("machines[%d]: %v", i, err)
+			}
+			machines = append(machines, &req.Machines[i])
+		}
+	}
+	if req.MaxLoops < 0 {
+		return nil, nil, fmt.Errorf("max_loops %d < 0", req.MaxLoops)
+	}
+
+	all := bench.SweepCorpora(req.MaxLoops)
+	if len(req.Corpora) == 0 {
+		return machines, all, nil
+	}
+	var corpora []bench.Corpus
+	for _, name := range req.Corpora {
+		found := false
+		for _, c := range all {
+			if strings.EqualFold(c.Name, name) {
+				corpora = append(corpora, c)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, nil, fmt.Errorf("unknown corpus %q (want SPECfp95 or DSP)", name)
+		}
+	}
+	return machines, corpora, nil
+}

@@ -1,0 +1,479 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ddgio"
+)
+
+// tinyLoopText is a small, fast-to-schedule loop in the ddgio text format.
+const tinyLoopText = `loop tiny 100
+node 0 Load a[i]
+node 1 IntALU +1
+node 2 Store a[i]=
+edge 0 1 2 0 data
+edge 1 2 1 0 data
+`
+
+func scheduleBody(t *testing.T, mutate func(*ScheduleRequest)) []byte {
+	t.Helper()
+	req := &ScheduleRequest{LoopText: tinyLoopText, Clusters: 2, Regs: 32, NBus: 1, LatBus: 1, Scheme: "GP"}
+	if mutate != nil {
+		mutate(req)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postSchedule(t *testing.T, ts *httptest.Server, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestScheduleCacheHitByteIdentical(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+
+	body := scheduleBody(t, nil)
+	respCold, cold := postSchedule(t, ts, body)
+	if respCold.StatusCode != http.StatusOK {
+		t.Fatalf("cold: %d %s", respCold.StatusCode, cold)
+	}
+	if got := respCold.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("cold X-Cache = %q", got)
+	}
+
+	respHot, hot := postSchedule(t, ts, body)
+	if respHot.StatusCode != http.StatusOK {
+		t.Fatalf("hot: %d %s", respHot.StatusCode, hot)
+	}
+	if got := respHot.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("hot X-Cache = %q", got)
+	}
+	if !bytes.Equal(cold, hot) {
+		t.Fatalf("cache hit not byte-identical:\ncold: %s\nhot:  %s", cold, hot)
+	}
+
+	var parsed ScheduleResponse
+	if err := json.Unmarshal(cold, &parsed); err != nil {
+		t.Fatalf("response not valid JSON: %v", err)
+	}
+	if !parsed.Verified || parsed.II < 1 || len(parsed.Time) != 3 || parsed.Scheme != "GP" {
+		t.Fatalf("bad response: %+v", parsed)
+	}
+
+	hits, misses, _, _ := srv.Metrics()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestScheduleEquivalentEncodingsShareCache(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+
+	// Text encoding, grid machine.
+	respA, bodyA := postSchedule(t, ts, scheduleBody(t, nil))
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("text: %d %s", respA.StatusCode, bodyA)
+	}
+
+	// Same loop as JSON: content-addressing must find the same entry.
+	respB, bodyB := postSchedule(t, ts, scheduleBody(t, func(r *ScheduleRequest) {
+		r.LoopText = ""
+		r.Loop = &ddgio.JSONLoop{
+			Name: "tiny", Niter: 100,
+			Nodes: []ddgio.JSONNode{{Op: "Load", Name: "a[i]"}, {Op: "IntALU", Name: "+1"}, {Op: "Store", Name: "a[i]="}},
+			Edges: []ddgio.JSONEdge{{From: 0, To: 1, Lat: 2}, {From: 1, To: 2, Lat: 1}},
+		}
+	}))
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("json: %d %s", respB.StatusCode, bodyB)
+	}
+	if respB.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("JSON twin was not a cache hit (X-Cache=%q)", respB.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(bodyA, bodyB) {
+		t.Fatal("equivalent encodings produced different bytes")
+	}
+	if hits, misses, _, _ := srv.Metrics(); hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func mustJSON(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestScheduleMalformedRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"not json", `{{{`},
+		{"unknown field", `{"loop_text":"x","clusters":2,"bogus":1}`},
+		{"missing loop", `{"clusters":2}`},
+		{"both loops", `{"loop_text":"loop x 1\nnode 0 IntALU\n","loop":{"name":"x","niter":1,"nodes":[{"op":"IntALU"}]},"clusters":2}`},
+		{"bad loop text", `{"loop_text":"loop broken","clusters":2}`},
+		{"two loops in text", `{"loop_text":"loop a 1\nnode 0 IntALU\nloop b 1\nnode 0 IntALU\n","clusters":2}`},
+		{"bad op class", `{"loop":{"name":"x","niter":1,"nodes":[{"op":"Quantum"}]},"clusters":2}`},
+		{"missing machine", `{"loop":{"name":"x","niter":1,"nodes":[{"op":"IntALU"}]}}`},
+		{"machine and grid", `{"loop":{"name":"x","niter":1,"nodes":[{"op":"IntALU"}]},"machine":"machine m\ncluster 1 1 1 8\n","clusters":2}`},
+		{"bad machine text", `{"loop":{"name":"x","niter":1,"nodes":[{"op":"IntALU"}]},"machine":"machine broken"}`},
+		{"bad grid", `{"loop":{"name":"x","niter":1,"nodes":[{"op":"IntALU"}]},"clusters":3}`},
+		{"negative regs unified", `{"loop":{"name":"x","niter":1,"nodes":[{"op":"IntALU"}]},"clusters":1,"regs":-8}`},
+		{"negative regs clustered", `{"loop":{"name":"x","niter":1,"nodes":[{"op":"IntALU"}]},"clusters":2,"regs":-8}`},
+		// A single huge self-recurrence latency would drive the MII — and
+		// the scheduler's O(units·II) reservation tables — to its own
+		// magnitude; admission must shed it, not the OOM killer.
+		{"huge latency", `{"loop":{"name":"x","niter":2,"nodes":[{"op":"FPAdd"}],"edges":[{"from":0,"to":0,"lat":1099511627776,"dist":1}]},"clusters":4}`},
+		{"huge distance", `{"loop":{"name":"x","niter":2,"nodes":[{"op":"FPAdd"}],"edges":[{"from":0,"to":0,"lat":1,"dist":1000000}]},"clusters":4}`},
+		{"mii over cap", `{"loop":{"name":"x","niter":2,"nodes":[{"op":"FPAdd"}],"edges":[{"from":0,"to":0,"lat":65536,"dist":1}]},"clusters":4}`},
+		// The machine half of a request is bounded like the loop half:
+		// reservation tables scale with clusters² on p2p machines and with
+		// every latency, so hostile descriptions are shed at admission.
+		{"too many clusters", `{"loop":{"name":"x","niter":1,"nodes":[{"op":"IntALU"}]},"machine":` +
+			string(mustJSON(t, "machine big\n"+strings.Repeat("cluster 1 1 1 8\n", 20)+"interconnect p2p 1 1 blocking\n")) + `}`},
+		{"huge op latency", `{"loop":{"name":"x","niter":1,"nodes":[{"op":"IntALU"}]},"machine":` +
+			string(mustJSON(t, "machine slow\ncluster 1 1 1 8\nlatency FPDiv 1000000000\n")) + `}`},
+		{"unknown scheme", `{"loop":{"name":"x","niter":1,"nodes":[{"op":"IntALU"}]},"clusters":2,"scheme":"LLM"}`},
+		{"infeasible machine", `{"loop":{"name":"x","niter":1,"nodes":[{"op":"FPAdd"}]},"machine":"machine intonly\ncluster 1 0 1 8\n"}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postSchedule(t, ts, []byte(tc.body))
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d (want 400), body %s", resp.StatusCode, body)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+				t.Fatalf("error body not JSON with error field: %s", body)
+			}
+		})
+	}
+}
+
+func TestScheduleSingleflightCoalescing(t *testing.T) {
+	const followers = 7
+
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	gate := make(chan struct{})
+	entered := make(chan string, 1)
+	computes := 0
+	srv.computeHook = func(key string) {
+		computes++
+		entered <- key
+		<-gate
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	body := scheduleBody(t, nil)
+
+	// Leader: occupies the worker inside computeHook.
+	results := make(chan []byte, followers+1)
+	var wg sync.WaitGroup
+	fire := func() {
+		defer wg.Done()
+		resp, out := postSchedule(t, ts, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("status %d: %s", resp.StatusCode, out)
+		}
+		results <- out
+	}
+	wg.Add(1)
+	go fire()
+	key := <-entered
+
+	// Followers: must coalesce behind the in-flight leader, not enqueue
+	// their own pool tasks. Wait until every one of them is registered as
+	// a waiter before releasing the leader — fully deterministic.
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go fire()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.flight.Waiters(key) != followers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d followers coalesced", srv.flight.Waiters(key), followers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if computes != 1 {
+		t.Fatalf("%d computations for %d concurrent identical requests, want exactly 1", computes, followers+1)
+	}
+	first := <-results
+	for i := 0; i < followers; i++ {
+		if got := <-results; !bytes.Equal(first, got) {
+			t.Fatal("coalesced responses are not byte-identical")
+		}
+	}
+	if _, _, coalesced, _ := srv.Metrics(); coalesced != followers {
+		t.Fatalf("coalesced metric = %d, want %d", coalesced, followers)
+	}
+}
+
+func TestScheduleSaturation429(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 1})
+	gate := make(chan struct{})
+	entered := make(chan string, 2)
+	srv.computeHook = func(key string) {
+		entered <- key
+		<-gate
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	distinct := func(i int) []byte {
+		return scheduleBody(t, func(r *ScheduleRequest) {
+			r.LoopText = strings.Replace(tinyLoopText, "loop tiny 100", fmt.Sprintf("loop tiny%d 100", i), 1)
+		})
+	}
+
+	var wg sync.WaitGroup
+	// Request 1 occupies the worker (blocked in the hook).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, out := postSchedule(t, ts, distinct(1))
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("first request: %d %s", resp.StatusCode, out)
+		}
+	}()
+	<-entered
+
+	// Request 2 fills the single queue slot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, out := postSchedule(t, ts, distinct(2))
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("second request: %d %s", resp.StatusCode, out)
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.pool.QueueDepth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Request 3 must be shed with 429 + Retry-After, not queued.
+	resp, out := postSchedule(t, ts, distinct(3))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated request: %d %s (want 429)", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	close(gate)
+	wg.Wait()
+	// The gated hook consumed one `entered` send per computation; drain the
+	// second request's if present.
+	select {
+	case <-entered:
+	default:
+	}
+	if _, _, _, rejected := srv.Metrics(); rejected != 1 {
+		t.Fatalf("rejected metric = %d, want 1", rejected)
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	gate := make(chan struct{})
+	entered := make(chan string, 1)
+	srv.computeHook = func(key string) {
+		entered <- key
+		<-gate
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	url := "http://" + ln.Addr().String()
+
+	// An in-flight request is blocked inside the worker.
+	type result struct {
+		status int
+		body   []byte
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(url+"/v1/schedule", "application/json", bytes.NewReader(scheduleBody(t, nil)))
+		if err != nil {
+			done <- result{status: -1}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		done <- result{status: resp.StatusCode, body: b}
+	}()
+	<-entered
+
+	// Shutdown must wait for that request, serve it fully, then return.
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- hs.Shutdown(ctx)
+	}()
+	// Give Shutdown a moment to stop the listener, then release the worker.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	res := <-done
+	if res.status != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d body %s", res.status, res.body)
+	}
+	var parsed ScheduleResponse
+	if err := json.Unmarshal(res.body, &parsed); err != nil || !parsed.Verified {
+		t.Fatalf("drained response invalid: %v %s", err, res.body)
+	}
+	srv.Close()
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if resp, _ := postSchedule(t, ts, scheduleBody(t, nil)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"gpserved_requests_total",
+		"gpserved_schedule_requests_total",
+		"gpserved_cache_hits_total",
+		"gpserved_cache_misses_total 1",
+		"gpserved_cache_entries 1",
+		"gpserved_queue_depth",
+		"gpserved_latency_p50_seconds",
+		"gpserved_latency_p99_seconds",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep cell is slow; skipped with -short")
+	}
+	_, ts := newTestServer(t, Config{})
+	req := `{"machines":["machine test2\ncluster 2 2 2 16\ncluster 2 2 2 16\ninterconnect bus 1 1 blocking\n"],"corpora":["SPECfp95"],"max_loops":1,"verify":true}`
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "corpus,config,program") {
+		t.Fatalf("sweep CSV malformed:\n%s", body)
+	}
+	if !strings.Contains(string(body), "MEAN") {
+		t.Fatalf("sweep CSV missing MEAN rows:\n%s", body)
+	}
+}
+
+func TestSweepMalformed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	hugeMachine, err := json.Marshal("machine big\n" + strings.Repeat("cluster 1 1 1 8\n", 20) + "interconnect p2p 1 1 blocking\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, body := range []string{
+		`{{{`,
+		`{"corpora":["NoSuchCorpus"]}`,
+		`{"machines":["machine broken"]}`,
+		`{"max_loops":-1}`,
+		`{"machines":[` + string(hugeMachine) + `]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}

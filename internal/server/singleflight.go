@@ -1,0 +1,62 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution: the first caller (the leader) runs fn, every caller that
+// arrives while it is in flight blocks and shares the leader's result.
+// This is the classic singleflight pattern, implemented locally because the
+// module deliberately has no external dependencies.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg      sync.WaitGroup
+	waiters atomic.Int64 // callers coalesced into this in-flight execution
+	val     []byte
+	err     error
+}
+
+// Do runs fn under key, coalescing concurrent duplicates. shared reports
+// whether the result was produced by another caller's in-flight execution.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		c.waiters.Add(1)
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, true, c.err
+	}
+	c := new(flightCall)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.val, false, c.err
+}
+
+// Waiters reports how many callers are currently coalesced behind key's
+// in-flight execution (0 when nothing is in flight). Tests use it to drive
+// deterministic coalescing scenarios.
+func (g *flightGroup) Waiters(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return int(c.waiters.Load())
+	}
+	return 0
+}
