@@ -7,7 +7,14 @@
 // Usage:
 //
 //	gpserved [-addr :8037] [-workers N] [-queue N] [-cache N]
+//	gpserved -coordinator http://host:8038 [-advertise URL] [-node-id ID]
 //	gpserved -bench-json BENCH_server.json [-bench-requests N] [-bench-concurrency N]
+//
+// With -coordinator the daemon joins a gpcoordd fleet: it registers with
+// its capacity and advertised endpoint, heartbeats on the coordinator's
+// cadence, re-registers if the coordinator restarts, and deregisters
+// before draining on SIGTERM so the coordinator stops routing to it
+// immediately instead of waiting out the dead-node detector.
 //
 // The -bench-json mode does not serve: it boots an in-process daemon,
 // drives it with a sustained request mix over loopback HTTP, writes the
@@ -23,6 +30,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,6 +45,15 @@ func main() {
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// capacity resolves the advertised worker-goroutine count the same way the
+// server's pool does.
+func capacity(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gpserved", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -44,6 +62,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	queue := fs.Int("queue", 64, "bounded queue depth before 429 backpressure")
 	cacheN := fs.Int("cache", 1024, "LRU result-cache entries")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	coordinator := fs.String("coordinator", "", "gpcoordd base URL; register this worker and keep it heartbeating")
+	advertise := fs.String("advertise", "", "base URL the coordinator should route to (default http://<listen addr>)")
+	nodeID := fs.String("node-id", "", "stable worker identity (default the advertised host:port)")
+	heartbeat := fs.Duration("heartbeat-interval", 0, "heartbeat cadence override (0 = the coordinator's suggestion)")
 	benchJSON := fs.String("bench-json", "", "measure sustained throughput and write the snapshot to this JSON file, then exit")
 	benchReqs := fs.Int("bench-requests", 400, "total requests of the -bench-json measurement")
 	benchConc := fs.Int("bench-concurrency", 8, "client goroutines of the -bench-json measurement")
@@ -81,23 +103,61 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	srv := server.New(cfg)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "gpserved: %v\n", err)
 		return 1
 	}
+	endpoint := *advertise
+	if endpoint == "" {
+		endpoint = "http://" + ln.Addr().String()
+	}
+	id := *nodeID
+	if id == "" {
+		id = strings.TrimPrefix(strings.TrimPrefix(endpoint, "https://"), "http://")
+	}
+	if *coordinator != "" {
+		// The node identity rides on every response so the coordinator's
+		// routing is observable end-to-end.
+		cfg.NodeID = id
+	}
+	srv := server.New(cfg)
 	hs := &http.Server{Handler: srv.Handler()}
 	fmt.Fprintf(stdout, "gpserved listening on %s\n", ln.Addr())
+
+	var agent *server.Agent
+	if *coordinator != "" {
+		agent = server.StartAgent(server.AgentConfig{
+			Coordinator: *coordinator,
+			NodeID:      id,
+			Endpoint:    endpoint,
+			Capacity:    capacity(cfg.Workers),
+			Interval:    *heartbeat,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(stdout, "gpserved: agent: "+format+"\n", args...)
+			},
+		})
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
 	select {
 	case err := <-errc:
+		if agent != nil {
+			agent.Close()
+		}
 		fmt.Fprintf(stderr, "gpserved: %v\n", err)
 		return 1
 	case <-ctx.Done():
+	}
+
+	// Leave the fleet before draining: a deregistered worker stops
+	// receiving placements at once, so the drain below only has to finish
+	// work already in flight.
+	if agent != nil {
+		agent.Close()
+		fmt.Fprintln(stdout, "gpserved: deregistered from coordinator")
 	}
 
 	// Graceful drain: stop accepting, wait out in-flight handlers, then

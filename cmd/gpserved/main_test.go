@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
 )
 
 // startDaemon boots run() on a loopback port and returns the base URL and a
@@ -224,6 +226,64 @@ func TestServedSmoke(t *testing.T) {
 
 	if code := shutdown(); code != 0 {
 		t.Fatalf("daemon exited %d", code)
+	}
+}
+
+// TestWorkerModeJoinsAndLeavesFleet boots the daemon in -coordinator mode
+// against a real cluster coordinator: it must register, serve proxied
+// requests tagged with its node identity, and deregister before draining
+// so the coordinator stops routing to it immediately.
+func TestWorkerModeJoinsAndLeavesFleet(t *testing.T) {
+	coord := cluster.New(cluster.Config{HeartbeatInterval: 25 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chs := &http.Server{Handler: coord.Handler()}
+	go func() { _ = chs.Serve(ln) }()
+	defer func() {
+		_ = chs.Close()
+		coord.Close()
+	}()
+	coordBase := "http://" + ln.Addr().String()
+
+	base, shutdown := startDaemon(t, "-coordinator", coordBase, "-node-id", "joiner")
+	_ = base
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		nodes := coord.Nodes()
+		if len(nodes) == 1 && nodes[0].ID == "joiner" && nodes[0].State == "ready" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never registered: %+v", nodes)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A request proxied through the coordinator reaches this worker and
+	// carries its identity.
+	resp, err := http.Post(coordBase+"/v1/schedule", "application/json", bytes.NewReader(smokeBody(t, "viacoord")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied request: %d %s", resp.StatusCode, out)
+	}
+	if got := resp.Header.Get("X-Node"); got != "joiner" {
+		t.Fatalf("X-Node = %q, want joiner", got)
+	}
+
+	// Graceful shutdown deregisters: the node table empties rather than
+	// waiting out the dead-node detector.
+	if code := shutdown(); code != 0 {
+		t.Fatalf("daemon exited %d", code)
+	}
+	if nodes := coord.Nodes(); len(nodes) != 0 {
+		t.Fatalf("worker still registered after graceful exit: %+v", nodes)
 	}
 }
 

@@ -49,6 +49,27 @@ type SweepPoint struct {
 	SkipReason string
 }
 
+// SweepCell is one machine × corpus cell of a sweep — the unit of work the
+// cluster coordinator shards across gpserved workers.
+type SweepCell struct {
+	Machine *machine.Config
+	Corpus  Corpus
+}
+
+// SweepCells enumerates the machines × corpora cross-product in the
+// deterministic order Sweep and SweepStream evaluate it (machines outer,
+// corpora inner). A sharded execution that reassembles per-cell results in
+// this order is byte-identical to the single-node sweep.
+func SweepCells(machines []*machine.Config, corpora []Corpus) []SweepCell {
+	cells := make([]SweepCell, 0, len(machines)*len(corpora))
+	for _, m := range machines {
+		for _, c := range corpora {
+			cells = append(cells, SweepCell{Machine: m, Corpus: c})
+		}
+	}
+	return cells
+}
+
 // Sweep runs the cross-product of machines × corpora through the parallel
 // runner, one four-scheme panel per cell, in deterministic order (machines
 // outer, corpora inner). Cells whose machine cannot execute an operation
@@ -79,38 +100,48 @@ func SweepStream(ctx context.Context, machines []*machine.Config, corpora []Corp
 	if len(corpora) == 0 {
 		return fmt.Errorf("bench: sweep without corpora")
 	}
-	for _, m := range machines {
-		if err := m.Validate(); err != nil {
-			return fmt.Errorf("bench: sweep machine: %w", err)
+	for _, cell := range SweepCells(machines, corpora) {
+		pt, err := RunSweepCell(ctx, cell, cfg)
+		if err != nil {
+			return err
 		}
-		for _, corpus := range corpora {
-			pt := SweepPoint{Machine: m, Corpus: corpus.Name}
-			if reason := infeasible(m, corpus.Benchmarks); reason != "" {
-				pt.SkipReason = reason
-				if err := emit(pt); err != nil {
-					return err
-				}
-				continue
-			}
-			cell := cfg
-			cell.Machine = m
-			cell.Clusters, cell.TotalRegs, cell.NBus, cell.LatBus = 0, 0, 0, 0
-			rep, err := RunContext(ctx, corpus.Benchmarks, cell)
-			if err != nil {
-				return fmt.Errorf("bench: sweep %s × %s: %w", m.Name, corpus.Name, err)
-			}
-			names := make([]string, 0, len(corpus.Benchmarks))
-			for _, bm := range corpus.Benchmarks {
-				names = append(names, bm.Name)
-			}
-			SortRowsLike(rep, names)
-			pt.Report = rep
-			if err := emit(pt); err != nil {
-				return err
-			}
+		if err := emit(pt); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// RunSweepCell evaluates one cell: the full four-scheme panel on one
+// machine × corpus pair, or a skip marker when the machine cannot execute
+// an operation kind the corpus needs. Both the single-node SweepStream and
+// a gpserved worker executing one sharded cell of a cluster job run cells
+// through this function, so a reassembled distributed sweep reproduces the
+// single-node bytes exactly.
+func RunSweepCell(ctx context.Context, cell SweepCell, cfg Config) (SweepPoint, error) {
+	m, corpus := cell.Machine, cell.Corpus
+	pt := SweepPoint{Machine: m, Corpus: corpus.Name}
+	if err := m.Validate(); err != nil {
+		return pt, fmt.Errorf("bench: sweep machine: %w", err)
+	}
+	if reason := infeasible(m, corpus.Benchmarks); reason != "" {
+		pt.SkipReason = reason
+		return pt, nil
+	}
+	cc := cfg
+	cc.Machine = m
+	cc.Clusters, cc.TotalRegs, cc.NBus, cc.LatBus = 0, 0, 0, 0
+	rep, err := RunContext(ctx, corpus.Benchmarks, cc)
+	if err != nil {
+		return pt, fmt.Errorf("bench: sweep %s × %s: %w", m.Name, corpus.Name, err)
+	}
+	names := make([]string, 0, len(corpus.Benchmarks))
+	for _, bm := range corpus.Benchmarks {
+		names = append(names, bm.Name)
+	}
+	SortRowsLike(rep, names)
+	pt.Report = rep
+	return pt, nil
 }
 
 // infeasible reports why a machine cannot run a corpus: an operation kind

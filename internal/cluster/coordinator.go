@@ -1,0 +1,443 @@
+// Package cluster is the distributed scheduling control plane: the
+// gpcoordd coordinator fronting a fleet of gpserved workers.
+//
+// Workers register with capacity and endpoint, heartbeat periodically and
+// deregister on graceful shutdown; the coordinator tracks their health
+// (ready / suspect / dead via missed-heartbeat thresholds), routes
+// POST /v1/schedule by rendezvous hashing on the request's content-address
+// key — so identical requests land on the same worker and the per-worker
+// LRU caches form one sharded distributed cache — and fails over to the
+// next-ranked node, with the failed one excluded, when a worker dies
+// mid-request. An async job layer (POST /v1/jobs) shards a machines ×
+// corpora sweep cell-by-cell across the fleet and survives worker loss: a
+// reconciliation loop cancels work stranded on dead nodes and the cells are
+// re-placed on survivors, so a finished job's CSV is byte-identical to the
+// single-node bench.Sweep output no matter how many workers died on the
+// way.
+//
+// Endpoints:
+//
+//	POST /v1/nodes/register    worker announces {id, endpoint, capacity}
+//	POST /v1/nodes/heartbeat   worker liveness; 404 asks it to re-register
+//	POST /v1/nodes/deregister  graceful worker exit
+//	GET  /v1/nodes             node table with health states
+//	POST /v1/schedule          proxied single-loop scheduling (cache-affine)
+//	POST /v1/jobs              async sweep job; returns {id, cells}
+//	GET  /v1/jobs/{id}         job status and per-cell placement detail
+//	GET  /v1/jobs/{id}/csv     assembled CSV once the job is done
+//	GET  /healthz              liveness
+//	GET  /metrics              coordinator + per-node Prometheus text
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Config tunes the coordinator. The zero value picks the defaults noted on
+// each field.
+type Config struct {
+	// HeartbeatInterval is the cadence workers are told to heartbeat at
+	// (default 2s).
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the heartbeat age that turns a node suspect
+	// (default 3 × HeartbeatInterval).
+	SuspectAfter time.Duration
+	// DeadAfter is the heartbeat age that turns a node dead and hands its
+	// in-flight work to the reconciler (default 6 × HeartbeatInterval).
+	DeadAfter time.Duration
+	// DeadExpiry is how long a dead node is retained for observability
+	// before it is garbage-collected from the registry (default 10m).
+	DeadExpiry time.Duration
+	// ReconcileInterval is the health-sweep and reconciliation cadence
+	// (default HeartbeatInterval / 2).
+	ReconcileInterval time.Duration
+	// ScheduleTimeout bounds one proxied /v1/schedule attempt (default 60s).
+	ScheduleTimeout time.Duration
+	// CellTimeout bounds one job-cell attempt on one worker (default 10m —
+	// a full four-scheme panel over a corpus is real work; the reconciler
+	// usually re-places a dead node's cells long before this backstop).
+	CellTimeout time.Duration
+	// MaxCellAttempts bounds how many workers one cell is tried on before
+	// the job is failed (default 8).
+	MaxCellAttempts int
+	// JobWorkers is the number of concurrently dispatched cells per job
+	// (default 4).
+	JobWorkers int
+	// MaxJobs bounds the retained job table; creating a job beyond it
+	// evicts the oldest finished job, and fails with 429 when every
+	// retained job is still running (default 64).
+	MaxJobs int
+	// MaxBodyBytes caps a request body (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) heartbeatInterval() time.Duration {
+	if c.HeartbeatInterval > 0 {
+		return c.HeartbeatInterval
+	}
+	return 2 * time.Second
+}
+
+func (c Config) suspectAfter() time.Duration {
+	if c.SuspectAfter > 0 {
+		return c.SuspectAfter
+	}
+	return 3 * c.heartbeatInterval()
+}
+
+func (c Config) deadAfter() time.Duration {
+	if c.DeadAfter > 0 {
+		return c.DeadAfter
+	}
+	return 6 * c.heartbeatInterval()
+}
+
+func (c Config) deadExpiry() time.Duration {
+	if c.DeadExpiry > 0 {
+		return c.DeadExpiry
+	}
+	return 10 * time.Minute
+}
+
+func (c Config) reconcileInterval() time.Duration {
+	if c.ReconcileInterval > 0 {
+		return c.ReconcileInterval
+	}
+	return c.heartbeatInterval() / 2
+}
+
+func (c Config) scheduleTimeout() time.Duration {
+	if c.ScheduleTimeout > 0 {
+		return c.ScheduleTimeout
+	}
+	return 60 * time.Second
+}
+
+func (c Config) cellTimeout() time.Duration {
+	if c.CellTimeout > 0 {
+		return c.CellTimeout
+	}
+	return 10 * time.Minute
+}
+
+func (c Config) maxCellAttempts() int {
+	if c.MaxCellAttempts > 0 {
+		return c.MaxCellAttempts
+	}
+	return 8
+}
+
+func (c Config) jobWorkers() int {
+	if c.JobWorkers > 0 {
+		return c.JobWorkers
+	}
+	return 4
+}
+
+func (c Config) maxJobs() int {
+	if c.MaxJobs > 0 {
+		return c.MaxJobs
+	}
+	return 64
+}
+
+func (c Config) maxBodyBytes() int64 {
+	if c.MaxBodyBytes > 0 {
+		return c.MaxBodyBytes
+	}
+	return 8 << 20
+}
+
+// Coordinator is the gpcoordd daemon. Create with New, serve Handler, and
+// Close after the HTTP server has shut down (Close stops the reconciler
+// and aborts running jobs).
+type Coordinator struct {
+	cfg     Config
+	reg     *registry
+	metrics metrics
+	mux     *http.ServeMux
+	client  *http.Client
+
+	ctx           context.Context
+	stop          context.CancelFunc
+	reconcileDone chan struct{}
+
+	jobs jobTable
+}
+
+// New returns a running coordinator (its reconciliation loop is live).
+func New(cfg Config) *Coordinator {
+	ctx, stop := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:           cfg,
+		reg:           newRegistry(),
+		mux:           http.NewServeMux(),
+		client:        &http.Client{},
+		ctx:           ctx,
+		stop:          stop,
+		reconcileDone: make(chan struct{}),
+	}
+	c.jobs.byID = make(map[string]*job)
+	c.mux.HandleFunc("POST /v1/nodes/register", c.handleRegister)
+	c.mux.HandleFunc("POST /v1/nodes/heartbeat", c.handleHeartbeat)
+	c.mux.HandleFunc("POST /v1/nodes/deregister", c.handleDeregister)
+	c.mux.HandleFunc("GET /v1/nodes", c.handleNodes)
+	c.mux.HandleFunc("POST /v1/schedule", c.handleSchedule)
+	c.mux.HandleFunc("POST /v1/jobs", c.handleCreateJob)
+	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleJobStatus)
+	c.mux.HandleFunc("GET /v1/jobs/{id}/csv", c.handleJobCSV)
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	go c.reconcileLoop()
+	return c
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c }
+
+// ServeHTTP dispatches to the coordinator's endpoints.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.metrics.requests.Add(1)
+	c.mux.ServeHTTP(w, r)
+}
+
+// Close stops the reconciler, cancels running jobs and waits for their
+// dispatchers to exit. Call after the HTTP server has shut down.
+func (c *Coordinator) Close() {
+	c.stop()
+	<-c.reconcileDone
+	c.jobs.wg.Wait()
+}
+
+// Nodes returns the current node table (tests and gpcoordd logs use it).
+func (c *Coordinator) Nodes() []NodeInfo { return c.reg.snapshot() }
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	c.metrics.render(w, c.reg.snapshot(), c.jobs.running())
+}
+
+func (c *Coordinator) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	if status == http.StatusBadRequest {
+		c.metrics.badRequests.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (c *Coordinator) readJSON(w http.ResponseWriter, r *http.Request, out any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, c.cfg.maxBodyBytes()))
+	dec.DisallowUnknownFields()
+	return dec.Decode(out)
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req server.RegisterRequest
+	if err := c.readJSON(w, r, &req); err != nil {
+		c.writeError(w, http.StatusBadRequest, "bad register body: %v", err)
+		return
+	}
+	if req.ID == "" || req.Endpoint == "" {
+		c.writeError(w, http.StatusBadRequest, "register needs id and endpoint")
+		return
+	}
+	c.reg.register(req.ID, req.Endpoint, req.Capacity)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(server.RegisterResponse{
+		HeartbeatMillis: int(c.cfg.heartbeatInterval() / time.Millisecond),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req server.HeartbeatRequest
+	if err := c.readJSON(w, r, &req); err != nil {
+		c.writeError(w, http.StatusBadRequest, "bad heartbeat body: %v", err)
+		return
+	}
+	if !c.reg.heartbeat(req.ID) {
+		// Unknown ID: the coordinator restarted (or the node was evicted);
+		// 404 tells the agent to fall back to the register path.
+		c.writeError(w, http.StatusNotFound, "unknown node %q, re-register", req.ID)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	var req server.HeartbeatRequest
+	if err := c.readJSON(w, r, &req); err != nil {
+		c.writeError(w, http.StatusBadRequest, "bad deregister body: %v", err)
+		return
+	}
+	c.reg.deregister(req.ID)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleNodes(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(c.reg.snapshot())
+}
+
+// handleSchedule proxies one scheduling request to the fleet: rendezvous
+// placement on the content-address key, then failover down the ranking
+// with an exclusion list when workers fail. The worker's response —
+// including its X-Cache verdict — is relayed byte-for-byte, plus an X-Node
+// header naming the worker that served it.
+func (c *Coordinator) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	c.metrics.scheduleReqs.Add(1)
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, c.cfg.maxBodyBytes())); err != nil {
+		c.writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	body := buf.Bytes()
+	// Admission at the edge: a body gpserved would reject burns no worker,
+	// and the parse yields the placement key.
+	key, err := server.ScheduleCacheKey(body)
+	if err != nil {
+		c.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	exclude := make(map[string]bool)
+	var lastErr error
+	allSaturated := true
+	for {
+		node, ok := place(c.reg.candidates(), key, exclude)
+		if !ok {
+			break
+		}
+		c.metrics.placements.Add(1)
+		c.reg.countRequest(node.id)
+		resp, body, err := c.forward(r.Context(), node, "/v1/schedule", body, c.cfg.scheduleTimeout())
+		switch {
+		case err != nil:
+			// Transport failure or truncated body: the worker is gone or
+			// going — suspect it and fail over down the HRW ranking.
+			c.reg.reportFailure(node.id)
+			c.metrics.failovers.Add(1)
+			exclude[node.id] = true
+			lastErr = fmt.Errorf("worker %s: %v", node.id, err)
+			allSaturated = false
+		case resp.StatusCode >= 500:
+			c.reg.reportFailure(node.id)
+			c.metrics.failovers.Add(1)
+			exclude[node.id] = true
+			lastErr = fmt.Errorf("worker %s answered %d: %s", node.id, resp.StatusCode, firstLine(body))
+			allSaturated = false
+		case resp.StatusCode == http.StatusTooManyRequests:
+			// Saturation is load, not sickness: try another worker without
+			// marking this one suspect.
+			c.metrics.retries.Add(1)
+			exclude[node.id] = true
+			lastErr = fmt.Errorf("worker %s saturated", node.id)
+		default:
+			// 2xx and request-defect 4xx relay as-is: a 400 is wrong on
+			// every worker, retrying it elsewhere would just burn the fleet.
+			h := w.Header()
+			h.Set("X-Node", node.id)
+			if ct := resp.Header.Get("Content-Type"); ct != "" {
+				h.Set("Content-Type", ct)
+			}
+			if xc := resp.Header.Get("X-Cache"); xc != "" {
+				h.Set("X-Cache", xc)
+			}
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				h.Set("Retry-After", ra)
+			}
+			w.WriteHeader(resp.StatusCode)
+			_, _ = w.Write(body)
+			return
+		}
+	}
+	if lastErr == nil {
+		c.metrics.noCapacity.Add(1)
+		c.writeError(w, http.StatusServiceUnavailable, "no ready workers")
+		return
+	}
+	if allSaturated {
+		// Every worker shed with 429: the fleet is loaded, not broken.
+		// Relay the single-node backpressure contract so clients back off
+		// instead of hard-retrying a "failure".
+		c.metrics.noCapacity.Add(1)
+		w.Header().Set("Retry-After", "1")
+		c.writeError(w, http.StatusTooManyRequests, "every worker is saturated, retry later")
+		return
+	}
+	c.writeError(w, http.StatusBadGateway, "all workers failed, last: %v", lastErr)
+}
+
+// forward posts body to node's path and reads the full response body
+// before reporting success, so a connection that dies mid-response counts
+// as a node failure while the coordinator can still fail over (nothing has
+// been written to the client yet).
+func (c *Coordinator) forward(ctx context.Context, node candidate, path string, body []byte, timeout time.Duration) (*http.Response, []byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node.endpoint+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, out, nil
+}
+
+// firstLine trims an error body for log/relay contexts.
+func firstLine(b []byte) string {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		b = b[:i]
+	}
+	const max = 200
+	if len(b) > max {
+		b = b[:max]
+	}
+	return string(b)
+}
+
+// reconcileLoop is the coordinator's health detector and work re-placer:
+// every tick it applies the missed-heartbeat thresholds, then cancels
+// in-flight job cells assigned to nodes that just died so their
+// dispatchers immediately re-place them on survivors (the persys-style
+// desired-state reconciliation, specialized to sweep cells).
+func (c *Coordinator) reconcileLoop() {
+	defer close(c.reconcileDone)
+	t := time.NewTicker(c.cfg.reconcileInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+		}
+		died := c.reg.sweepHealth(c.cfg.suspectAfter(), c.cfg.deadAfter())
+		for _, id := range died {
+			c.metrics.reconcilePlaced.Add(c.jobs.cancelInflightOn(id))
+		}
+		c.reg.expireDead(c.cfg.deadExpiry())
+	}
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Placement is rendezvous (highest-random-weight) hashing on the request's
+// content-address key: every coordinator ranks every node for a key by
+// hashing (node, key) pairs and picks the highest score. Identical requests
+// therefore always land on the same worker while that worker is placeable,
+// which turns the per-worker LRU caches into one sharded distributed cache
+// — and when a node joins or leaves, only the keys whose top-ranked node
+// changed move, unlike mod-N hashing where nearly everything reshuffles.
+
+// hrwScore is the rendezvous weight of (node, key). FNV-1a over
+// node \x00 key: placement is not an integrity boundary (the key itself is
+// already a sha256 content address), it just has to be fast, well mixed and
+// stable across coordinator restarts.
+func hrwScore(nodeID, key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(nodeID))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// hrwRank orders nodes by descending rendezvous weight for key, breaking
+// the (astronomically unlikely) score tie by ID so the order is total and
+// deterministic. The full ranking is the failover order: attempt i+1 goes
+// to the (i+1)-th ranked node.
+func hrwRank(nodes []candidate, key string) []candidate {
+	ranked := make([]candidate, len(nodes))
+	copy(ranked, nodes)
+	scores := make(map[string]uint64, len(ranked))
+	for _, n := range ranked {
+		scores[n.id] = hrwScore(n.id, key)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		si, sj := scores[ranked[i].id], scores[ranked[j].id]
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	return ranked
+}
+
+// place picks the highest-ranked placeable node for key that is not in
+// exclude. The zero candidate and false mean no node qualifies. This is
+// the proxy hot path (once per request and per cell attempt), so it is a
+// single allocation-free argmax scan rather than a full hrwRank sort; the
+// tie-break matches hrwRank's, so place(exclude) always returns the first
+// non-excluded entry of the ranking (tests pin the equivalence).
+func place(nodes []candidate, key string, exclude map[string]bool) (candidate, bool) {
+	var best candidate
+	var bestScore uint64
+	found := false
+	for _, n := range nodes {
+		if exclude[n.id] {
+			continue
+		}
+		s := hrwScore(n.id, key)
+		if !found || s > bestScore || (s == bestScore && n.id < best.id) {
+			best, bestScore, found = n, s, true
+		}
+	}
+	return best, found
+}

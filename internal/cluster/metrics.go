@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics holds the coordinator's counters, Prometheus-style monotonic
+// totals. Per-node request/failure counters and the health gauges live on
+// the registry and are rendered from its snapshot.
+type metrics struct {
+	requests     atomic.Int64 // every HTTP request seen
+	scheduleReqs atomic.Int64
+	placements   atomic.Int64 // successful placement decisions
+	retries      atomic.Int64 // re-placements after a worker 429/503
+	failovers    atomic.Int64 // re-placements after a worker failure
+	noCapacity   atomic.Int64 // requests shed because no node was placeable
+	badRequests  atomic.Int64
+
+	jobsCreated      atomic.Int64
+	jobsDone         atomic.Int64
+	jobsFailed       atomic.Int64
+	cellsDone        atomic.Int64
+	cellsRequeued    atomic.Int64 // cell attempts redone on another node
+	reconcilePlaced  atomic.Int64 // cells canceled off dead nodes by the reconciler
+	exclusionsResets atomic.Int64 // cells that exhausted the fleet and started over
+}
+
+// render writes the coordinator metrics in the Prometheus text exposition
+// format, including one health gauge (0 ready / 1 suspect / 2 dead) and the
+// routed/failed counters per registered node.
+func (m *metrics) render(w io.Writer, nodes []NodeInfo, jobsRunning int) {
+	fmt.Fprintf(w, "gpcoordd_requests_total %d\n", m.requests.Load())
+	fmt.Fprintf(w, "gpcoordd_schedule_requests_total %d\n", m.scheduleReqs.Load())
+	fmt.Fprintf(w, "gpcoordd_placements_total %d\n", m.placements.Load())
+	fmt.Fprintf(w, "gpcoordd_retries_total %d\n", m.retries.Load())
+	fmt.Fprintf(w, "gpcoordd_failovers_total %d\n", m.failovers.Load())
+	fmt.Fprintf(w, "gpcoordd_no_capacity_total %d\n", m.noCapacity.Load())
+	fmt.Fprintf(w, "gpcoordd_bad_requests_total %d\n", m.badRequests.Load())
+	fmt.Fprintf(w, "gpcoordd_jobs_created_total %d\n", m.jobsCreated.Load())
+	fmt.Fprintf(w, "gpcoordd_jobs_done_total %d\n", m.jobsDone.Load())
+	fmt.Fprintf(w, "gpcoordd_jobs_failed_total %d\n", m.jobsFailed.Load())
+	fmt.Fprintf(w, "gpcoordd_jobs_running %d\n", jobsRunning)
+	fmt.Fprintf(w, "gpcoordd_cells_done_total %d\n", m.cellsDone.Load())
+	fmt.Fprintf(w, "gpcoordd_cells_requeued_total %d\n", m.cellsRequeued.Load())
+	fmt.Fprintf(w, "gpcoordd_reconcile_replacements_total %d\n", m.reconcilePlaced.Load())
+	fmt.Fprintf(w, "gpcoordd_exclusion_resets_total %d\n", m.exclusionsResets.Load())
+	fmt.Fprintf(w, "gpcoordd_nodes %d\n", len(nodes))
+	for _, n := range nodes {
+		health := 0
+		switch n.State {
+		case NodeSuspect.String():
+			health = 1
+		case NodeDead.String():
+			health = 2
+		}
+		fmt.Fprintf(w, "gpcoordd_node_health{node=%q} %d\n", n.ID, health)
+		fmt.Fprintf(w, "gpcoordd_node_requests_total{node=%q} %d\n", n.ID, n.Requests)
+		fmt.Fprintf(w, "gpcoordd_node_failures_total{node=%q} %d\n", n.ID, n.Failures)
+	}
+}

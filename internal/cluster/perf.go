@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/server"
+)
+
+// PerfOptions tunes MeasureThroughput.
+type PerfOptions struct {
+	// Requests is the total number of /v1/schedule requests (default 400).
+	Requests int
+	// Concurrency is the number of client goroutines (default 8).
+	Concurrency int
+	// Workers is the fleet size (default 2).
+	Workers int
+}
+
+func (o PerfOptions) requests() int {
+	if o.Requests > 0 {
+		return o.Requests
+	}
+	return 400
+}
+
+func (o PerfOptions) concurrency() int {
+	if o.Concurrency > 0 {
+		return o.Concurrency
+	}
+	return 8
+}
+
+func (o PerfOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return 2
+}
+
+// MeasureThroughput boots a coordinator and a small in-process worker
+// fleet on loopback listeners, registers the workers through the real
+// lifecycle protocol, drives the same sustained /v1/schedule mix as the
+// single-node measurement — now proxied and rendezvous-routed — and
+// returns the throughput snapshot written to BENCH_cluster.json. The
+// cache-hit rate aggregates over the whole fleet: with HRW routing each
+// key hits exactly one worker's LRU, so steady state matches the
+// single-node hit rate despite the sharding.
+func MeasureThroughput(cfg Config, opts PerfOptions) (*bench.ServerPerfSnapshot, error) {
+	bodies, err := server.PerfRequestBodies()
+	if err != nil {
+		return nil, err
+	}
+
+	coord := New(cfg)
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	chs := &http.Server{Handler: coord.Handler()}
+	go func() { _ = chs.Serve(cln) }()
+	defer func() {
+		_ = chs.Close()
+		coord.Close()
+	}()
+	base := "http://" + cln.Addr().String()
+
+	type worker struct {
+		srv   *server.Server
+		hs    *http.Server
+		agent *server.Agent
+	}
+	var fleet []worker
+	defer func() {
+		for _, w := range fleet {
+			w.agent.Close()
+			_ = w.hs.Close()
+			w.srv.Close()
+		}
+	}()
+	for i := 0; i < opts.workers(); i++ {
+		id := fmt.Sprintf("perf-worker-%d", i)
+		srv := server.New(server.Config{NodeID: id})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		agent := server.StartAgent(server.AgentConfig{
+			Coordinator: base,
+			NodeID:      id,
+			Endpoint:    "http://" + ln.Addr().String(),
+			Capacity:    runtime.GOMAXPROCS(0),
+		})
+		fleet = append(fleet, worker{srv: srv, hs: hs, agent: agent})
+	}
+	// Wait for the fleet to register before opening traffic.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ready := 0
+		for _, n := range coord.Nodes() {
+			if n.State == NodeReady.String() {
+				ready++
+			}
+		}
+		if ready == opts.workers() {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster: only %d/%d workers registered", ready, opts.workers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	total := opts.requests()
+	conc := opts.concurrency()
+	client := &http.Client{}
+
+	var next atomic.Int64
+	var errCount, rejected atomic.Int64
+	latencies := make([]time.Duration, total)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				body := bodies[i%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/schedule", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rejected.Add(1)
+				case resp.StatusCode != http.StatusOK:
+					errCount.Add(1)
+				default:
+					latencies[i] = time.Since(t0)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	served := make([]time.Duration, 0, total)
+	for _, d := range latencies {
+		if d > 0 {
+			served = append(served, d)
+		}
+	}
+	sort.Slice(served, func(i, j int) bool { return served[i] < served[j] })
+	var p50, p99 time.Duration
+	if n := len(served); n > 0 {
+		p50 = served[n/2]
+		idx := int(0.99 * float64(n-1))
+		p99 = served[idx]
+	}
+
+	var hits, misses int64
+	for _, w := range fleet {
+		h, m, _, _ := w.srv.Metrics()
+		hits += h
+		misses += m
+	}
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+
+	return &bench.ServerPerfSnapshot{
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		Requests:       total,
+		UniqueRequests: len(bodies),
+		Concurrency:    conc,
+		Errors:         int(errCount.Load()),
+		Rejected:       int(rejected.Load()),
+		DurationSec:    elapsed.Seconds(),
+		RequestsPerSec: float64(total) / elapsed.Seconds(),
+		CacheHitRate:   hitRate,
+		P50Micros:      float64(p50) / float64(time.Microsecond),
+		P99Micros:      float64(p99) / float64(time.Microsecond),
+	}, nil
+}

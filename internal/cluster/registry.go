@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodeState is a worker's position in the health lifecycle. Registration
+// and heartbeats move a node toward NodeReady; missed heartbeats walk it
+// through NodeSuspect to NodeDead; a proxy failure short-circuits straight
+// to NodeSuspect without waiting for the detector.
+type NodeState int
+
+const (
+	// NodeReady nodes receive new placements.
+	NodeReady NodeState = iota
+	// NodeSuspect nodes missed at least the suspect threshold of
+	// heartbeats (or just failed a proxied request). They receive no new
+	// placements while any ready node remains, but keep their in-flight
+	// work: a suspect node may merely be slow, and yanking its work early
+	// would duplicate computation.
+	NodeSuspect
+	// NodeDead nodes missed the dead threshold. The reconciler cancels and
+	// re-places everything assigned to them; only a fresh heartbeat or
+	// re-registration revives them.
+	NodeDead
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case NodeReady:
+		return "ready"
+	case NodeSuspect:
+		return "suspect"
+	case NodeDead:
+		return "dead"
+	}
+	return fmt.Sprintf("NodeState(%d)", int(s))
+}
+
+// node is a registered worker. Immutable fields are set at registration;
+// the mutable tail is guarded by the registry mutex, except the counters,
+// which are atomic so the proxy path never takes the registry lock just to
+// count.
+type node struct {
+	id       string
+	endpoint string
+	capacity int
+
+	state         NodeState
+	lastHeartbeat time.Time
+
+	requests atomic.Int64 // proxied requests + job cells routed here
+	failures atomic.Int64 // transport errors and 5xx answers observed
+}
+
+// NodeInfo is a point-in-time snapshot of one node, the JSON shape of
+// GET /v1/nodes.
+type NodeInfo struct {
+	ID       string `json:"id"`
+	Endpoint string `json:"endpoint"`
+	Capacity int    `json:"capacity"`
+	State    string `json:"state"`
+	// SinceHeartbeatMillis is the age of the last heartbeat.
+	SinceHeartbeatMillis int64 `json:"since_heartbeat_millis"`
+	Requests             int64 `json:"requests"`
+	Failures             int64 `json:"failures"`
+}
+
+// registry is the coordinator's in-memory node table. gpcoordd keeps no
+// persistent state: workers re-register on coordinator restart (the agent
+// treats a heartbeat 404 as "register again"), which rebuilds the table.
+type registry struct {
+	mu    sync.Mutex
+	nodes map[string]*node
+	now   func() time.Time // injectable for lifecycle tests
+}
+
+func newRegistry() *registry {
+	return &registry{nodes: make(map[string]*node), now: time.Now}
+}
+
+// register adds or refreshes a node: a known ID gets its endpoint and
+// capacity updated and its state reset to ready (the worker is plainly
+// alive — it just spoke to us).
+func (r *registry) register(id, endpoint string, capacity int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.nodes[id]
+	if !ok {
+		n = &node{id: id}
+		r.nodes[id] = n
+	}
+	n.endpoint = endpoint
+	n.capacity = capacity
+	n.state = NodeReady
+	n.lastHeartbeat = r.now()
+}
+
+// heartbeat refreshes a node's liveness, reviving suspect and dead nodes.
+// It reports false for an unknown ID: the worker must re-register so the
+// coordinator relearns its endpoint and capacity.
+func (r *registry) heartbeat(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.nodes[id]
+	if !ok {
+		return false
+	}
+	n.state = NodeReady
+	n.lastHeartbeat = r.now()
+	return true
+}
+
+// deregister removes a node entirely (graceful worker shutdown).
+func (r *registry) deregister(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[id]; !ok {
+		return false
+	}
+	delete(r.nodes, id)
+	return true
+}
+
+// reportFailure marks a node suspect after a proxied request failed on it
+// (transport error, truncated response or 5xx). The health detector — not
+// the proxy — owns the dead transition: one failed request on a live node
+// must not strand its whole queue, but it should stop attracting new work
+// until a heartbeat clears it.
+func (r *registry) reportFailure(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, ok := r.nodes[id]; ok {
+		n.failures.Add(1)
+		if n.state == NodeReady {
+			n.state = NodeSuspect
+		}
+	}
+}
+
+// sweepHealth applies the missed-heartbeat thresholds and returns the IDs
+// of nodes that transitioned to dead in this pass (the reconciler re-places
+// their work exactly once per transition).
+func (r *registry) sweepHealth(suspectAfter, deadAfter time.Duration) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	var died []string
+	for _, n := range r.nodes {
+		age := now.Sub(n.lastHeartbeat)
+		switch {
+		case age >= deadAfter:
+			if n.state != NodeDead {
+				n.state = NodeDead
+				died = append(died, n.id)
+			}
+		case age >= suspectAfter:
+			if n.state == NodeReady {
+				n.state = NodeSuspect
+			}
+		}
+	}
+	sort.Strings(died)
+	return died
+}
+
+// expireDead garbage-collects nodes that have been silent longer than
+// expiry. Without this, crashed workers with churned IDs (the default ID is
+// the advertised host:port, often an ephemeral port) would accumulate as
+// dead entries forever, growing /v1/nodes, the per-node metric series and
+// every health sweep without bound.
+func (r *registry) expireDead(expiry time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	for id, n := range r.nodes {
+		if n.state == NodeDead && now.Sub(n.lastHeartbeat) >= expiry {
+			delete(r.nodes, id)
+		}
+	}
+}
+
+// state returns a node's current state (dead for unknown IDs — an
+// unregistered node is as gone as a dead one to the reconciler).
+func (r *registry) state(id string) NodeState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, ok := r.nodes[id]; ok {
+		return n.state
+	}
+	return NodeDead
+}
+
+// candidate is the placement view of a node: just identity and endpoint,
+// snapshotted under the lock so placement itself runs lock-free.
+type candidate struct {
+	id       string
+	endpoint string
+}
+
+// candidates returns the placeable nodes: all ready ones, or — when no
+// node is ready — the suspect ones, so a fleet that is merely slow keeps
+// serving instead of answering 503. Dead nodes are never placed on.
+func (r *registry) candidates() []candidate {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ready, suspect []candidate
+	for _, n := range r.nodes {
+		switch n.state {
+		case NodeReady:
+			ready = append(ready, candidate{id: n.id, endpoint: n.endpoint})
+		case NodeSuspect:
+			suspect = append(suspect, candidate{id: n.id, endpoint: n.endpoint})
+		}
+	}
+	if len(ready) > 0 {
+		return ready
+	}
+	return suspect
+}
+
+// countRequest bumps a node's routed-request counter.
+func (r *registry) countRequest(id string) {
+	r.mu.Lock()
+	n, ok := r.nodes[id]
+	r.mu.Unlock()
+	if ok {
+		n.requests.Add(1)
+	}
+}
+
+// snapshot returns every node sorted by ID (the /v1/nodes and /metrics
+// view).
+func (r *registry) snapshot() []NodeInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	infos := make([]NodeInfo, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		infos = append(infos, NodeInfo{
+			ID:                   n.id,
+			Endpoint:             n.endpoint,
+			Capacity:             n.capacity,
+			State:                n.state.String(),
+			SinceHeartbeatMillis: now.Sub(n.lastHeartbeat).Milliseconds(),
+			Requests:             n.requests.Load(),
+			Failures:             n.failures.Load(),
+		})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	return infos
+}

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// The node-lifecycle wire protocol between a gpserved worker and the
+// gpcoordd coordinator. The types live here (not in internal/cluster) so
+// the dependency stays one-way: cluster imports server for them, never the
+// reverse.
+
+// RegisterRequest is the body of POST /v1/nodes/register: a worker
+// announcing itself (or re-announcing after a coordinator restart).
+type RegisterRequest struct {
+	// ID is the worker's stable identity; re-registering an existing ID
+	// updates its endpoint and capacity and resets it to ready.
+	ID string `json:"id"`
+	// Endpoint is the base URL other nodes reach this worker at.
+	Endpoint string `json:"endpoint"`
+	// Capacity is the worker's scheduling-goroutine count, exported for
+	// observability and future load-aware placement.
+	Capacity int `json:"capacity"`
+}
+
+// RegisterResponse acknowledges a registration and tells the worker how
+// often the coordinator expects heartbeats.
+type RegisterResponse struct {
+	HeartbeatMillis int `json:"heartbeat_millis"`
+}
+
+// HeartbeatRequest is the body of POST /v1/nodes/heartbeat and
+// /v1/nodes/deregister.
+type HeartbeatRequest struct {
+	ID string `json:"id"`
+}
+
+// AgentConfig tunes a worker's coordinator-registration agent.
+type AgentConfig struct {
+	// Coordinator is the gpcoordd base URL, e.g. http://10.0.0.1:8038.
+	Coordinator string
+	// NodeID is this worker's stable identity.
+	NodeID string
+	// Endpoint is the advertised base URL of this worker.
+	Endpoint string
+	// Capacity is the advertised scheduling-goroutine count.
+	Capacity int
+	// Interval overrides the heartbeat cadence; 0 adopts the coordinator's
+	// suggestion from the register response (2s until registered).
+	Interval time.Duration
+	// Logf, when set, receives agent lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+func (c AgentConfig) interval() time.Duration {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return 2 * time.Second
+}
+
+// Agent keeps a worker registered with its coordinator: an initial
+// register (retried until it lands — the coordinator may boot after the
+// workers), a periodic heartbeat, re-registration when the coordinator
+// forgot us (its restart loses the in-memory registry, so a heartbeat for
+// an unknown ID answers 404), and a best-effort deregister on Close so a
+// graceful worker shutdown never has to wait out the dead-node detector.
+type Agent struct {
+	cfg        AgentConfig
+	client     *http.Client
+	cancel     context.CancelFunc
+	done       chan struct{}
+	registered atomic.Bool
+}
+
+// StartAgent launches the registration loop and returns immediately; the
+// loop keeps retrying until the coordinator accepts the registration.
+func StartAgent(cfg AgentConfig) *Agent {
+	ctx, cancel := context.WithCancel(context.Background())
+	a := &Agent{
+		cfg:    cfg,
+		client: &http.Client{Timeout: 5 * time.Second},
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	go a.loop(ctx)
+	return a
+}
+
+// Registered reports whether the last register/heartbeat round-trip
+// succeeded (tests and /healthz handlers poll it).
+func (a *Agent) Registered() bool { return a.registered.Load() }
+
+// Close stops the loop and best-effort deregisters from the coordinator.
+func (a *Agent) Close() {
+	a.cancel()
+	<-a.done
+	if a.registered.Load() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = a.post(ctx, "/v1/nodes/deregister", HeartbeatRequest{ID: a.cfg.NodeID}, nil)
+		a.registered.Store(false)
+	}
+}
+
+func (a *Agent) loop(ctx context.Context) {
+	defer close(a.done)
+	interval := a.cfg.interval()
+	for {
+		if !a.registered.Load() {
+			var resp RegisterResponse
+			err := a.post(ctx, "/v1/nodes/register", RegisterRequest{
+				ID:       a.cfg.NodeID,
+				Endpoint: a.cfg.Endpoint,
+				Capacity: a.cfg.Capacity,
+			}, &resp)
+			switch {
+			case err == nil:
+				a.registered.Store(true)
+				if a.cfg.Interval == 0 && resp.HeartbeatMillis > 0 {
+					interval = time.Duration(resp.HeartbeatMillis) * time.Millisecond
+				}
+				a.logf("registered with %s as %s (heartbeat %v)", a.cfg.Coordinator, a.cfg.NodeID, interval)
+			case ctx.Err() == nil:
+				a.logf("register with %s failed, will retry: %v", a.cfg.Coordinator, err)
+			}
+		} else if err := a.post(ctx, "/v1/nodes/heartbeat", HeartbeatRequest{ID: a.cfg.NodeID}, nil); err != nil {
+			var se *statusError
+			if errors.As(err, &se) && (se.code == http.StatusNotFound || se.code == http.StatusGone) {
+				// The coordinator restarted and lost the registry: fall back
+				// to the register path next tick.
+				a.registered.Store(false)
+				a.logf("coordinator forgot %s, re-registering", a.cfg.NodeID)
+			} else if ctx.Err() == nil {
+				a.logf("heartbeat to %s failed: %v", a.cfg.Coordinator, err)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(interval):
+		}
+	}
+}
+
+// post sends a JSON body and decodes a JSON response into out (when
+// non-nil). Non-2xx statuses come back as *statusError.
+func (a *Agent) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return &statusError{code: resp.StatusCode}
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.cfg.Logf != nil {
+		a.cfg.Logf(format, args...)
+	}
+}
+
+type statusError struct{ code int }
+
+func (e *statusError) Error() string { return fmt.Sprintf("coordinator answered HTTP %d", e.code) }

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeCoordinator records the lifecycle calls an Agent makes and can be
+// told to forget the node (answering heartbeats with 404 the way a
+// restarted gpcoordd would).
+type fakeCoordinator struct {
+	mu          sync.Mutex
+	registers   []RegisterRequest
+	heartbeats  int
+	deregisters int
+	forget      bool
+}
+
+func (f *fakeCoordinator) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/nodes/register", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		f.mu.Lock()
+		f.registers = append(f.registers, req)
+		f.forget = false
+		f.mu.Unlock()
+		_ = json.NewEncoder(w).Encode(RegisterResponse{HeartbeatMillis: 10})
+	})
+	mux.HandleFunc("POST /v1/nodes/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		forget := f.forget
+		if !forget {
+			f.heartbeats++
+		}
+		f.mu.Unlock()
+		if forget {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/nodes/deregister", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.deregisters++
+		f.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+func (f *fakeCoordinator) counts() (registers, heartbeats, deregisters int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.registers), f.heartbeats, f.deregisters
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestAgentLifecycle(t *testing.T) {
+	fake := &fakeCoordinator{}
+	ts := httptest.NewServer(fake.handler())
+	defer ts.Close()
+
+	agent := StartAgent(AgentConfig{
+		Coordinator: ts.URL,
+		NodeID:      "w1",
+		Endpoint:    "http://127.0.0.1:1",
+		Capacity:    3,
+	})
+
+	// Registers with its identity, then adopts the coordinator's suggested
+	// cadence and heartbeats.
+	waitFor(t, "registration", func() bool { r, _, _ := fake.counts(); return r >= 1 })
+	fake.mu.Lock()
+	got := fake.registers[0]
+	fake.mu.Unlock()
+	if got.ID != "w1" || got.Endpoint != "http://127.0.0.1:1" || got.Capacity != 3 {
+		t.Fatalf("register request = %+v", got)
+	}
+	waitFor(t, "heartbeats", func() bool { _, h, _ := fake.counts(); return h >= 3 })
+	if !agent.Registered() {
+		t.Fatal("agent does not report registered")
+	}
+
+	// Coordinator restart: heartbeats answer 404 until the agent
+	// re-registers.
+	fake.mu.Lock()
+	fake.forget = true
+	fake.mu.Unlock()
+	waitFor(t, "re-registration", func() bool { r, _, _ := fake.counts(); return r >= 2 })
+
+	// Close deregisters exactly once.
+	agent.Close()
+	if _, _, d := fake.counts(); d != 1 {
+		t.Fatalf("deregisters = %d, want 1", d)
+	}
+}
+
+func TestAgentRetriesUntilCoordinatorExists(t *testing.T) {
+	// Point the agent at a dead port: it must keep retrying, not crash,
+	// and Close must return promptly without a deregister call.
+	agent := StartAgent(AgentConfig{
+		Coordinator: "http://127.0.0.1:1",
+		NodeID:      "w1",
+		Endpoint:    "http://127.0.0.1:2",
+		Interval:    5 * time.Millisecond,
+	})
+	time.Sleep(30 * time.Millisecond)
+	if agent.Registered() {
+		t.Fatal("agent claims registration against a dead coordinator")
+	}
+	done := make(chan struct{})
+	go func() { agent.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung")
+	}
+}

@@ -141,6 +141,12 @@ func MeasureThroughput(cfg Config, opts PerfOptions) (*bench.ServerPerfSnapshot,
 	return snap, nil
 }
 
+// PerfRequestBodies returns the throughput benchmark's distinct-request
+// working set (one /v1/schedule body per SPECfp95 loop). The cluster
+// throughput measurement drives gpcoordd with the same mix so
+// BENCH_cluster.json and BENCH_server.json are directly comparable.
+func PerfRequestBodies() ([][]byte, error) { return perfRequestBodies() }
+
 // perfRequestBodies builds one request body per SPECfp95 loop (the paper's
 // 4-cluster machine as a typed description — machine.Config.MarshalText
 // puts it on the wire — GP scheme), the distinct-request working set of

@@ -308,6 +308,20 @@ func (j *scheduleJob) cacheKey() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// ScheduleCacheKey parses and validates a /v1/schedule body exactly as the
+// daemon's admission does and returns the request's content-address cache
+// key. The cluster coordinator routes on it — rendezvous hashing the key
+// over the worker fleet sends identical requests to the same worker, whose
+// LRU then acts as one shard of a distributed cache — and uses the parse
+// error to shed malformed bodies before they consume a worker.
+func ScheduleCacheKey(body []byte) (string, error) {
+	job, err := parseScheduleRequest(body)
+	if err != nil {
+		return "", err
+	}
+	return job.cacheKey(), nil
+}
+
 // buildResponse assembles the deterministic response body from a scheduling
 // result. It excludes every wall-clock field of core.Result on purpose.
 func buildResponse(j *scheduleJob, res *core.Result) *ScheduleResponse {

@@ -32,6 +32,10 @@ type Config struct {
 	MaxBodyBytes int64
 	// RetryAfter is the hint returned with 429 responses (default 1s).
 	RetryAfter time.Duration
+	// NodeID, when set, is stamped on every response as the X-Node header
+	// so a cluster coordinator (and its clients) can observe which worker
+	// actually served a proxied request.
+	NodeID string
 }
 
 func (c Config) workers() int {
@@ -107,6 +111,9 @@ func (s *Server) Handler() http.Handler { return s }
 // ServeHTTP dispatches to the daemon's endpoints.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
+	if s.cfg.NodeID != "" {
+		w.Header().Set("X-Node", s.cfg.NodeID)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -347,6 +354,15 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	c.n += int64(n)
 	return n, err
+}
+
+// ResolveSweep materializes a sweep request's machine and corpus lists with
+// the daemon's defaults and limits applied (empty machines → the built-in
+// sweep set, empty corpora → both families, every machine validated and
+// size-bounded). Exported for the cluster coordinator, which enumerates the
+// same cross-product to shard a job cell-by-cell across the fleet.
+func ResolveSweep(req *SweepRequest) ([]*machine.Config, []bench.Corpus, error) {
+	return resolveSweep(req)
 }
 
 // resolveSweep materializes the request's machine and corpus lists.

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — end-to-end cluster gate over the real binaries.
+#
+# Builds race-instrumented gpcoordd + gpserved, boots one coordinator and
+# two workers, runs the `-sweep -short` equivalent as a distributed job
+# ({"max_loops": 2, "verify": true} over the default machine set × both
+# corpora), and requires the assembled CSV to be byte-identical to the
+# committed single-node golden (internal/bench/testdata/
+# sweep_short_golden.csv). Also checks cache-affine routing: the second of
+# two identical /v1/schedule requests must be an X-Cache hit served by the
+# same X-Node. Finally both workers and the coordinator must drain
+# gracefully (exit 0) on SIGTERM.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== building race-instrumented binaries"
+go build -race -o "$work" ./cmd/gpcoordd ./cmd/gpserved
+
+wait_listen() { # logfile prefix -> base URL
+    local log="$1" prefix="$2" addr="" tries=0
+    while [ -z "$addr" ]; do
+        addr="$(sed -n "s/^$prefix listening on //p" "$log" | head -1)"
+        tries=$((tries + 1))
+        if [ "$tries" -gt 200 ]; then
+            echo "$prefix never started:" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        [ -n "$addr" ] || sleep 0.05
+    done
+    echo "http://$addr"
+}
+
+echo "== booting gpcoordd + 2 gpserved workers"
+"$work/gpcoordd" -addr 127.0.0.1:0 -heartbeat 500ms >"$work/coordd.log" 2>&1 &
+pids+=($!)
+coord_pid=$!
+coord="$(wait_listen "$work/coordd.log" gpcoordd)"
+
+"$work/gpserved" -addr 127.0.0.1:0 -coordinator "$coord" -node-id smoke-a >"$work/worker-a.log" 2>&1 &
+pids+=($!)
+wa_pid=$!
+"$work/gpserved" -addr 127.0.0.1:0 -coordinator "$coord" -node-id smoke-b >"$work/worker-b.log" 2>&1 &
+pids+=($!)
+wb_pid=$!
+
+for i in $(seq 1 200); do
+    ready="$(curl -sf "$coord/v1/nodes" | grep -c '"state": "ready"' || true)"
+    [ "$ready" = 2 ] && break
+    if [ "$i" = 200 ]; then
+        echo "fleet never became ready:" >&2
+        curl -s "$coord/v1/nodes" >&2 || true
+        exit 1
+    fi
+    sleep 0.05
+done
+echo "== fleet ready"
+
+echo "== cache-affine routing through the coordinator"
+req='{"loop_text": "loop smoke 100\nnode 0 Load a[i]\nnode 1 FPMul *c\nnode 2 FPAdd +s\nedge 0 1 2 0 data\nedge 1 2 4 0 data\nedge 2 2 4 1 data\n", "clusters": 2, "regs": 32, "nbus": 1, "latbus": 1}'
+curl -sf -D "$work/h1" -o "$work/b1" "$coord/v1/schedule" -d "$req"
+curl -sf -D "$work/h2" -o "$work/b2" "$coord/v1/schedule" -d "$req"
+node1="$(tr -d '\r' <"$work/h1" | sed -n 's/^X-Node: //p')"
+node2="$(tr -d '\r' <"$work/h2" | sed -n 's/^X-Node: //p')"
+hit="$(tr -d '\r' <"$work/h2" | sed -n 's/^X-Cache: //p')"
+[ -n "$node1" ] && [ "$node1" = "$node2" ] || { echo "routing not affine: '$node1' vs '$node2'" >&2; exit 1; }
+[ "$hit" = hit ] || { echo "second identical request not a cache hit (X-Cache: $hit)" >&2; exit 1; }
+cmp "$work/b1" "$work/b2" || { echo "cache hit bytes differ" >&2; exit 1; }
+
+echo "== distributed -short sweep job vs committed single-node golden"
+job="$(curl -sf "$coord/v1/jobs" -d '{"max_loops": 2, "verify": true}')"
+id="$(printf '%s' "$job" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')"
+[ -n "$id" ] || { echo "no job id in: $job" >&2; exit 1; }
+for i in $(seq 1 1200); do
+    if curl -sf -o "$work/cluster.csv" "$coord/v1/jobs/$id/csv" &&
+        head -1 "$work/cluster.csv" | grep -q '^corpus,'; then
+        break
+    fi
+    if [ "$i" = 1200 ]; then
+        echo "job $id never finished:" >&2
+        curl -s "$coord/v1/jobs/$id" >&2 || true
+        exit 1
+    fi
+    sleep 0.5
+done
+cmp "$work/cluster.csv" internal/bench/testdata/sweep_short_golden.csv ||
+    { echo "distributed sweep differs from single-node golden" >&2; exit 1; }
+echo "== CSV byte-identical to sweep_short_golden.csv"
+
+echo "== graceful drain"
+kill -TERM "$wa_pid" "$wb_pid"
+wait "$wa_pid" || { echo "worker a exited non-zero" >&2; cat "$work/worker-a.log" >&2; exit 1; }
+wait "$wb_pid" || { echo "worker b exited non-zero" >&2; cat "$work/worker-b.log" >&2; exit 1; }
+kill -TERM "$coord_pid"
+wait "$coord_pid" || { echo "coordinator exited non-zero" >&2; cat "$work/coordd.log" >&2; exit 1; }
+pids=()
+
+echo "== cluster smoke OK"
