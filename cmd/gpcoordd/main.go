@@ -8,9 +8,17 @@
 // by the reconciliation loop when a worker dies. SIGINT/SIGTERM drain
 // in-flight work before exit.
 //
+// With -journal the coordinator is durable: every registration, job and
+// completed cell is appended to a CRC-framed journal in that directory,
+// and a restarted gpcoordd pointed at the same directory replays it,
+// re-adopts the fleet (suspect until the next heartbeat) and resumes
+// unfinished jobs where they left off. An unwritable or version-mismatched
+// journal directory fails startup rather than running silently
+// non-durable.
+//
 // Usage:
 //
-//	gpcoordd [-addr :8038] [-heartbeat 2s] [-suspect-after 6s] [-dead-after 12s] [-job-workers N]
+//	gpcoordd [-addr :8038] [-heartbeat 2s] [-suspect-after 6s] [-dead-after 12s] [-job-workers N] [-journal DIR]
 //	gpcoordd -bench-json BENCH_cluster.json [-bench-requests N] [-bench-concurrency N] [-bench-workers N]
 //
 // The -bench-json mode does not serve: it boots an in-process coordinator
@@ -32,6 +40,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
+	"repro/internal/store"
 )
 
 func main() {
@@ -49,6 +58,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	deadAfter := fs.Duration("dead-after", 0, "heartbeat age that marks a node dead and re-places its work (0 = 6× -heartbeat)")
 	jobWorkers := fs.Int("job-workers", 4, "concurrently dispatched cells per sweep job")
 	cellAttempts := fs.Int("cell-attempts", 8, "workers one job cell is tried on before the job fails")
+	journalDir := fs.String("journal", "", "journal directory for durable coordinator state (empty = in-memory, nothing survives a restart)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
 	benchJSON := fs.String("bench-json", "", "measure cluster throughput and write the snapshot to this JSON file, then exit")
 	benchReqs := fs.Int("bench-requests", 400, "total requests of the -bench-json measurement")
@@ -95,10 +105,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	coord := cluster.New(cfg)
+	if *journalDir != "" {
+		j, err := store.OpenJournal(*journalDir, store.JournalOptions{})
+		if err != nil {
+			fmt.Fprintf(stderr, "gpcoordd: %v\n", err)
+			return 1
+		}
+		cfg.Store = j
+	}
+	cfg.Logf = func(format string, args ...any) {
+		fmt.Fprintf(stdout, "gpcoordd: "+format+"\n", args...)
+	}
+
+	coord, err := cluster.New(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "gpcoordd: %v\n", err)
+		return 1
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "gpcoordd: %v\n", err)
+		coord.Close()
 		return 1
 	}
 	hs := &http.Server{Handler: coord.Handler()}

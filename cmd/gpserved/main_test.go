@@ -234,7 +234,10 @@ func TestServedSmoke(t *testing.T) {
 // requests tagged with its node identity, and deregister before draining
 // so the coordinator stops routing to it immediately.
 func TestWorkerModeJoinsAndLeavesFleet(t *testing.T) {
-	coord := cluster.New(cluster.Config{HeartbeatInterval: 25 * time.Millisecond})
+	coord, err := cluster.New(cluster.Config{HeartbeatInterval: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

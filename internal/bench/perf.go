@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/partition"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -32,9 +34,10 @@ type PerfSnapshot struct {
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
-	// Benchmarks are the partitioner micro-benchmarks: full partitioning
-	// of a medium and a large loop, and the steady-state evaluate (whose
-	// allocs_per_op must stay 0 — the allocation-free contract).
+	// Benchmarks are the micro-benchmarks: full partitioning of a medium
+	// and a large loop, the steady-state evaluate (whose allocs_per_op
+	// must stay 0 — the allocation-free contract), and the coordinator
+	// journal's append path.
 	Benchmarks []PerfBenchmark `json:"benchmarks"`
 	// LoopsScheduled and SchedulesPerSec measure end-to-end GP scheduling
 	// throughput over the SPECfp95 corpus on the paper's 4-cluster machine.
@@ -107,6 +110,39 @@ func MeasurePerf() (*PerfSnapshot, error) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			p.EvaluateForBenchmark(assign, ii)
+		}
+	})
+
+	// Coordinator write-path overhead: one journaled cell completion
+	// (marshal + CRC frame + buffered write), the store operation on the
+	// job hot path. NoSync isolates the encoding cost from device fsync
+	// latency, which CI machines cannot measure stably; the cell index
+	// cycles a bounded set so the measured op is the steady-state
+	// replacement write, not an ever-growing append scan.
+	journalDir, err := os.MkdirTemp("", "gpbench-journal")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(journalDir)
+	journal, err := store.OpenJournal(journalDir, store.JournalOptions{NoSync: true})
+	if err != nil {
+		return nil, err
+	}
+	defer journal.Close()
+	if err := journal.PutJob("bench-job", 1, []byte(`{"maxLoops":64}`)); err != nil {
+		return nil, err
+	}
+	cellRows := []byte("SPECfp95,machine,loop,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16\n")
+	record("journal_append", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := journal.FinishCell("bench-job", store.CellRecord{
+				Index: i % 64,
+				Key:   "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef",
+				Rows:  cellRows,
+			}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 

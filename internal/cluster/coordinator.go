@@ -23,10 +23,20 @@
 //	GET  /v1/nodes             node table with health states
 //	POST /v1/schedule          proxied single-loop scheduling (cache-affine)
 //	POST /v1/jobs              async sweep job; returns {id, cells}
+//	GET  /v1/jobs              all retained jobs' status summaries
 //	GET  /v1/jobs/{id}         job status and per-cell placement detail
 //	GET  /v1/jobs/{id}/csv     assembled CSV once the job is done
 //	GET  /healthz              liveness
 //	GET  /metrics              coordinator + per-node Prometheus text
+//
+// All mutable control-plane state — node registrations, job specs,
+// completed cell fragments — is written through a pluggable store
+// (internal/store). With the default in-memory store a restart forgets
+// everything, exactly the pre-durability behavior; with the journal store
+// (gpcoordd -journal <dir>) a restarted coordinator replays the journal,
+// adopts the registered nodes as suspect until their next heartbeat, and
+// resumes every unfinished job, re-dispatching only the cells the journal
+// does not prove done.
 package cluster
 
 import (
@@ -39,11 +49,19 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // Config tunes the coordinator. The zero value picks the defaults noted on
 // each field.
 type Config struct {
+	// Store persists the coordinator's control-plane state. Nil means a
+	// fresh in-memory store: no durability, no recovery, the exact
+	// behavior of a journal-less gpcoordd. The Coordinator takes ownership
+	// and closes it in Close.
+	Store store.Store
+	// Logf, when set, receives recovery and store-failure log lines.
+	Logf func(format string, args ...any)
 	// HeartbeatInterval is the cadence workers are told to heartbeat at
 	// (default 2s).
 	HeartbeatInterval time.Duration
@@ -162,6 +180,7 @@ func (c Config) maxBodyBytes() int64 {
 type Coordinator struct {
 	cfg     Config
 	reg     *registry
+	st      store.Store
 	metrics metrics
 	mux     *http.ServeMux
 	client  *http.Client
@@ -173,18 +192,27 @@ type Coordinator struct {
 	jobs jobTable
 }
 
-// New returns a running coordinator (its reconciliation loop is live).
-func New(cfg Config) *Coordinator {
+// New returns a running coordinator (its reconciliation loop is live),
+// after replaying whatever state cfg.Store holds: journaled nodes are
+// adopted as suspect, journaled unfinished jobs are resumed. A store that
+// cannot be loaded or whose jobs cannot be indexed fails construction —
+// silently discarding a journal would break the durability promise.
+func New(cfg Config) (*Coordinator, error) {
+	st := cfg.Store
+	if st == nil {
+		st = store.NewMemory()
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	c := &Coordinator{
 		cfg:           cfg,
-		reg:           newRegistry(),
+		st:            st,
 		mux:           http.NewServeMux(),
 		client:        &http.Client{},
 		ctx:           ctx,
 		stop:          stop,
 		reconcileDone: make(chan struct{}),
 	}
+	c.reg = newRegistry(st, c.storeError)
 	c.jobs.byID = make(map[string]*job)
 	c.mux.HandleFunc("POST /v1/nodes/register", c.handleRegister)
 	c.mux.HandleFunc("POST /v1/nodes/heartbeat", c.handleHeartbeat)
@@ -192,12 +220,31 @@ func New(cfg Config) *Coordinator {
 	c.mux.HandleFunc("GET /v1/nodes", c.handleNodes)
 	c.mux.HandleFunc("POST /v1/schedule", c.handleSchedule)
 	c.mux.HandleFunc("POST /v1/jobs", c.handleCreateJob)
+	c.mux.HandleFunc("GET /v1/jobs", c.handleListJobs)
 	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleJobStatus)
 	c.mux.HandleFunc("GET /v1/jobs/{id}/csv", c.handleJobCSV)
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	if err := c.recover(); err != nil {
+		stop()
+		close(c.reconcileDone)
+		return nil, err
+	}
 	go c.reconcileLoop()
-	return c
+	return c, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// storeError records a best-effort persistence failure: counted, logged,
+// never fatal to the serving path.
+func (c *Coordinator) storeError(op string, err error) {
+	c.metrics.storeErrors.Add(1)
+	c.logf("store: %s: %v", op, err)
 }
 
 // Handler returns the coordinator's HTTP handler.
@@ -209,12 +256,18 @@ func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	c.mux.ServeHTTP(w, r)
 }
 
-// Close stops the reconciler, cancels running jobs and waits for their
-// dispatchers to exit. Call after the HTTP server has shut down.
+// Close stops the reconciler, cancels running jobs, waits for their
+// dispatchers to exit, and closes the store. Running jobs are abandoned,
+// not failed: their journaled state stays "running" so the next
+// coordinator on the same journal resumes them. Call after the HTTP
+// server has shut down.
 func (c *Coordinator) Close() {
 	c.stop()
 	<-c.reconcileDone
 	c.jobs.wg.Wait()
+	if err := c.st.Close(); err != nil {
+		c.logf("store: close: %v", err)
+	}
 }
 
 // Nodes returns the current node table (tests and gpcoordd logs use it).
@@ -227,7 +280,7 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	c.metrics.render(w, c.reg.snapshot(), c.jobs.running())
+	c.metrics.render(w, c.reg.snapshot(), c.jobs.running(), c.st.Stats())
 }
 
 func (c *Coordinator) writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -255,7 +308,11 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		c.writeError(w, http.StatusBadRequest, "register needs id and endpoint")
 		return
 	}
-	c.reg.register(req.ID, req.Endpoint, req.Capacity)
+	if err := c.reg.register(req.ID, req.Endpoint, req.Capacity); err != nil {
+		c.storeError("put_node", err)
+		c.writeError(w, http.StatusInternalServerError, "persist registration: %v", err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(server.RegisterResponse{
 		HeartbeatMillis: int(c.cfg.heartbeatInterval() / time.Millisecond),

@@ -36,7 +36,10 @@ func testConfig() Config {
 
 func startCoordinator(t *testing.T, cfg Config) (*Coordinator, string) {
 	t.Helper()
-	coord := New(cfg)
+	coord, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/machine"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // The async batch layer: POST /v1/jobs accepts one machines × corpora ×
@@ -87,15 +88,18 @@ func (s jobState) String() string {
 	return fmt.Sprintf("jobState(%d)", int(s))
 }
 
-// job is one async sweep. The coordinator holds jobs in memory only — the
-// ROADMAP carries the persistent job store as an open item — so a
-// coordinator restart loses job state, but never worker state (workers
-// re-register) and never correctness (a client re-submits and every cell
-// re-lands on its cache-affine worker, mostly hitting warm caches).
+// job is one async sweep. Its durable core — the request body, completed
+// cell fragments and terminal state — is written through to the
+// coordinator's store as it happens; placement, attempts and in-flight
+// cancels stay in memory. A journaled coordinator restart therefore
+// rebuilds every job from its request (the cell enumeration is
+// deterministic), restores the cells the journal proves finished, and
+// re-dispatches only the rest.
 type job struct {
-	id     string
-	ctx    context.Context
-	cancel context.CancelFunc
+	id      string
+	resumed bool // rebuilt from the journal after a restart
+	ctx     context.Context
+	cancel  context.CancelFunc
 
 	mu    sync.Mutex
 	state jobState
@@ -118,21 +122,32 @@ type JobCellStatus struct {
 }
 
 // JobStatus is the body of GET /v1/jobs/{id} (and of the POST /v1/jobs
-// acknowledgement).
+// acknowledgement); without Detail it is one entry of the GET /v1/jobs
+// listing.
 type JobStatus struct {
-	ID     string          `json:"id"`
-	State  string          `json:"state"`
-	Cells  int             `json:"cells"`
-	Done   int             `json:"done"`
-	Failed int             `json:"failed"`
-	Detail []JobCellStatus `json:"cell_status"`
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cells  int    `json:"cells"`
+	Done   int    `json:"done"`
+	Failed int    `json:"failed"`
+	// Resumed marks a job rebuilt from the journal after a coordinator
+	// restart.
+	Resumed bool            `json:"resumed,omitempty"`
+	Detail  []JobCellStatus `json:"cell_status,omitempty"`
+}
+
+// summary is the Detail-free status used by the GET /v1/jobs listing.
+func (j *job) summary() JobStatus {
+	st := j.status(false)
+	st.Detail = nil
+	return st
 }
 
 // status snapshots the job under its lock.
 func (j *job) status(partial bool) JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := JobStatus{ID: j.id, State: j.state.String(), Cells: len(j.cells)}
+	st := JobStatus{ID: j.id, State: j.state.String(), Cells: len(j.cells), Resumed: j.resumed}
 	for _, cl := range j.cells {
 		cs := JobCellStatus{
 			Machine:  cl.machineName,
@@ -156,7 +171,8 @@ func (j *job) status(partial bool) JobStatus {
 	return st
 }
 
-// jobTable is the coordinator's in-memory job store.
+// jobTable is the coordinator's runtime job index; the durable record of
+// each job lives in the store.
 type jobTable struct {
 	mu    sync.Mutex
 	byID  map[string]*job
@@ -187,10 +203,12 @@ func (t *jobTable) running() int {
 
 // insert registers a new job, evicting the oldest finished job when the
 // table is full. It reports false when every retained job is still running
-// (the caller sheds with 429).
-func (t *jobTable) insert(j *job, max int) bool {
+// (the caller sheds with 429); the evicted ID, if any, is returned so the
+// caller can drop it from the store too.
+func (t *jobTable) insert(j *job, max int) (string, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	var evictedID string
 	if len(t.byID) >= max {
 		evicted := false
 		for i, id := range t.order {
@@ -201,24 +219,50 @@ func (t *jobTable) insert(j *job, max int) bool {
 			if finished {
 				delete(t.byID, id)
 				t.order = append(t.order[:i], t.order[i+1:]...)
+				evictedID = id
 				evicted = true
 				break
 			}
 		}
 		if !evicted {
-			return false
+			return "", false
 		}
 	}
 	t.byID[j.id] = j
 	t.order = append(t.order, j.id)
-	return true
+	return evictedID, true
 }
 
-func (t *jobTable) nextID() string {
+// remove deletes a job the coordinator could not persist (insert's
+// mirror, for the create path's store-failure unwind).
+func (t *jobTable) remove(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.byID, id)
+	for i, o := range t.order {
+		if o == id {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// list returns the retained jobs in creation order.
+func (t *jobTable) list() []*job {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	jobs := make([]*job, 0, len(t.order))
+	for _, id := range t.order {
+		jobs = append(jobs, t.byID[id])
+	}
+	return jobs
+}
+
+func (t *jobTable) nextID() (string, int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.seq++
-	return "job-" + strconv.FormatInt(t.seq, 10)
+	return "job-" + strconv.FormatInt(t.seq, 10), t.seq
 }
 
 // cancelInflightOn cancels every in-flight cell attempt currently placed
@@ -270,6 +314,33 @@ func cellKey(m *machine.Config, corpus string, maxLoops int, verify bool) string
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// buildJobCells enumerates a resolved sweep request's cells — the create
+// path and the journal-recovery rebuild must agree byte-for-byte, which is
+// what makes restored fragments verifiable against recomputed keys.
+func buildJobCells(req *server.SweepRequest, machines []*machine.Config, corpora []bench.Corpus) ([]*jobCell, error) {
+	var cells []*jobCell
+	for i, cell := range bench.SweepCells(machines, corpora) {
+		body, err := json.Marshal(&server.SweepRequest{
+			Machines: []machine.Config{*cell.Machine},
+			Corpora:  []string{cell.Corpus.Name},
+			MaxLoops: req.MaxLoops,
+			Verify:   req.Verify,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("marshal cell: %v", err)
+		}
+		cells = append(cells, &jobCell{
+			index:       i,
+			machineName: cell.Machine.Name,
+			corpus:      cell.Corpus.Name,
+			key:         cellKey(cell.Machine, cell.Corpus.Name, req.MaxLoops, req.Verify),
+			reqBody:     body,
+			exclude:     make(map[string]bool),
+		})
+	}
+	return cells, nil
+}
+
 func (c *Coordinator) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	var req server.SweepRequest
 	if err := c.readJSON(w, r, &req); err != nil {
@@ -284,33 +355,40 @@ func (c *Coordinator) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		c.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-
-	j := &job{id: c.jobs.nextID(), done: make(chan struct{})}
-	j.ctx, j.cancel = context.WithCancel(c.ctx)
-	for i, cell := range bench.SweepCells(machines, corpora) {
-		body, err := json.Marshal(&server.SweepRequest{
-			Machines: []machine.Config{*cell.Machine},
-			Corpora:  []string{cell.Corpus.Name},
-			MaxLoops: req.MaxLoops,
-			Verify:   req.Verify,
-		})
-		if err != nil {
-			j.cancel()
-			c.writeError(w, http.StatusInternalServerError, "marshal cell: %v", err)
-			return
-		}
-		j.cells = append(j.cells, &jobCell{
-			index:       i,
-			machineName: cell.Machine.Name,
-			corpus:      cell.Corpus.Name,
-			key:         cellKey(cell.Machine, cell.Corpus.Name, req.MaxLoops, req.Verify),
-			reqBody:     body,
-			exclude:     make(map[string]bool),
-		})
+	// The resolved request is the job's durable record: recovery re-derives
+	// the identical cell enumeration from these bytes.
+	reqBytes, err := json.Marshal(&req)
+	if err != nil {
+		c.writeError(w, http.StatusInternalServerError, "marshal request: %v", err)
+		return
 	}
-	if !c.jobs.insert(j, c.cfg.maxJobs()) {
+
+	id, seq := c.jobs.nextID()
+	j := &job{id: id, done: make(chan struct{})}
+	j.ctx, j.cancel = context.WithCancel(c.ctx)
+	j.cells, err = buildJobCells(&req, machines, corpora)
+	if err != nil {
+		j.cancel()
+		c.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	evicted, ok := c.jobs.insert(j, c.cfg.maxJobs())
+	if !ok {
 		j.cancel()
 		c.writeError(w, http.StatusTooManyRequests, "job table full (%d jobs running)", c.cfg.maxJobs())
+		return
+	}
+	if evicted != "" {
+		if err := c.st.DeleteJob(evicted); err != nil {
+			c.storeError("delete_job", err)
+		}
+	}
+	// Journal the job before acknowledging it: a 202 is a durability
+	// promise when -journal is set.
+	if err := c.st.PutJob(j.id, seq, reqBytes); err != nil {
+		c.jobs.remove(j.id)
+		j.cancel()
+		c.writeError(w, http.StatusInternalServerError, "persist job: %v", err)
 		return
 	}
 	c.metrics.jobsCreated.Add(1)
@@ -322,6 +400,21 @@ func (c *Coordinator) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(j.status(false))
+}
+
+// handleListJobs answers GET /v1/jobs: every retained job's summary in
+// creation order, so operators can find resumable and resumed jobs after
+// a coordinator restart without knowing their IDs.
+func (c *Coordinator) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := c.jobs.list()
+	summaries := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		summaries = append(summaries, j.summary())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(summaries)
 }
 
 func (c *Coordinator) handleJobStatus(w http.ResponseWriter, r *http.Request) {
@@ -363,7 +456,8 @@ func (c *Coordinator) handleJobCSV(w http.ResponseWriter, r *http.Request) {
 }
 
 // runJob dispatches the job's cells with bounded concurrency and assembles
-// the final CSV when the last cell lands.
+// the final CSV when the last cell lands. Cells the journal already proved
+// done (a resumed job) are never re-dispatched.
 func (c *Coordinator) runJob(j *job) {
 	defer c.jobs.wg.Done()
 	// Release the job context once every cell has landed, so long-lived
@@ -372,6 +466,12 @@ func (c *Coordinator) runJob(j *job) {
 	sem := make(chan struct{}, c.cfg.jobWorkers())
 	var wg sync.WaitGroup
 	for _, cell := range j.cells {
+		j.mu.Lock()
+		alreadyDone := cell.state == cellDone
+		j.mu.Unlock()
+		if alreadyDone {
+			continue
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(cl *jobCell) {
@@ -381,6 +481,16 @@ func (c *Coordinator) runJob(j *job) {
 		}(cell)
 	}
 	wg.Wait()
+
+	// A shutting-down coordinator abandons rather than finalizes: the cells
+	// that were canceled mid-flight would otherwise mark the job failed in
+	// the journal, destroying exactly the resumability the journal exists
+	// for. Leaving the journaled state "running" makes even a graceful
+	// restart resume the job.
+	if c.ctx.Err() != nil {
+		close(j.done)
+		return
+	}
 
 	j.mu.Lock()
 	failed := false
@@ -403,8 +513,14 @@ func (c *Coordinator) runJob(j *job) {
 	j.mu.Unlock()
 	if failed {
 		c.metrics.jobsFailed.Add(1)
+		if err := c.st.SetJobState(j.id, store.JobFailed); err != nil {
+			c.storeError("set_job_state", err)
+		}
 	} else {
 		c.metrics.jobsDone.Add(1)
+		if err := c.st.SetJobState(j.id, store.JobDone); err != nil {
+			c.storeError("set_job_state", err)
+		}
 	}
 	close(j.done)
 }
@@ -519,7 +635,11 @@ func (c *Coordinator) requeueCell(j *job, cl *jobCell, nodeID string) {
 }
 
 // finishCell terminates a cell: done with its CSV fragment, or failed with
-// a reason.
+// a reason. Done fragments are journaled — content-addressed by the cell
+// key — so a restarted coordinator restores them instead of recomputing;
+// failures are runtime judgment calls ("gave up after N attempts", "job
+// canceled") that a fresh coordinator should get to re-make, so they are
+// deliberately not persisted.
 func (c *Coordinator) finishCell(j *job, cl *jobCell, rows []byte, failReason string) {
 	j.mu.Lock()
 	if failReason != "" {
@@ -532,6 +652,9 @@ func (c *Coordinator) finishCell(j *job, cl *jobCell, rows []byte, failReason st
 	j.mu.Unlock()
 	if failReason == "" {
 		c.metrics.cellsDone.Add(1)
+		if err := c.st.FinishCell(j.id, store.CellRecord{Index: cl.index, Key: cl.key, Rows: rows}); err != nil {
+			c.storeError("finish_cell", err)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/machine"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // jobMachines picks two machines whose four cells (× two corpora) HRW-map
@@ -311,6 +313,168 @@ func TestReconcilerReplacesStrandedCells(t *testing.T) {
 	}
 }
 
+// TestJobResumesAfterCoordinatorRestart is the tentpole's in-process
+// proof: a journaled coordinator is killed mid-sweep (HTTP server closed,
+// coordinator closed — the journal sees no terminal state, exactly as
+// after a kill -9 plus fsync'd WAL), a fresh coordinator on the same
+// journal and address resumes the job, restores the journaled cells
+// without recomputing them, and the final CSV is byte-identical to the
+// single-node sweep.
+func TestJobResumesAfterCoordinatorRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second distributed sweep; the cluster-smoke CI job runs it")
+	}
+	journalDir := t.TempDir()
+	openJournal := func() *store.Journal {
+		j, err := store.OpenJournal(journalDir, store.JournalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+
+	cfgA := testConfig()
+	cfgA.Store = openJournal()
+	coordA, err := New(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	base := "http://" + addr
+	hsA := &http.Server{Handler: coordA.Handler()}
+	go func() { _ = hsA.Serve(ln) }()
+
+	// The workers heartbeat at the fixed address for the whole test; after
+	// the restart their next beat reaches the successor coordinator, whose
+	// journal already knows their IDs.
+	wA := startWorker(t, base, "wA")
+	startWorker(t, base, "wB")
+	waitForStates(t, coordA, map[string]string{"wA": "ready", "wB": "ready"})
+
+	req := server.SweepRequest{
+		Machines: jobMachines(t, coordA, 1),
+		Corpora:  []string{"SPECfp95", "DSP"},
+		MaxLoops: 1,
+	}
+	// wA stalls its sweep cells, so at crash time the job is guaranteed
+	// half-finished: wB's cells journaled done, wA's still pending.
+	release := wA.chaos.armStallSweeps()
+	ack := createJob(t, base, req)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := jobStatus(t, base, ack.ID, false)
+		stalled := false
+		for _, cell := range st.Detail {
+			if cell.Node == "wA" && cell.State == "running" {
+				stalled = true
+			}
+		}
+		if st.Done >= 1 && stalled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never reached the half-done crash point: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Crash the coordinator. Close() abandons the running job — its
+	// journaled state stays "running" — and closes the journal.
+	_ = hsA.Close()
+	coordA.Close()
+	close(release)
+
+	// Successor: same journal, same address.
+	cfgB := testConfig()
+	cfgB.Store = openJournal()
+	cfgB.Logf = t.Logf
+	coordB, err := New(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ln2 net.Listener
+	for attempt := 0; ; attempt++ {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if attempt > 100 {
+			t.Fatalf("relisten on %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	hsB := &http.Server{Handler: coordB.Handler()}
+	go func() { _ = hsB.Serve(ln2) }()
+	t.Cleanup(func() {
+		_ = hsB.Close()
+		coordB.Close()
+	})
+
+	// The listing names the resumed job without knowing its ID.
+	resp, err := http.Get(base + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing []JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listing) != 1 || listing[0].ID != ack.ID || !listing[0].Resumed {
+		t.Fatalf("job listing after restart: %+v", listing)
+	}
+
+	st := waitForJob(t, base, ack.ID, 120*time.Second)
+	if st.State != "done" || st.Done != st.Cells || st.Failed != 0 {
+		t.Fatalf("resumed job did not finish cleanly: %+v", st)
+	}
+	if !st.Resumed {
+		t.Fatalf("finished job lost its resumed mark: %+v", st)
+	}
+	// The cells wB finished before the crash were restored from the
+	// journal, not recomputed: a restored cell has no post-restart attempts.
+	restored := 0
+	for _, cell := range st.Detail {
+		if cell.State == "done" && cell.Attempts == 0 {
+			restored++
+		}
+	}
+	if restored == 0 {
+		t.Fatalf("no cell was restored from the journal: %+v", st.Detail)
+	}
+
+	code, got := jobCSV(t, base, ack.ID)
+	if code != http.StatusOK {
+		t.Fatalf("csv: %d %s", code, got)
+	}
+	if want := singleNodeCSV(t, req); !bytes.Equal(got, want) {
+		t.Fatalf("post-restart CSV differs from single-node sweep:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Recovery surfaces in the metrics.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtext, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"gpcoordd_recovery_jobs_resumed 1", "gpcoordd_recovery_nodes_adopted 2"} {
+		if !strings.Contains(string(mtext), want+"\n") {
+			t.Fatalf("metrics missing %q:\n%s", want, mtext)
+		}
+	}
+	for _, line := range strings.Split(string(mtext), "\n") {
+		if strings.HasPrefix(line, "gpcoordd_recovery_cells_restored ") && strings.HasSuffix(line, " 0") {
+			t.Fatalf("no cells restored per metrics:\n%s", mtext)
+		}
+	}
+}
+
 func TestJobEndpoints(t *testing.T) {
 	coord, base := startCoordinator(t, testConfig())
 	wA := startWorker(t, base, "wA")
@@ -383,18 +547,22 @@ func TestJobTableBounded(t *testing.T) {
 		j.ctx, j.cancel = context.WithCancel(context.Background())
 		return j
 	}
-	if !tbl.insert(mkJob("a", jobDone), 2) || !tbl.insert(mkJob("b", jobRunning), 2) {
-		t.Fatal("inserts under capacity failed")
+	if _, ok := tbl.insert(mkJob("a", jobDone), 2); !ok {
+		t.Fatal("insert under capacity failed")
 	}
-	// Full table evicts the oldest finished job.
-	if !tbl.insert(mkJob("c", jobRunning), 2) {
-		t.Fatal("insert with evictable job failed")
+	if _, ok := tbl.insert(mkJob("b", jobRunning), 2); !ok {
+		t.Fatal("insert under capacity failed")
+	}
+	// Full table evicts the oldest finished job and reports which.
+	evicted, ok := tbl.insert(mkJob("c", jobRunning), 2)
+	if !ok || evicted != "a" {
+		t.Fatalf("insert with evictable job: evicted=%q ok=%v", evicted, ok)
 	}
 	if tbl.get("a") != nil {
 		t.Fatal("finished job not evicted")
 	}
 	// Everything running: shed.
-	if tbl.insert(mkJob("d", jobRunning), 2) {
+	if _, ok := tbl.insert(mkJob("d", jobRunning), 2); ok {
 		t.Fatal("insert succeeded with every retained job running")
 	}
 	if tbl.get("b") == nil || tbl.get("c") == nil {

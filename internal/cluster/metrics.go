@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"repro/internal/store"
 )
 
 // metrics holds the coordinator's counters, Prometheus-style monotonic
@@ -25,12 +27,18 @@ type metrics struct {
 	cellsRequeued    atomic.Int64 // cell attempts redone on another node
 	reconcilePlaced  atomic.Int64 // cells canceled off dead nodes by the reconciler
 	exclusionsResets atomic.Int64 // cells that exhausted the fleet and started over
+
+	storeErrors   atomic.Int64 // best-effort persistence failures
+	nodesAdopted  atomic.Int64 // nodes adopted from the journal at startup
+	jobsResumed   atomic.Int64 // unfinished jobs re-dispatched at startup
+	cellsRestored atomic.Int64 // done cells restored from the journal, not recomputed
 }
 
 // render writes the coordinator metrics in the Prometheus text exposition
 // format, including one health gauge (0 ready / 1 suspect / 2 dead) and the
-// routed/failed counters per registered node.
-func (m *metrics) render(w io.Writer, nodes []NodeInfo, jobsRunning int) {
+// routed/failed counters per registered node, plus the store's write and
+// replay traffic.
+func (m *metrics) render(w io.Writer, nodes []NodeInfo, jobsRunning int, st store.Stats) {
 	fmt.Fprintf(w, "gpcoordd_requests_total %d\n", m.requests.Load())
 	fmt.Fprintf(w, "gpcoordd_schedule_requests_total %d\n", m.scheduleReqs.Load())
 	fmt.Fprintf(w, "gpcoordd_placements_total %d\n", m.placements.Load())
@@ -46,6 +54,15 @@ func (m *metrics) render(w io.Writer, nodes []NodeInfo, jobsRunning int) {
 	fmt.Fprintf(w, "gpcoordd_cells_requeued_total %d\n", m.cellsRequeued.Load())
 	fmt.Fprintf(w, "gpcoordd_reconcile_replacements_total %d\n", m.reconcilePlaced.Load())
 	fmt.Fprintf(w, "gpcoordd_exclusion_resets_total %d\n", m.exclusionsResets.Load())
+	fmt.Fprintf(w, "gpcoordd_store_appends_total %d\n", st.Appends)
+	fmt.Fprintf(w, "gpcoordd_store_appended_bytes_total %d\n", st.AppendedBytes)
+	fmt.Fprintf(w, "gpcoordd_store_compactions_total %d\n", st.Compactions)
+	fmt.Fprintf(w, "gpcoordd_store_replayed_records_total %d\n", st.ReplayedRecords)
+	fmt.Fprintf(w, "gpcoordd_store_truncated_bytes_total %d\n", st.TruncatedBytes)
+	fmt.Fprintf(w, "gpcoordd_store_errors_total %d\n", m.storeErrors.Load())
+	fmt.Fprintf(w, "gpcoordd_recovery_nodes_adopted %d\n", m.nodesAdopted.Load())
+	fmt.Fprintf(w, "gpcoordd_recovery_jobs_resumed %d\n", m.jobsResumed.Load())
+	fmt.Fprintf(w, "gpcoordd_recovery_cells_restored %d\n", m.cellsRestored.Load())
 	fmt.Fprintf(w, "gpcoordd_nodes %d\n", len(nodes))
 	for _, n := range nodes {
 		health := 0

@@ -61,7 +61,10 @@ func MeasureThroughput(cfg Config, opts PerfOptions) (*bench.ServerPerfSnapshot,
 		return nil, err
 	}
 
-	coord := New(cfg)
+	coord, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
 	cln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/store"
 )
 
 // NodeState is a worker's position in the health lifecycle. Registration
@@ -70,25 +72,36 @@ type NodeInfo struct {
 	Failures             int64 `json:"failures"`
 }
 
-// registry is the coordinator's in-memory node table. gpcoordd keeps no
-// persistent state: workers re-register on coordinator restart (the agent
-// treats a heartbeat 404 as "register again"), which rebuilds the table.
+// registry is the coordinator's node table. Registration facts (ID,
+// endpoint, capacity) are persisted through the store; health is runtime
+// state only heartbeats can prove, so a restarted coordinator adopts
+// journaled nodes as suspect and lets the next heartbeat — or the agent's
+// heartbeat-404 re-register fallback — promote them. The store and the
+// registry stay reconciled: every register writes through, every removal
+// (deregister, dead-node expiry) deletes through.
 type registry struct {
-	mu    sync.Mutex
-	nodes map[string]*node
-	now   func() time.Time // injectable for lifecycle tests
+	mu       sync.Mutex
+	nodes    map[string]*node
+	now      func() time.Time // injectable for lifecycle tests
+	st       store.Store
+	storeErr func(op string, err error) // best-effort persistence failures
 }
 
-func newRegistry() *registry {
-	return &registry{nodes: make(map[string]*node), now: time.Now}
+func newRegistry(st store.Store, storeErr func(op string, err error)) *registry {
+	return &registry{nodes: make(map[string]*node), now: time.Now, st: st, storeErr: storeErr}
 }
 
 // register adds or refreshes a node: a known ID gets its endpoint and
 // capacity updated and its state reset to ready (the worker is plainly
-// alive — it just spoke to us).
-func (r *registry) register(id, endpoint string, capacity int) {
+// alive — it just spoke to us). The registration facts are persisted
+// before the node becomes placeable; a store failure rejects the
+// registration so the worker retries rather than running un-journaled.
+func (r *registry) register(id, endpoint string, capacity int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := r.st.PutNode(store.NodeRecord{ID: id, Endpoint: endpoint, Capacity: capacity}); err != nil {
+		return err
+	}
 	n, ok := r.nodes[id]
 	if !ok {
 		n = &node{id: id}
@@ -98,6 +111,34 @@ func (r *registry) register(id, endpoint string, capacity int) {
 	n.capacity = capacity
 	n.state = NodeReady
 	n.lastHeartbeat = r.now()
+	return nil
+}
+
+// adopt seeds the registry from journaled registration facts at startup.
+// Adopted nodes enter suspect — the journal proves they existed, not that
+// they are alive — with a fresh heartbeat stamp so the health sweeps walk
+// them to dead on the normal thresholds if they never call back. Suspect
+// (not dead) matters: a mid-sweep fleet keeps receiving placements through
+// the no-ready-nodes fallback while everyone's first post-restart
+// heartbeat is still in flight.
+func (r *registry) adopt(recs []store.NodeRecord) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	adopted := 0
+	for _, rec := range recs {
+		if _, ok := r.nodes[rec.ID]; ok {
+			continue
+		}
+		r.nodes[rec.ID] = &node{
+			id:            rec.ID,
+			endpoint:      rec.Endpoint,
+			capacity:      rec.Capacity,
+			state:         NodeSuspect,
+			lastHeartbeat: r.now(),
+		}
+		adopted++
+	}
+	return adopted
 }
 
 // heartbeat refreshes a node's liveness, reviving suspect and dead nodes.
@@ -115,7 +156,9 @@ func (r *registry) heartbeat(id string) bool {
 	return true
 }
 
-// deregister removes a node entirely (graceful worker shutdown).
+// deregister removes a node entirely (graceful worker shutdown). The
+// store delete is best-effort: an already-gone worker must not stay
+// placeable just because the journal hiccuped.
 func (r *registry) deregister(id string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -123,6 +166,9 @@ func (r *registry) deregister(id string) bool {
 		return false
 	}
 	delete(r.nodes, id)
+	if err := r.st.DeleteNode(id); err != nil {
+		r.storeErr("delete_node", err)
+	}
 	return true
 }
 
@@ -180,6 +226,9 @@ func (r *registry) expireDead(expiry time.Duration) {
 	for id, n := range r.nodes {
 		if n.state == NodeDead && now.Sub(n.lastHeartbeat) >= expiry {
 			delete(r.nodes, id)
+			if err := r.st.DeleteNode(id); err != nil {
+				r.storeErr("delete_node", err)
+			}
 		}
 	}
 }

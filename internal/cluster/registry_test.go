@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"repro/internal/store"
 )
 
 // fakeClock drives the registry's injectable time source.
@@ -13,7 +15,7 @@ func (c *fakeClock) now() time.Time          { return c.t }
 func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 func newTestRegistry() (*registry, *fakeClock) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}
-	r := newRegistry()
+	r := newRegistry(store.NewMemory(), func(op string, err error) {})
 	r.now = clk.now
 	return r, clk
 }
@@ -164,6 +166,55 @@ func TestExpireDeadGarbageCollects(t *testing.T) {
 	snap := r.snapshot()
 	if len(snap) != 1 || snap[0].ID != "alive" {
 		t.Fatalf("expiry kept/removed the wrong nodes: %+v", snap)
+	}
+}
+
+// TestAdoptSuspectUntilHeartbeat covers the recovery handshake: journaled
+// nodes come back suspect (placeable only as a fallback), a heartbeat
+// promotes them without re-registering, silence walks them to dead on the
+// normal thresholds, and adoption never clobbers a live registration.
+func TestAdoptSuspectUntilHeartbeat(t *testing.T) {
+	r, clk := newTestRegistry()
+	r.register("live", "http://live-new", 2)
+	n := r.adopt([]store.NodeRecord{
+		{ID: "ghost", Endpoint: "http://ghost", Capacity: 1},
+		{ID: "live", Endpoint: "http://live-old", Capacity: 1},
+	})
+	if n != 1 {
+		t.Fatalf("adopted %d nodes, want 1 (live registration must win)", n)
+	}
+	if got := r.state("ghost"); got != NodeSuspect {
+		t.Fatalf("adopted node is %v, want suspect", got)
+	}
+	if got := r.state("live"); got != NodeReady {
+		t.Fatalf("adoption demoted live node to %v", got)
+	}
+
+	// Suspect means fallback-only placement: with a ready node present the
+	// adopted one attracts nothing, but an all-adopted fleet still serves.
+	for _, c := range r.candidates() {
+		if c.id == "ghost" {
+			t.Fatal("adopted node placed while a ready node exists")
+		}
+	}
+
+	// A heartbeat is enough to promote it — the journal kept its endpoint,
+	// so no re-register round trip is needed.
+	if !r.heartbeat("ghost") {
+		t.Fatal("heartbeat for adopted node rejected")
+	}
+	if got := r.state("ghost"); got != NodeReady {
+		t.Fatalf("heartbeat left adopted node %v", got)
+	}
+
+	// An adopted node that never calls back dies on the usual schedule;
+	// the ones that kept heartbeating do not.
+	r.adopt([]store.NodeRecord{{ID: "silent", Endpoint: "http://silent", Capacity: 1}})
+	clk.advance(testDeadAfter)
+	r.heartbeat("live")
+	r.heartbeat("ghost")
+	if died := r.sweepHealth(testSuspectAfter, testDeadAfter); !reflect.DeepEqual(died, []string{"silent"}) {
+		t.Fatalf("died = %v, want [silent]", died)
 	}
 }
 

@@ -1,0 +1,434 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Journal is the durable Store: an append-only WAL of CRC-framed JSON
+// records plus a checkpoint file for compaction.
+//
+// Directory layout:
+//
+//	<dir>/VERSION     format marker ("gpcoordd-journal-v1"); a mismatch
+//	                  fails Open rather than misreading foreign bytes
+//	<dir>/checkpoint  one frame: {last_seq, state} — the fold of every
+//	                  record with Seq ≤ last_seq
+//	<dir>/wal         appended frames; replay skips Seq ≤ checkpoint
+//	                  last_seq (a crash between checkpoint rename and WAL
+//	                  truncate leaves already-folded records behind)
+//
+// Each frame is [4-byte LE payload length][4-byte LE CRC-32C][payload].
+// Replay stops at the first frame that is short, oversized, or fails its
+// CRC — the torn tail a crash mid-append leaves — and truncates the WAL
+// there, so the journal self-heals from kill -9 at any byte. A frame
+// whose CRC passes but whose payload does not parse or apply is real
+// corruption (or a foreign writer) and fails Open: better a loud refusal
+// than silently adopting wrong state.
+//
+// Compaction: when the WAL exceeds CompactBytes, the current tables are
+// checkpointed (write tmp, fsync, rename, fsync dir) and the WAL is
+// truncated. Every append fsyncs unless NoSync is set.
+type Journal struct {
+	mu      sync.Mutex
+	dir     string
+	opts    JournalOptions
+	t       *tables
+	wal     *os.File
+	walSize int64
+	seq     uint64 // last assigned LSN
+	stats   Stats
+	closed  bool
+}
+
+// JournalOptions tunes OpenJournal. The zero value is the production
+// configuration.
+type JournalOptions struct {
+	// NoSync skips the per-append fsync. Only benchmarks and tests that
+	// measure the encoding path should set it: a power loss can then lose
+	// acknowledged records (kill -9 still cannot corrupt the journal).
+	NoSync bool
+	// CompactBytes is the WAL size that triggers a checkpoint+truncate
+	// cycle (default 4 MiB).
+	CompactBytes int64
+}
+
+func (o JournalOptions) compactBytes() int64 {
+	if o.CompactBytes > 0 {
+		return o.CompactBytes
+	}
+	return 4 << 20
+}
+
+const (
+	journalVersion = "gpcoordd-journal-v1"
+	versionFile    = "VERSION"
+	checkpointFile = "checkpoint"
+	walFile        = "wal"
+	frameHeader    = 8
+	// maxFrameBytes bounds one record so a corrupt length field cannot
+	// drive a giant allocation; real records are a few hundred bytes plus
+	// a cell's CSV fragment.
+	maxFrameBytes = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// checkpoint is the payload of the checkpoint file.
+type checkpoint struct {
+	LastSeq uint64 `json:"last_seq"`
+	State   *State `json:"state"`
+}
+
+// OpenJournal opens (creating if needed) the journal in dir, replays it,
+// and fails fast — rather than running silently non-durable — when the
+// directory is unwritable, carries a different format version, or holds
+// corrupt non-tail records.
+func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: create dir: %w", err)
+	}
+	if err := checkVersion(dir); err != nil {
+		return nil, err
+	}
+
+	j := &Journal{dir: dir, opts: opts, t: newTables()}
+	lastSeq, err := j.loadCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	j.seq = lastSeq
+
+	wal, err := os.OpenFile(filepath.Join(dir, walFile), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open wal: %w", err)
+	}
+	if err := j.replay(wal, lastSeq); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	j.wal = wal
+	return j, nil
+}
+
+// checkVersion enforces the format marker: a fresh/empty directory gets
+// one written, anything else must match exactly.
+func checkVersion(dir string) error {
+	path := filepath.Join(dir, versionFile)
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if got := strings.TrimSpace(string(data)); got != journalVersion {
+			return fmt.Errorf("journal: %s holds version %q, this gpcoordd writes %q — migrate or point -journal at a fresh directory", dir, got, journalVersion)
+		}
+		return nil
+	case os.IsNotExist(err):
+		for _, f := range []string{checkpointFile, walFile} {
+			if _, serr := os.Stat(filepath.Join(dir, f)); serr == nil {
+				return fmt.Errorf("journal: %s has journal files but no %s marker — refusing to guess its format", dir, versionFile)
+			}
+		}
+		if werr := writeFileSync(path, []byte(journalVersion+"\n")); werr != nil {
+			return fmt.Errorf("journal: dir not writable: %w", werr)
+		}
+		return nil
+	default:
+		return fmt.Errorf("journal: read %s: %w", versionFile, err)
+	}
+}
+
+// loadCheckpoint folds the checkpoint file (if any) into the tables and
+// returns its last applied sequence number.
+func (j *Journal) loadCheckpoint() (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(j.dir, checkpointFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("journal: read checkpoint: %w", err)
+	}
+	r := bufio.NewReader(bytes.NewReader(data))
+	payload, _, err := readFrame(r)
+	if err != nil {
+		return 0, fmt.Errorf("journal: checkpoint corrupt: %v", err)
+	}
+	if _, rerr := r.ReadByte(); rerr != io.EOF {
+		return 0, fmt.Errorf("journal: checkpoint has trailing bytes")
+	}
+	var cp checkpoint
+	if err := json.Unmarshal(payload, &cp); err != nil {
+		return 0, fmt.Errorf("journal: checkpoint corrupt: %v", err)
+	}
+	if cp.State != nil {
+		j.t.load(cp.State)
+	}
+	return cp.LastSeq, nil
+}
+
+// replay folds the WAL into the tables, skipping records the checkpoint
+// already covers, truncating the torn tail a crash may have left, and
+// leaving the file positioned for appends.
+func (j *Journal) replay(wal *os.File, lastSeq uint64) error {
+	info, err := wal.Stat()
+	if err != nil {
+		return fmt.Errorf("journal: stat wal: %w", err)
+	}
+	size := info.Size()
+	r := bufio.NewReader(io.NewSectionReader(wal, 0, size))
+	var off int64
+	for {
+		payload, n, err := readFrame(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn tail: a crash mid-append. Drop it and heal.
+			j.stats.TruncatedBytes = size - off
+			if terr := wal.Truncate(off); terr != nil {
+				return fmt.Errorf("journal: truncate torn wal tail: %w", terr)
+			}
+			break
+		}
+		var rec record
+		if uerr := json.Unmarshal(payload, &rec); uerr != nil {
+			return fmt.Errorf("journal: wal record at offset %d corrupt (CRC valid, payload not): %v", off, uerr)
+		}
+		if rec.Seq > lastSeq {
+			if aerr := j.t.apply(&rec); aerr != nil {
+				return fmt.Errorf("journal: wal record at offset %d: %v", off, aerr)
+			}
+			j.stats.ReplayedRecords++
+			if rec.Seq > j.seq {
+				j.seq = rec.Seq
+			}
+		}
+		off += int64(n)
+	}
+	if _, err := wal.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: seek wal: %w", err)
+	}
+	j.walSize = off
+	return nil
+}
+
+func (j *Journal) mutate(rec *record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if err := j.t.apply(rec); err != nil {
+		return err
+	}
+	j.seq++
+	rec.Seq = j.seq
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: marshal: %w", err)
+	}
+	n, err := writeFrame(j.wal, payload)
+	if err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := j.wal.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
+	j.walSize += int64(n)
+	j.stats.Appends++
+	j.stats.AppendedBytes += int64(n)
+	if j.walSize >= j.opts.compactBytes() {
+		if err := j.compact(); err != nil {
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+	}
+	return nil
+}
+
+// compact checkpoints the tables and truncates the WAL. Called with the
+// lock held. Crash windows: before the rename, the old checkpoint + full
+// WAL still reconstruct everything; between rename and truncate, the WAL
+// records are all ≤ the new checkpoint's last_seq and replay skips them.
+func (j *Journal) compact() error {
+	payload, err := json.Marshal(&checkpoint{LastSeq: j.seq, State: j.t.snapshot()})
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(j.dir, checkpointFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := writeFrame(f, payload); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, checkpointFile)); err != nil {
+		return err
+	}
+	syncDir(j.dir)
+	if err := j.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := j.wal.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if !j.opts.NoSync {
+		if err := j.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	j.walSize = 0
+	j.stats.Compactions++
+	return nil
+}
+
+// Load returns a deep snapshot of the replayed state.
+func (j *Journal) Load() (*State, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil, fmt.Errorf("store: closed")
+	}
+	return j.t.snapshot(), nil
+}
+
+// PutNode implements Store.
+func (j *Journal) PutNode(n NodeRecord) error {
+	return j.mutate(&record{Op: opNodePut, Node: &n})
+}
+
+// DeleteNode implements Store.
+func (j *Journal) DeleteNode(id string) error {
+	return j.mutate(&record{Op: opNodeDel, ID: id})
+}
+
+// PutJob implements Store.
+func (j *Journal) PutJob(id string, seq int64, request []byte) error {
+	return j.mutate(&record{Op: opJobPut, ID: id, JobSeq: seq, Request: request})
+}
+
+// FinishCell implements Store.
+func (j *Journal) FinishCell(jobID string, cell CellRecord) error {
+	return j.mutate(&record{Op: opCellDone, ID: jobID, Cell: &cell})
+}
+
+// SetJobState implements Store.
+func (j *Journal) SetJobState(jobID, state string) error {
+	return j.mutate(&record{Op: opJobState, ID: jobID, State: state})
+}
+
+// DeleteJob implements Store.
+func (j *Journal) DeleteJob(id string) error {
+	return j.mutate(&record{Op: opJobDel, ID: id})
+}
+
+// Stats implements Store.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Close syncs and closes the WAL.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if !j.opts.NoSync {
+		if err := j.wal.Sync(); err != nil {
+			j.wal.Close()
+			return err
+		}
+	}
+	return j.wal.Close()
+}
+
+// writeFrame appends one [len][crc][payload] frame.
+func writeFrame(w io.Writer, payload []byte) (int, error) {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return frameHeader + len(payload), nil
+}
+
+var errTornFrame = fmt.Errorf("torn or corrupt frame")
+
+// readFrame reads one frame. io.EOF means a clean end exactly at a frame
+// boundary; any short read, oversized length, or CRC mismatch returns
+// errTornFrame.
+func readFrame(r *bufio.Reader) ([]byte, int, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err == io.EOF {
+		return nil, 0, io.EOF
+	} else if err != nil {
+		return nil, 0, errTornFrame
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return nil, 0, errTornFrame
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	if length > maxFrameBytes {
+		return nil, 0, errTornFrame
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, errTornFrame
+	}
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, 0, errTornFrame
+	}
+	return payload, frameHeader + int(length), nil
+}
+
+// writeFileSync writes path atomically-enough for a marker file: write,
+// sync, close.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir best-effort fsyncs a directory so a rename is durable.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}

@@ -1,0 +1,89 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Memory is the map-backed Store: nothing survives the process. It is
+// the default when gpcoordd runs without -journal, and the reference
+// implementation the journal's replay is property-tested against.
+type Memory struct {
+	mu     sync.Mutex
+	t      *tables
+	stats  Stats
+	closed bool
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{t: newTables()}
+}
+
+func (m *Memory) mutate(rec *record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if err := m.t.apply(rec); err != nil {
+		return err
+	}
+	m.stats.Appends++
+	return nil
+}
+
+// Load returns a deep snapshot of the current state.
+func (m *Memory) Load() (*State, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("store: closed")
+	}
+	return m.t.snapshot(), nil
+}
+
+// PutNode implements Store.
+func (m *Memory) PutNode(n NodeRecord) error {
+	return m.mutate(&record{Op: opNodePut, Node: &n})
+}
+
+// DeleteNode implements Store.
+func (m *Memory) DeleteNode(id string) error {
+	return m.mutate(&record{Op: opNodeDel, ID: id})
+}
+
+// PutJob implements Store.
+func (m *Memory) PutJob(id string, seq int64, request []byte) error {
+	return m.mutate(&record{Op: opJobPut, ID: id, JobSeq: seq, Request: request})
+}
+
+// FinishCell implements Store.
+func (m *Memory) FinishCell(jobID string, cell CellRecord) error {
+	return m.mutate(&record{Op: opCellDone, ID: jobID, Cell: &cell})
+}
+
+// SetJobState implements Store.
+func (m *Memory) SetJobState(jobID, state string) error {
+	return m.mutate(&record{Op: opJobState, ID: jobID, State: state})
+}
+
+// DeleteJob implements Store.
+func (m *Memory) DeleteJob(id string) error {
+	return m.mutate(&record{Op: opJobDel, ID: id})
+}
+
+// Stats implements Store.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Close implements Store.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

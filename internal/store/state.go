@@ -1,0 +1,139 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Every mutation — in memory or on disk — is one record. The journal
+// serializes them; Memory applies them directly. Replay is therefore the
+// same code path as live mutation: apply record after record to a tables
+// mirror.
+const (
+	opNodePut  = "node_put"
+	opNodeDel  = "node_del"
+	opJobPut   = "job_put"
+	opCellDone = "cell_done"
+	opJobState = "job_state"
+	opJobDel   = "job_del"
+)
+
+// record is the wire/journal form of one mutation. Seq is the journal's
+// log sequence number (unused by Memory); the operand fields are
+// populated per op.
+type record struct {
+	Seq     uint64      `json:"seq"`
+	Op      string      `json:"op"`
+	Node    *NodeRecord `json:"node,omitempty"`
+	ID      string      `json:"id,omitempty"`
+	JobSeq  int64       `json:"job_seq,omitempty"`
+	Request []byte      `json:"request,omitempty"`
+	Cell    *CellRecord `json:"cell,omitempty"`
+	State   string      `json:"state,omitempty"`
+}
+
+// tables is the in-memory mirror every Store keeps: the state records
+// fold into. Not goroutine-safe; callers lock.
+type tables struct {
+	nodes  map[string]NodeRecord
+	jobs   map[string]*JobRecord
+	jobSeq int64
+}
+
+func newTables() *tables {
+	return &tables{nodes: make(map[string]NodeRecord), jobs: make(map[string]*JobRecord)}
+}
+
+// load replaces the tables with a checkpoint snapshot.
+func (t *tables) load(s *State) {
+	t.nodes = make(map[string]NodeRecord, len(s.Nodes))
+	for _, n := range s.Nodes {
+		t.nodes[n.ID] = n
+	}
+	t.jobs = make(map[string]*JobRecord, len(s.Jobs))
+	for i := range s.Jobs {
+		j := s.Jobs[i] // copy
+		t.jobs[j.ID] = &j
+	}
+	t.jobSeq = s.JobSeq
+}
+
+// apply folds one record in. It is idempotent (puts replace, deletes of
+// missing keys are no-ops) so a checkpoint racing a crash can safely be
+// followed by a replay of records it already contains. Records that
+// reference a job the tables do not hold are corruption — a WAL can
+// never causally precede its own job_put — and fail the replay.
+func (t *tables) apply(rec *record) error {
+	switch rec.Op {
+	case opNodePut:
+		if rec.Node == nil || rec.Node.ID == "" {
+			return fmt.Errorf("store: %s without node", rec.Op)
+		}
+		t.nodes[rec.Node.ID] = *rec.Node
+	case opNodeDel:
+		delete(t.nodes, rec.ID)
+	case opJobPut:
+		if rec.ID == "" {
+			return fmt.Errorf("store: %s without job id", rec.Op)
+		}
+		t.jobs[rec.ID] = &JobRecord{ID: rec.ID, Seq: rec.JobSeq, Request: rec.Request, State: JobRunning}
+		if rec.JobSeq > t.jobSeq {
+			t.jobSeq = rec.JobSeq
+		}
+	case opCellDone:
+		j, ok := t.jobs[rec.ID]
+		if !ok {
+			return fmt.Errorf("store: %s for unknown job %q", rec.Op, rec.ID)
+		}
+		if rec.Cell == nil || rec.Cell.Index < 0 {
+			return fmt.Errorf("store: %s without valid cell", rec.Op)
+		}
+		replaced := false
+		for i := range j.Cells {
+			if j.Cells[i].Index == rec.Cell.Index {
+				j.Cells[i] = *rec.Cell
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			j.Cells = append(j.Cells, *rec.Cell)
+		}
+	case opJobState:
+		j, ok := t.jobs[rec.ID]
+		if !ok {
+			return fmt.Errorf("store: %s for unknown job %q", rec.Op, rec.ID)
+		}
+		if rec.State != JobDone && rec.State != JobFailed {
+			return fmt.Errorf("store: %s to invalid state %q", rec.Op, rec.State)
+		}
+		j.State = rec.State
+	case opJobDel:
+		delete(t.jobs, rec.ID)
+	default:
+		return fmt.Errorf("store: unknown op %q", rec.Op)
+	}
+	return nil
+}
+
+// snapshot deep-copies the tables into the canonical sorted State shape.
+func (t *tables) snapshot() *State {
+	s := &State{JobSeq: t.jobSeq}
+	for _, n := range t.nodes {
+		s.Nodes = append(s.Nodes, n)
+	}
+	sort.Slice(s.Nodes, func(i, j int) bool { return s.Nodes[i].ID < s.Nodes[j].ID })
+	for _, j := range t.jobs {
+		jc := *j
+		jc.Request = append([]byte(nil), j.Request...)
+		jc.Cells = make([]CellRecord, len(j.Cells))
+		for i, c := range j.Cells {
+			jc.Cells[i] = c
+			jc.Cells[i].Rows = append([]byte(nil), c.Rows...)
+		}
+		sort.Slice(jc.Cells, func(a, b int) bool { return jc.Cells[a].Index < jc.Cells[b].Index })
+		s.Jobs = append(s.Jobs, jc)
+	}
+	sort.Slice(s.Jobs, func(i, j int) bool { return s.Jobs[i].Seq < s.Jobs[j].Seq })
+	return s
+}

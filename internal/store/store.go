@@ -1,0 +1,114 @@
+// Package store persists the coordinator's mutable control-plane state —
+// the node registry, sweep-job specs, and completed cell fragments —
+// behind a tiny pluggable interface, in the spirit of ranger's persister
+// and persys-scheduler's etcd state layout.
+//
+// Two implementations ship:
+//
+//   - Memory: maps behind a mutex. Tests, and the default when gpcoordd
+//     runs without -journal (a restart forgets everything, exactly the
+//     pre-durability behavior).
+//   - Journal: an append-only file WAL with CRC-framed records, a
+//     checkpoint file for compaction, and crash-truncation-tolerant
+//     replay. gpcoordd -journal <dir> resumes in-flight sweeps across
+//     restarts from it.
+//
+// The store records *facts*, not liveness: node endpoints and capacities,
+// job requests, per-cell completed CSV fragments, terminal job states.
+// Heartbeats, health states and in-flight attempt bookkeeping are runtime
+// state the coordinator rebuilds — a journaled node is adopted as suspect
+// until its next heartbeat, and a journaled running job re-dispatches
+// every cell the journal does not prove finished.
+package store
+
+// NodeRecord is one registered worker: the immutable registration facts,
+// not its health (which only heartbeats can prove).
+type NodeRecord struct {
+	ID       string `json:"id"`
+	Endpoint string `json:"endpoint"`
+	Capacity int    `json:"capacity"`
+}
+
+// CellRecord is one completed sweep-job cell: its position in the job's
+// deterministic cell enumeration, the content-address key it was computed
+// under (re-checked on restore — a fragment whose key no longer matches
+// the re-derived enumeration is discarded and recomputed), and the CSV
+// fragment itself, header stripped.
+type CellRecord struct {
+	Index int    `json:"index"`
+	Key   string `json:"key"`
+	Rows  []byte `json:"rows"`
+}
+
+// Job states a store will accept and return.
+const (
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobRecord is one sweep job: the canonical request body (cells are
+// re-derived from it deterministically on restore, so the journal stays
+// tiny), the creation sequence number, the terminal state if any, and the
+// completed cell fragments.
+type JobRecord struct {
+	ID      string       `json:"id"`
+	Seq     int64        `json:"seq"`
+	Request []byte       `json:"request"`
+	State   string       `json:"state"`
+	Cells   []CellRecord `json:"cells,omitempty"`
+}
+
+// State is a point-in-time snapshot of everything a store holds. Nodes
+// are sorted by ID, Jobs by Seq, each job's Cells by Index, so snapshots
+// of equal state are deeply equal.
+type State struct {
+	Nodes []NodeRecord `json:"nodes,omitempty"`
+	Jobs  []JobRecord  `json:"jobs,omitempty"`
+	// JobSeq is the highest job sequence number ever put, including
+	// deleted jobs — a restarted coordinator must never reissue an ID.
+	JobSeq int64 `json:"job_seq,omitempty"`
+}
+
+// Stats counts a store's write traffic; the coordinator exposes them on
+// /metrics.
+type Stats struct {
+	// Appends is the number of persisted mutations.
+	Appends int64
+	// AppendedBytes is the journal bytes written for them (0 for Memory).
+	AppendedBytes int64
+	// Compactions counts checkpoint+truncate cycles (0 for Memory).
+	Compactions int64
+	// ReplayedRecords counts WAL records applied at open.
+	ReplayedRecords int64
+	// TruncatedBytes is how much torn tail the last open discarded.
+	TruncatedBytes int64
+}
+
+// Store is the persistence interface the coordinator writes through.
+// Implementations must be safe for concurrent use.
+type Store interface {
+	// Load returns a deep snapshot of the persisted state. The
+	// coordinator calls it once at startup.
+	Load() (*State, error)
+	// PutNode inserts or replaces a node's registration facts.
+	PutNode(n NodeRecord) error
+	// DeleteNode removes a node (deregistration or dead-node expiry).
+	// Deleting an unknown ID is a no-op.
+	DeleteNode(id string) error
+	// PutJob registers a new job in state JobRunning. seq must be the
+	// coordinator's monotonically increasing job counter.
+	PutJob(id string, seq int64, request []byte) error
+	// FinishCell records one completed cell fragment of a known job,
+	// replacing any previous fragment at the same index.
+	FinishCell(jobID string, cell CellRecord) error
+	// SetJobState moves a known job to JobDone or JobFailed.
+	SetJobState(jobID, state string) error
+	// DeleteJob removes a job and its fragments (retention eviction).
+	// Deleting an unknown ID is a no-op.
+	DeleteJob(id string) error
+	// Stats returns the write-traffic counters.
+	Stats() Stats
+	// Close releases the store. Mutations after Close fail.
+	Close() error
+}

@@ -8,8 +8,14 @@
 # committed single-node golden (internal/bench/testdata/
 # sweep_short_golden.csv). Also checks cache-affine routing: the second of
 # two identical /v1/schedule requests must be an X-Cache hit served by the
-# same X-Node. Finally both workers and the coordinator must drain
-# gracefully (exit 0) on SIGTERM.
+# same X-Node.
+#
+# Then the durability gate: a second job is submitted, the coordinator is
+# kill -9'd mid-job, and a fresh gpcoordd on the same -journal directory
+# and port must list the job as resumed, still serve the first job's CSV,
+# and finish the second with CSV byte-identical to the same golden.
+# Finally both workers and the coordinator must drain gracefully (exit 0)
+# on SIGTERM.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,8 +47,9 @@ wait_listen() { # logfile prefix -> base URL
     echo "http://$addr"
 }
 
-echo "== booting gpcoordd + 2 gpserved workers"
-"$work/gpcoordd" -addr 127.0.0.1:0 -heartbeat 500ms >"$work/coordd.log" 2>&1 &
+echo "== booting gpcoordd (journaled) + 2 gpserved workers"
+journal="$work/smoke-journal"
+"$work/gpcoordd" -addr 127.0.0.1:0 -heartbeat 500ms -journal "$journal" >"$work/coordd.log" 2>&1 &
 pids+=($!)
 coord_pid=$!
 coord="$(wait_listen "$work/coordd.log" gpcoordd)"
@@ -97,12 +104,65 @@ cmp "$work/cluster.csv" internal/bench/testdata/sweep_short_golden.csv ||
     { echo "distributed sweep differs from single-node golden" >&2; exit 1; }
 echo "== CSV byte-identical to sweep_short_golden.csv"
 
+echo "== kill -9 the coordinator mid-job, restart on the same journal"
+job2="$(curl -sf "$coord/v1/jobs" -d '{"max_loops": 2, "verify": true}')"
+id2="$(printf '%s' "$job2" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')"
+[ -n "$id2" ] || { echo "no job id in: $job2" >&2; exit 1; }
+# Let it get genuinely mid-flight: at least one cell journaled done while
+# the job still runs (it may finish first on a fast machine — the restart
+# must then serve it straight from the journal, which the cmp below still
+# proves).
+for i in $(seq 1 600); do
+    status="$(curl -s "$coord/v1/jobs/$id2")"
+    done_cells="$(printf '%s' "$status" | sed -n 's/.*"done": \([0-9]*\).*/\1/p')"
+    [ "${done_cells:-0}" -ge 1 ] && break
+    sleep 0.1
+done
+kill -9 "$coord_pid"
+wait "$coord_pid" 2>/dev/null || true
+
+port="${coord##*:}"
+"$work/gpcoordd" -addr "127.0.0.1:$port" -heartbeat 500ms -journal "$journal" >"$work/coordd2.log" 2>&1 &
+pids+=($!)
+coord_pid=$!
+coord2="$(wait_listen "$work/coordd2.log" gpcoordd)"
+[ "$coord2" = "$coord" ] || { echo "restart landed on $coord2, want $coord" >&2; exit 1; }
+
+curl -sf "$coord/v1/jobs" >"$work/jobs.json"
+grep -q "\"id\": \"$id2\"" "$work/jobs.json" ||
+    { echo "restarted coordinator lost job $id2:" >&2; cat "$work/jobs.json" >&2; exit 1; }
+grep -q '"resumed": true' "$work/jobs.json" ||
+    { echo "no job marked resumed after restart:" >&2; cat "$work/jobs.json" >&2; exit 1; }
+
+# The pre-crash job survived the crash, CSV intact.
+curl -sf -o "$work/job1-after.csv" "$coord/v1/jobs/$id/csv" ||
+    { echo "pre-crash job $id unservable after restart" >&2; exit 1; }
+cmp "$work/job1-after.csv" internal/bench/testdata/sweep_short_golden.csv ||
+    { echo "pre-crash job CSV corrupted by restart" >&2; exit 1; }
+
+# The in-flight job resumes and finishes with zero lost cells.
+for i in $(seq 1 1200); do
+    if curl -sf -o "$work/resumed.csv" "$coord/v1/jobs/$id2/csv" &&
+        head -1 "$work/resumed.csv" | grep -q '^corpus,'; then
+        break
+    fi
+    if [ "$i" = 1200 ]; then
+        echo "resumed job $id2 never finished:" >&2
+        curl -s "$coord/v1/jobs/$id2" >&2 || true
+        exit 1
+    fi
+    sleep 0.5
+done
+cmp "$work/resumed.csv" internal/bench/testdata/sweep_short_golden.csv ||
+    { echo "resumed sweep differs from single-node golden" >&2; exit 1; }
+echo "== resumed job CSV byte-identical to sweep_short_golden.csv"
+
 echo "== graceful drain"
 kill -TERM "$wa_pid" "$wb_pid"
 wait "$wa_pid" || { echo "worker a exited non-zero" >&2; cat "$work/worker-a.log" >&2; exit 1; }
 wait "$wb_pid" || { echo "worker b exited non-zero" >&2; cat "$work/worker-b.log" >&2; exit 1; }
 kill -TERM "$coord_pid"
-wait "$coord_pid" || { echo "coordinator exited non-zero" >&2; cat "$work/coordd.log" >&2; exit 1; }
+wait "$coord_pid" || { echo "coordinator exited non-zero" >&2; cat "$work/coordd2.log" >&2; exit 1; }
 pids=()
 
 echo "== cluster smoke OK"
