@@ -59,6 +59,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	jobWorkers := fs.Int("job-workers", 4, "concurrently dispatched cells per sweep job")
 	cellAttempts := fs.Int("cell-attempts", 8, "workers one job cell is tried on before the job fails")
 	journalDir := fs.String("journal", "", "journal directory for durable coordinator state (empty = in-memory, nothing survives a restart)")
+	shadowRate := fs.Float64("shadow-rate", 0, "fraction of proxied schedule hits replayed against a second worker and byte-compared (0 = off, 1 = all)")
+	shadowCanary := fs.String("shadow-canary", "", "node ID every shadow replay targets (empty = the next HRW-ranked worker)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
 	benchJSON := fs.String("bench-json", "", "measure cluster throughput and write the snapshot to this JSON file, then exit")
 	benchReqs := fs.Int("bench-requests", 400, "total requests of the -bench-json measurement")
@@ -74,6 +76,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		DeadAfter:         *deadAfter,
 		JobWorkers:        *jobWorkers,
 		MaxCellAttempts:   *cellAttempts,
+		ShadowRate:        *shadowRate,
+		ShadowCanary:      *shadowCanary,
 	}
 
 	if *benchJSON != "" {

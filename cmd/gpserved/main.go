@@ -66,6 +66,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	advertise := fs.String("advertise", "", "base URL the coordinator should route to (default http://<listen addr>)")
 	nodeID := fs.String("node-id", "", "stable worker identity (default the advertised host:port)")
 	heartbeat := fs.Duration("heartbeat-interval", 0, "heartbeat cadence override (0 = the coordinator's suggestion)")
+	algoVersion := fs.String("algo-version", "", "advertised algorithm version override (default the compiled-in schedule.AlgoVersion; canary deploys set this)")
+	bestFit := fs.Bool("balance-best-fit", false, "use the best-fit partition balancing variant (folded into the advertised algorithm version and every cache key)")
 	benchJSON := fs.String("bench-json", "", "measure sustained throughput and write the snapshot to this JSON file, then exit")
 	benchReqs := fs.Int("bench-requests", 400, "total requests of the -bench-json measurement")
 	benchConc := fs.Int("bench-concurrency", 8, "client goroutines of the -bench-json measurement")
@@ -73,7 +75,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	cfg := server.Config{Workers: *workers, QueueDepth: *queue, CacheEntries: *cacheN}
+	cfg := server.Config{Workers: *workers, QueueDepth: *queue, CacheEntries: *cacheN,
+		AlgoVersion: *algoVersion, BalanceBestFit: *bestFit}
 
 	if *benchJSON != "" {
 		snap, err := server.MeasureThroughput(cfg, server.PerfOptions{
@@ -133,6 +136,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			Endpoint:    endpoint,
 			Capacity:    capacity(cfg.Workers),
 			Interval:    *heartbeat,
+			AlgoVersion: srv.AlgoVersion(),
+			Epoch:       srv.Epoch,
+			ApplyEpoch:  func(e uint64) { srv.FlushTo(e) },
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(stdout, "gpserved: agent: "+format+"\n", args...)
 			},

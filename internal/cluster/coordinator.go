@@ -46,6 +46,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/server"
@@ -95,6 +99,18 @@ type Config struct {
 	MaxJobs int
 	// MaxBodyBytes caps a request body (default 8 MiB).
 	MaxBodyBytes int64
+	// ShadowRate is the fraction of successful proxied /v1/schedule
+	// responses replayed against a second worker and byte-compared
+	// (0 disables, 1 shadows everything). Any divergence increments
+	// gpcoordd_shadow_mismatch_total and marks the outlier-version node
+	// suspect: determinism across the fleet is a correctness invariant, so
+	// a mismatch means a worker is running a different algorithm than it
+	// claims — exactly the failure a rolling upgrade can smuggle in.
+	ShadowRate float64
+	// ShadowCanary, when set, names the node every shadow replay is sent
+	// to (a designated canary running the incoming version). Empty picks
+	// the next-HRW-ranked worker after the one that served the request.
+	ShadowCanary string
 }
 
 func (c Config) heartbeatInterval() time.Duration {
@@ -189,6 +205,16 @@ type Coordinator struct {
 	stop          context.CancelFunc
 	reconcileDone chan struct{}
 
+	// epoch is the fleet cache epoch: raised (and journaled first) by
+	// POST /v1/cache/flush, pushed to workers by the fan-out and by every
+	// heartbeat response, restored from the store on restart.
+	epoch atomic.Uint64
+	// flushMu serializes flush fan-outs so two concurrent flushes cannot
+	// interleave their journal write and fleet broadcast.
+	flushMu sync.Mutex
+
+	shadow shadowVerifier
+
 	jobs jobTable
 }
 
@@ -213,12 +239,14 @@ func New(cfg Config) (*Coordinator, error) {
 		reconcileDone: make(chan struct{}),
 	}
 	c.reg = newRegistry(st, c.storeError)
+	c.shadow.c = c
 	c.jobs.byID = make(map[string]*job)
 	c.mux.HandleFunc("POST /v1/nodes/register", c.handleRegister)
 	c.mux.HandleFunc("POST /v1/nodes/heartbeat", c.handleHeartbeat)
 	c.mux.HandleFunc("POST /v1/nodes/deregister", c.handleDeregister)
 	c.mux.HandleFunc("GET /v1/nodes", c.handleNodes)
 	c.mux.HandleFunc("POST /v1/schedule", c.handleSchedule)
+	c.mux.HandleFunc("POST /v1/cache/flush", c.handleCacheFlush)
 	c.mux.HandleFunc("POST /v1/jobs", c.handleCreateJob)
 	c.mux.HandleFunc("GET /v1/jobs", c.handleListJobs)
 	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleJobStatus)
@@ -250,9 +278,12 @@ func (c *Coordinator) storeError(op string, err error) {
 // Handler returns the coordinator's HTTP handler.
 func (c *Coordinator) Handler() http.Handler { return c }
 
-// ServeHTTP dispatches to the coordinator's endpoints.
+// ServeHTTP dispatches to the coordinator's endpoints. Every response
+// carries the fleet cache epoch, so clients can tell at a glance whether
+// the fleet has converged past a flush they initiated.
 func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	c.metrics.requests.Add(1)
+	w.Header().Set("X-Algo-Epoch", strconv.FormatUint(c.epoch.Load(), 10))
 	c.mux.ServeHTTP(w, r)
 }
 
@@ -265,6 +296,7 @@ func (c *Coordinator) Close() {
 	c.stop()
 	<-c.reconcileDone
 	c.jobs.wg.Wait()
+	c.shadow.wg.Wait()
 	if err := c.st.Close(); err != nil {
 		c.logf("store: close: %v", err)
 	}
@@ -280,7 +312,7 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	c.metrics.render(w, c.reg.snapshot(), c.jobs.running(), c.st.Stats())
+	c.metrics.render(w, c.reg.snapshot(), c.jobs.running(), c.epoch.Load(), c.st.Stats())
 }
 
 func (c *Coordinator) writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -308,7 +340,7 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		c.writeError(w, http.StatusBadRequest, "register needs id and endpoint")
 		return
 	}
-	if err := c.reg.register(req.ID, req.Endpoint, req.Capacity); err != nil {
+	if err := c.reg.register(req.ID, req.Endpoint, req.Capacity, req.AlgoVersion, req.Epoch); err != nil {
 		c.storeError("put_node", err)
 		c.writeError(w, http.StatusInternalServerError, "persist registration: %v", err)
 		return
@@ -316,6 +348,7 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(server.RegisterResponse{
 		HeartbeatMillis: int(c.cfg.heartbeatInterval() / time.Millisecond),
+		Epoch:           c.epoch.Load(),
 	})
 }
 
@@ -325,13 +358,16 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		c.writeError(w, http.StatusBadRequest, "bad heartbeat body: %v", err)
 		return
 	}
-	if !c.reg.heartbeat(req.ID) {
+	if !c.reg.heartbeat(req.ID, req.AlgoVersion, req.Epoch) {
 		// Unknown ID: the coordinator restarted (or the node was evicted);
 		// 404 tells the agent to fall back to the register path.
 		c.writeError(w, http.StatusNotFound, "unknown node %q, re-register", req.ID)
 		return
 	}
-	w.WriteHeader(http.StatusNoContent)
+	// Answer with the fleet epoch: a worker that missed the flush fan-out
+	// converges on its next beat instead of serving stale bytes forever.
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(server.HeartbeatResponse{Epoch: c.epoch.Load()})
 }
 
 func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
@@ -363,10 +399,10 @@ func (c *Coordinator) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		c.writeError(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
-	body := buf.Bytes()
+	reqBody := buf.Bytes()
 	// Admission at the edge: a body gpserved would reject burns no worker,
 	// and the parse yields the placement key.
-	key, err := server.ScheduleCacheKey(body)
+	key, err := server.ScheduleCacheKey(reqBody)
 	if err != nil {
 		c.writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -382,7 +418,7 @@ func (c *Coordinator) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		}
 		c.metrics.placements.Add(1)
 		c.reg.countRequest(node.id)
-		resp, body, err := c.forward(r.Context(), node, "/v1/schedule", body, c.cfg.scheduleTimeout())
+		resp, body, err := c.forward(r.Context(), node, "/v1/schedule", reqBody, c.cfg.scheduleTimeout())
 		switch {
 		case err != nil:
 			// Transport failure or truncated body: the worker is gone or
@@ -407,19 +443,12 @@ func (c *Coordinator) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		default:
 			// 2xx and request-defect 4xx relay as-is: a 400 is wrong on
 			// every worker, retrying it elsewhere would just burn the fleet.
-			h := w.Header()
-			h.Set("X-Node", node.id)
-			if ct := resp.Header.Get("Content-Type"); ct != "" {
-				h.Set("Content-Type", ct)
-			}
-			if xc := resp.Header.Get("X-Cache"); xc != "" {
-				h.Set("X-Cache", xc)
-			}
-			if ra := resp.Header.Get("Retry-After"); ra != "" {
-				h.Set("Retry-After", ra)
-			}
+			relayServed(w, node.id, resp)
 			w.WriteHeader(resp.StatusCode)
 			_, _ = w.Write(body)
+			if resp.StatusCode == http.StatusOK {
+				c.shadow.maybeReplay(node, key, reqBody, body)
+			}
 			return
 		}
 	}
@@ -438,6 +467,97 @@ func (c *Coordinator) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.writeError(w, http.StatusBadGateway, "all workers failed, last: %v", lastErr)
+}
+
+// relayServed copies the response headers of the attempt actually being
+// relayed to the client, by explicit whitelist. Only this helper may write
+// proxied headers: failed attempts (a 429's Retry-After, a dying worker's
+// X-Cache) never touch w, so a failover can't leak headers from a worker
+// whose body the client never sees.
+func relayServed(w http.ResponseWriter, nodeID string, resp *http.Response) {
+	h := w.Header()
+	h.Set("X-Node", nodeID)
+	for _, name := range []string{"Content-Type", "X-Cache", "Retry-After", "X-Algo-Version", "X-Algo-Epoch"} {
+		if v := resp.Header.Get(name); v != "" {
+			h.Set(name, v)
+		}
+	}
+}
+
+// Epoch returns the current fleet cache epoch (tests and gpcoordd logs).
+func (c *Coordinator) Epoch() uint64 { return c.epoch.Load() }
+
+// FlushNodeResult is one node's outcome in a flush fan-out response.
+type FlushNodeResult struct {
+	Node  string `json:"node"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// FlushFleetResponse is the body of a successful coordinator
+// POST /v1/cache/flush.
+type FlushFleetResponse struct {
+	Epoch uint64            `json:"epoch"`
+	Nodes []FlushNodeResult `json:"nodes"`
+}
+
+// handleCacheFlush is POST /v1/cache/flush on the coordinator: raise the
+// fleet cache epoch and fan the flush out to every non-dead worker. The
+// order is the durability contract: the new epoch is journaled before
+// anything else happens, so a coordinator that crashes mid-fan-out
+// restarts at the post-flush epoch and the heartbeat path converges the
+// workers the broadcast missed — the one unacceptable outcome, a restart
+// resurrecting the pre-flush view, cannot happen. A journal failure is a
+// 500 with the epoch unchanged.
+func (c *Coordinator) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
+	var req server.FlushRequest
+	if err := c.readJSON(w, r, &req); err != nil && err != io.EOF {
+		c.writeError(w, http.StatusBadRequest, "bad flush body: %v", err)
+		return
+	}
+	c.flushMu.Lock()
+	defer c.flushMu.Unlock()
+	epoch := c.epoch.Load() + 1
+	if req.Epoch > epoch {
+		epoch = req.Epoch
+	}
+	if err := c.st.SetEpoch(epoch); err != nil {
+		c.storeError("set_epoch", err)
+		c.writeError(w, http.StatusInternalServerError, "persist epoch: %v", err)
+		return
+	}
+	c.epoch.Store(epoch)
+	c.metrics.cacheFlushes.Add(1)
+	c.logf("cache flush: fleet epoch -> %d", epoch)
+
+	flushBody, _ := json.Marshal(server.FlushRequest{Epoch: epoch})
+	out := FlushFleetResponse{Epoch: epoch}
+	for _, node := range c.reg.candidates() {
+		res := FlushNodeResult{Node: node.id}
+		resp, body, err := c.forward(r.Context(), node, "/v1/cache/flush", flushBody, c.cfg.scheduleTimeout())
+		switch {
+		case err != nil:
+			res.Error = err.Error()
+		case resp.StatusCode != http.StatusOK:
+			res.Error = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, firstLine(body))
+		default:
+			var fr server.FlushResponse
+			if err := json.Unmarshal(body, &fr); err != nil {
+				res.Error = fmt.Sprintf("bad flush response: %v", err)
+				break
+			}
+			res.Epoch = fr.Epoch
+			c.reg.setNodeEpoch(node.id, fr.Epoch)
+		}
+		out.Nodes = append(out.Nodes, res)
+	}
+	sort.Slice(out.Nodes, func(i, j int) bool { return out.Nodes[i].Node < out.Nodes[j].Node })
+
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Algo-Epoch", strconv.FormatUint(epoch, 10)) // ServeHTTP stamped the pre-flush epoch
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
 }
 
 // forward posts body to node's path and reads the full response body

@@ -106,6 +106,13 @@ type job struct {
 	cells []*jobCell
 	csv   []byte // assembled on completion
 	done  chan struct{}
+	// algoVersion pins the job to the algorithm version of the first
+	// worker a cell lands on ("" until then, or forever on a fleet that
+	// does not advertise versions). Every later placement filters to the
+	// pinned version: one job's CSV must never mix fragments computed by
+	// different scheduler generations, because the mix would be silently
+	// irreproducible on any single binary.
+	algoVersion string
 }
 
 // JobCellStatus is the per-cell slice of a job-status response.
@@ -539,13 +546,29 @@ func (c *Coordinator) runCell(j *job, cl *jobCell) {
 			return
 		}
 		j.mu.Lock()
-		attempts, exclude := cl.attempts, cloneSet(cl.exclude)
+		attempts, exclude, pin := cl.attempts, cloneSet(cl.exclude), j.algoVersion
 		j.mu.Unlock()
 		if attempts >= c.cfg.maxCellAttempts() {
 			c.finishCell(j, cl, nil, fmt.Sprintf("gave up after %d attempts", attempts))
 			return
 		}
-		node, ok := place(c.reg.candidates(), cl.key, exclude)
+		cands := c.reg.candidates()
+		if pin != "" {
+			// The job is pinned: never place a cell on a worker running a
+			// different algorithm version, even if that means waiting for
+			// one of the right generation to come (back) up.
+			matching := cands[:0:0]
+			for _, cand := range cands {
+				if cand.version == pin {
+					matching = append(matching, cand)
+				}
+			}
+			if len(matching) < len(cands) {
+				c.metrics.versionRefusals.Add(1)
+			}
+			cands = matching
+		}
+		node, ok := place(cands, cl.key, exclude)
 		if !ok {
 			if len(exclude) > 0 {
 				j.mu.Lock()
@@ -554,12 +577,35 @@ func (c *Coordinator) runCell(j *job, cl *jobCell) {
 				c.metrics.exclusionsResets.Add(1)
 				continue
 			}
-			// No workers at all: wait for registrations instead of failing.
+			// No (version-compatible) workers at all: wait for
+			// registrations instead of failing.
 			select {
 			case <-j.ctx.Done():
 			case <-time.After(c.cfg.reconcileInterval()):
 			}
 			continue
+		}
+		if node.version != "" {
+			// Pin the job to the first placed worker's version; a cell that
+			// concurrently placed onto a different version loses the race
+			// and re-places on the pinned generation (uncounted — the
+			// worker did nothing wrong).
+			raced := false
+			j.mu.Lock()
+			if j.algoVersion == "" {
+				j.algoVersion = node.version
+			} else if j.algoVersion != node.version {
+				raced = true
+			}
+			j.mu.Unlock()
+			if raced {
+				c.metrics.versionRefusals.Add(1)
+				j.mu.Lock()
+				cl.exclude[node.id] = true
+				cl.state = cellPending
+				j.mu.Unlock()
+				continue
+			}
 		}
 
 		// The attempt deadline itself lives in forward; this context exists
@@ -592,6 +638,19 @@ func (c *Coordinator) runCell(j *job, cl *jobCell) {
 				// row: the worker failed mid-stream.
 				c.reg.reportFailure(node.id)
 				c.requeueCell(j, cl, node.id)
+				continue
+			}
+			if v := c.reg.versionOf(node.id); v != node.version {
+				// The worker changed algorithm generation mid-attempt (a
+				// restart under the same ID): its fragment may be from
+				// either side of the change, so recompute rather than risk
+				// a mixed-version CSV. Uncounted, like the pin race.
+				c.metrics.versionRefusals.Add(1)
+				j.mu.Lock()
+				cl.attempts--
+				cl.exclude[node.id] = true
+				cl.state = cellPending
+				j.mu.Unlock()
 				continue
 			}
 			c.finishCell(j, cl, rows, "")
@@ -642,6 +701,7 @@ func (c *Coordinator) requeueCell(j *job, cl *jobCell, nodeID string) {
 // deliberately not persisted.
 func (c *Coordinator) finishCell(j *job, cl *jobCell, rows []byte, failReason string) {
 	j.mu.Lock()
+	pin := j.algoVersion
 	if failReason != "" {
 		cl.state = cellFailed
 		cl.err = failReason
@@ -652,7 +712,10 @@ func (c *Coordinator) finishCell(j *job, cl *jobCell, rows []byte, failReason st
 	j.mu.Unlock()
 	if failReason == "" {
 		c.metrics.cellsDone.Add(1)
-		if err := c.st.FinishCell(j.id, store.CellRecord{Index: cl.index, Key: cl.key, Rows: rows}); err != nil {
+		// The fragment is journaled with the job's pinned version, so a
+		// restarted coordinator can tell fragments of different scheduler
+		// generations apart and never mixes them into one resumed CSV.
+		if err := c.st.FinishCell(j.id, store.CellRecord{Index: cl.index, Key: cl.key, Rows: rows, AlgoVersion: pin}); err != nil {
 			c.storeError("finish_cell", err)
 		}
 	}

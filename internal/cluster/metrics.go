@@ -32,13 +32,18 @@ type metrics struct {
 	nodesAdopted  atomic.Int64 // nodes adopted from the journal at startup
 	jobsResumed   atomic.Int64 // unfinished jobs re-dispatched at startup
 	cellsRestored atomic.Int64 // done cells restored from the journal, not recomputed
+
+	cacheFlushes    atomic.Int64 // fleet cache-flush fan-outs
+	versionRefusals atomic.Int64 // placements refused to avoid mixing algorithm versions in a job
+	shadowSampled   atomic.Int64 // schedule responses replayed against a shadow worker
+	shadowMismatch  atomic.Int64 // shadow replays whose bytes diverged
 }
 
 // render writes the coordinator metrics in the Prometheus text exposition
 // format, including one health gauge (0 ready / 1 suspect / 2 dead) and the
 // routed/failed counters per registered node, plus the store's write and
 // replay traffic.
-func (m *metrics) render(w io.Writer, nodes []NodeInfo, jobsRunning int, st store.Stats) {
+func (m *metrics) render(w io.Writer, nodes []NodeInfo, jobsRunning int, epoch uint64, st store.Stats) {
 	fmt.Fprintf(w, "gpcoordd_requests_total %d\n", m.requests.Load())
 	fmt.Fprintf(w, "gpcoordd_schedule_requests_total %d\n", m.scheduleReqs.Load())
 	fmt.Fprintf(w, "gpcoordd_placements_total %d\n", m.placements.Load())
@@ -54,6 +59,11 @@ func (m *metrics) render(w io.Writer, nodes []NodeInfo, jobsRunning int, st stor
 	fmt.Fprintf(w, "gpcoordd_cells_requeued_total %d\n", m.cellsRequeued.Load())
 	fmt.Fprintf(w, "gpcoordd_reconcile_replacements_total %d\n", m.reconcilePlaced.Load())
 	fmt.Fprintf(w, "gpcoordd_exclusion_resets_total %d\n", m.exclusionsResets.Load())
+	fmt.Fprintf(w, "gpcoordd_fleet_epoch %d\n", epoch)
+	fmt.Fprintf(w, "gpcoordd_cache_flushes_total %d\n", m.cacheFlushes.Load())
+	fmt.Fprintf(w, "gpcoordd_version_refusals_total %d\n", m.versionRefusals.Load())
+	fmt.Fprintf(w, "gpcoordd_shadow_sampled_total %d\n", m.shadowSampled.Load())
+	fmt.Fprintf(w, "gpcoordd_shadow_mismatch_total %d\n", m.shadowMismatch.Load())
 	fmt.Fprintf(w, "gpcoordd_store_appends_total %d\n", st.Appends)
 	fmt.Fprintf(w, "gpcoordd_store_appended_bytes_total %d\n", st.AppendedBytes)
 	fmt.Fprintf(w, "gpcoordd_store_compactions_total %d\n", st.Compactions)
@@ -75,5 +85,6 @@ func (m *metrics) render(w io.Writer, nodes []NodeInfo, jobsRunning int, st stor
 		fmt.Fprintf(w, "gpcoordd_node_health{node=%q} %d\n", n.ID, health)
 		fmt.Fprintf(w, "gpcoordd_node_requests_total{node=%q} %d\n", n.ID, n.Requests)
 		fmt.Fprintf(w, "gpcoordd_node_failures_total{node=%q} %d\n", n.ID, n.Failures)
+		fmt.Fprintf(w, "gpcoordd_node_epoch{node=%q} %d\n", n.ID, n.Epoch)
 	}
 }

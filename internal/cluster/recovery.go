@@ -21,6 +21,10 @@ func (c *Coordinator) recover() error {
 		return fmt.Errorf("load store: %w", err)
 	}
 	c.jobs.seq = state.JobSeq
+	// The fleet epoch is journaled before any flush fans out, so restoring
+	// it here is what keeps a restarted coordinator from resurrecting the
+	// pre-flush view of the fleet.
+	c.epoch.Store(state.Epoch)
 	adopted := c.reg.adopt(state.Nodes)
 	c.metrics.nodesAdopted.Add(int64(adopted))
 
@@ -91,6 +95,17 @@ func (c *Coordinator) rebuildJob(rec *store.JobRecord) (*job, int) {
 		cl := j.cells[frag.Index]
 		if cl.key != frag.Key {
 			c.logf("recovery: job %s cell %d key mismatch, recomputing", rec.ID, frag.Index)
+			continue
+		}
+		// Restored fragments must all come from one scheduler generation:
+		// the first valid fragment's version becomes the resumed job's pin,
+		// and fragments of any other version are dropped and recomputed —
+		// the same no-mixing rule the live placement path enforces.
+		if restored == 0 {
+			j.algoVersion = frag.AlgoVersion
+		} else if frag.AlgoVersion != j.algoVersion {
+			c.logf("recovery: job %s cell %d version mismatch (%q vs %q), recomputing",
+				rec.ID, frag.Index, frag.AlgoVersion, j.algoVersion)
 			continue
 		}
 		cl.state = cellDone

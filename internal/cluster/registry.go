@@ -54,6 +54,14 @@ type node struct {
 
 	state         NodeState
 	lastHeartbeat time.Time
+	// algoVersion is the worker's advertised algorithm identity, refreshed
+	// on every register and heartbeat. Placement refuses to mix versions
+	// within one sweep job, and the shadow verifier attributes divergence
+	// with it.
+	algoVersion string
+	// epoch is the worker's last reported cache epoch (runtime state, like
+	// health — only the worker's own reports can prove it).
+	epoch uint64
 
 	requests atomic.Int64 // proxied requests + job cells routed here
 	failures atomic.Int64 // transport errors and 5xx answers observed
@@ -62,10 +70,12 @@ type node struct {
 // NodeInfo is a point-in-time snapshot of one node, the JSON shape of
 // GET /v1/nodes.
 type NodeInfo struct {
-	ID       string `json:"id"`
-	Endpoint string `json:"endpoint"`
-	Capacity int    `json:"capacity"`
-	State    string `json:"state"`
+	ID          string `json:"id"`
+	Endpoint    string `json:"endpoint"`
+	Capacity    int    `json:"capacity"`
+	State       string `json:"state"`
+	AlgoVersion string `json:"algo_version,omitempty"`
+	Epoch       uint64 `json:"epoch"`
 	// SinceHeartbeatMillis is the age of the last heartbeat.
 	SinceHeartbeatMillis int64 `json:"since_heartbeat_millis"`
 	Requests             int64 `json:"requests"`
@@ -96,10 +106,10 @@ func newRegistry(st store.Store, storeErr func(op string, err error)) *registry 
 // alive — it just spoke to us). The registration facts are persisted
 // before the node becomes placeable; a store failure rejects the
 // registration so the worker retries rather than running un-journaled.
-func (r *registry) register(id, endpoint string, capacity int) error {
+func (r *registry) register(id, endpoint string, capacity int, algoVersion string, epoch uint64) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := r.st.PutNode(store.NodeRecord{ID: id, Endpoint: endpoint, Capacity: capacity}); err != nil {
+	if err := r.st.PutNode(store.NodeRecord{ID: id, Endpoint: endpoint, Capacity: capacity, AlgoVersion: algoVersion}); err != nil {
 		return err
 	}
 	n, ok := r.nodes[id]
@@ -109,6 +119,8 @@ func (r *registry) register(id, endpoint string, capacity int) error {
 	}
 	n.endpoint = endpoint
 	n.capacity = capacity
+	n.algoVersion = algoVersion
+	n.epoch = epoch
 	n.state = NodeReady
 	n.lastHeartbeat = r.now()
 	return nil
@@ -133,6 +145,7 @@ func (r *registry) adopt(recs []store.NodeRecord) int {
 			id:            rec.ID,
 			endpoint:      rec.Endpoint,
 			capacity:      rec.Capacity,
+			algoVersion:   rec.AlgoVersion,
 			state:         NodeSuspect,
 			lastHeartbeat: r.now(),
 		}
@@ -141,16 +154,25 @@ func (r *registry) adopt(recs []store.NodeRecord) int {
 	return adopted
 }
 
-// heartbeat refreshes a node's liveness, reviving suspect and dead nodes.
+// heartbeat refreshes a node's liveness, reviving suspect and dead nodes,
+// and absorbs the version and epoch the worker piggybacked on the beat (an
+// empty version is an older worker and leaves the registered one alone).
 // It reports false for an unknown ID: the worker must re-register so the
 // coordinator relearns its endpoint and capacity.
-func (r *registry) heartbeat(id string) bool {
+func (r *registry) heartbeat(id, algoVersion string, epoch uint64) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	n, ok := r.nodes[id]
 	if !ok {
 		return false
 	}
+	if algoVersion != "" && algoVersion != n.algoVersion {
+		n.algoVersion = algoVersion
+		if err := r.st.PutNode(store.NodeRecord{ID: id, Endpoint: n.endpoint, Capacity: n.capacity, AlgoVersion: algoVersion}); err != nil {
+			r.storeErr("put_node", err)
+		}
+	}
+	n.epoch = epoch
 	n.state = NodeReady
 	n.lastHeartbeat = r.now()
 	return true
@@ -244,11 +266,13 @@ func (r *registry) state(id string) NodeState {
 	return NodeDead
 }
 
-// candidate is the placement view of a node: just identity and endpoint,
-// snapshotted under the lock so placement itself runs lock-free.
+// candidate is the placement view of a node: identity, endpoint and
+// algorithm version, snapshotted under the lock so placement itself runs
+// lock-free.
 type candidate struct {
 	id       string
 	endpoint string
+	version  string
 }
 
 // candidates returns the placeable nodes: all ready ones, or — when no
@@ -261,15 +285,70 @@ func (r *registry) candidates() []candidate {
 	for _, n := range r.nodes {
 		switch n.state {
 		case NodeReady:
-			ready = append(ready, candidate{id: n.id, endpoint: n.endpoint})
+			ready = append(ready, candidate{id: n.id, endpoint: n.endpoint, version: n.algoVersion})
 		case NodeSuspect:
-			suspect = append(suspect, candidate{id: n.id, endpoint: n.endpoint})
+			suspect = append(suspect, candidate{id: n.id, endpoint: n.endpoint, version: n.algoVersion})
 		}
 	}
 	if len(ready) > 0 {
 		return ready
 	}
 	return suspect
+}
+
+// versionOf returns a node's current algorithm version ("" for unknown
+// IDs).
+func (r *registry) versionOf(id string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, ok := r.nodes[id]; ok {
+		return n.algoVersion
+	}
+	return ""
+}
+
+// dominantVersion returns the algorithm version the majority of non-dead
+// nodes advertise (ties broken toward the lexicographically greater
+// version — during a rolling upgrade that is the incoming one). The shadow
+// verifier uses it to decide which side of a divergence is the outlier.
+func (r *registry) dominantVersion() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	counts := make(map[string]int)
+	for _, n := range r.nodes {
+		if n.state != NodeDead {
+			counts[n.algoVersion]++
+		}
+	}
+	best, bestN := "", -1
+	for v, c := range counts {
+		if c > bestN || (c == bestN && v > best) {
+			best, bestN = v, c
+		}
+	}
+	return best
+}
+
+// markSuspect demotes a ready node to suspect without touching its failure
+// counter semantics (the shadow verifier's "this node's bytes diverge"
+// verdict is a health signal, not a transport failure).
+func (r *registry) markSuspect(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, ok := r.nodes[id]; ok && n.state == NodeReady {
+		n.state = NodeSuspect
+	}
+}
+
+// setNodeEpoch records the epoch a node confirmed during a flush fan-out,
+// so /v1/nodes reflects convergence immediately instead of one heartbeat
+// later.
+func (r *registry) setNodeEpoch(id string, epoch uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, ok := r.nodes[id]; ok {
+		n.epoch = epoch
+	}
 }
 
 // countRequest bumps a node's routed-request counter.
@@ -295,6 +374,8 @@ func (r *registry) snapshot() []NodeInfo {
 			Endpoint:             n.endpoint,
 			Capacity:             n.capacity,
 			State:                n.state.String(),
+			AlgoVersion:          n.algoVersion,
+			Epoch:                n.epoch,
 			SinceHeartbeatMillis: now.Sub(n.lastHeartbeat).Milliseconds(),
 			Requests:             n.requests.Load(),
 			Failures:             n.failures.Load(),

@@ -27,7 +27,7 @@ const (
 
 func TestLifecycleTransitions(t *testing.T) {
 	r, clk := newTestRegistry()
-	r.register("w1", "http://w1", 4)
+	r.register("w1", "http://w1", 4, "", 0)
 	if got := r.state("w1"); got != NodeReady {
 		t.Fatalf("after register: %v", got)
 	}
@@ -49,7 +49,7 @@ func TestLifecycleTransitions(t *testing.T) {
 	}
 
 	// A heartbeat revives a suspect node.
-	if !r.heartbeat("w1") {
+	if !r.heartbeat("w1", "", 0) {
 		t.Fatal("heartbeat for known node rejected")
 	}
 	if got := r.state("w1"); got != NodeReady {
@@ -70,7 +70,7 @@ func TestLifecycleTransitions(t *testing.T) {
 
 	// Even a dead node revives on heartbeat (it is evidently alive), and
 	// re-registration resets everything.
-	if !r.heartbeat("w1") {
+	if !r.heartbeat("w1", "", 0) {
 		t.Fatal("heartbeat for dead node rejected")
 	}
 	if got := r.state("w1"); got != NodeReady {
@@ -80,7 +80,7 @@ func TestLifecycleTransitions(t *testing.T) {
 
 func TestHeartbeatUnknownNode(t *testing.T) {
 	r, _ := newTestRegistry()
-	if r.heartbeat("ghost") {
+	if r.heartbeat("ghost", "", 0) {
 		t.Fatal("heartbeat for unregistered node accepted")
 	}
 	if r.deregister("ghost") {
@@ -90,7 +90,7 @@ func TestHeartbeatUnknownNode(t *testing.T) {
 
 func TestReportFailureMarksSuspect(t *testing.T) {
 	r, _ := newTestRegistry()
-	r.register("w1", "http://w1", 1)
+	r.register("w1", "http://w1", 1, "", 0)
 	r.reportFailure("w1")
 	if got := r.state("w1"); got != NodeSuspect {
 		t.Fatalf("after failure: %v", got)
@@ -112,9 +112,9 @@ func TestReportFailureMarksSuspect(t *testing.T) {
 
 func TestCandidatesPreferReady(t *testing.T) {
 	r, _ := newTestRegistry()
-	r.register("ready1", "http://r1", 1)
-	r.register("ready2", "http://r2", 1)
-	r.register("slow", "http://s", 1)
+	r.register("ready1", "http://r1", 1, "", 0)
+	r.register("ready2", "http://r2", 1, "", 0)
+	r.register("slow", "http://s", 1, "", 0)
 	r.reportFailure("slow")
 
 	got := map[string]bool{}
@@ -144,11 +144,11 @@ func TestCandidatesPreferReady(t *testing.T) {
 
 func TestExpireDeadGarbageCollects(t *testing.T) {
 	r, clk := newTestRegistry()
-	r.register("gone", "http://gone", 1)
-	r.register("alive", "http://alive", 1)
+	r.register("gone", "http://gone", 1, "", 0)
+	r.register("alive", "http://alive", 1, "", 0)
 
 	clk.advance(testDeadAfter)
-	r.heartbeat("alive")
+	r.heartbeat("alive", "", 0)
 	r.sweepHealth(testSuspectAfter, testDeadAfter)
 	if got := r.state("gone"); got != NodeDead {
 		t.Fatalf("stale node is %v", got)
@@ -175,7 +175,7 @@ func TestExpireDeadGarbageCollects(t *testing.T) {
 // normal thresholds, and adoption never clobbers a live registration.
 func TestAdoptSuspectUntilHeartbeat(t *testing.T) {
 	r, clk := newTestRegistry()
-	r.register("live", "http://live-new", 2)
+	r.register("live", "http://live-new", 2, "", 0)
 	n := r.adopt([]store.NodeRecord{
 		{ID: "ghost", Endpoint: "http://ghost", Capacity: 1},
 		{ID: "live", Endpoint: "http://live-old", Capacity: 1},
@@ -200,7 +200,7 @@ func TestAdoptSuspectUntilHeartbeat(t *testing.T) {
 
 	// A heartbeat is enough to promote it — the journal kept its endpoint,
 	// so no re-register round trip is needed.
-	if !r.heartbeat("ghost") {
+	if !r.heartbeat("ghost", "", 0) {
 		t.Fatal("heartbeat for adopted node rejected")
 	}
 	if got := r.state("ghost"); got != NodeReady {
@@ -211,8 +211,8 @@ func TestAdoptSuspectUntilHeartbeat(t *testing.T) {
 	// the ones that kept heartbeating do not.
 	r.adopt([]store.NodeRecord{{ID: "silent", Endpoint: "http://silent", Capacity: 1}})
 	clk.advance(testDeadAfter)
-	r.heartbeat("live")
-	r.heartbeat("ghost")
+	r.heartbeat("live", "", 0)
+	r.heartbeat("ghost", "", 0)
 	if died := r.sweepHealth(testSuspectAfter, testDeadAfter); !reflect.DeepEqual(died, []string{"silent"}) {
 		t.Fatalf("died = %v, want [silent]", died)
 	}
@@ -220,8 +220,8 @@ func TestAdoptSuspectUntilHeartbeat(t *testing.T) {
 
 func TestSnapshotSortedAndCounted(t *testing.T) {
 	r, _ := newTestRegistry()
-	r.register("b", "http://b", 2)
-	r.register("a", "http://a", 4)
+	r.register("b", "http://b", 2, "", 0)
+	r.register("a", "http://a", 4, "", 0)
 	r.countRequest("b")
 	r.countRequest("b")
 	snap := r.snapshot()

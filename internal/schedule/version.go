@@ -1,0 +1,22 @@
+package schedule
+
+// AlgoVersion identifies the generation of the scheduling algorithms this
+// binary implements. It is part of the served content address: gpserved
+// salts every cache key with it and advertises it to the coordinator, so a
+// mixed-version fleet can never silently serve bytes computed by a
+// different algorithm under the same key.
+//
+// Bump it on ANY change that can alter an emitted schedule — partitioner
+// candidate screening, tie-breaks, scheduler placement order, register
+// allocation, list fallback — even when the change is "only" a performance
+// refactor that is believed selection-neutral. The cache and the fleet's
+// shadow-verify canary treat two binaries with the same AlgoVersion as
+// byte-interchangeable; an unbumped behavioral change is exactly the silent
+// stale-cache bug this constant exists to prevent.
+//
+// History:
+//
+//	gp/1  the original PR 1–2 schedulers
+//	gp/2  incremental allocation-free partition refinement (apply/undo move
+//	      engine, three-stage candidate screening, map-order tie-break fix)
+const AlgoVersion = "gp/2"

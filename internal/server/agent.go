@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -27,18 +28,50 @@ type RegisterRequest struct {
 	// Capacity is the worker's scheduling-goroutine count, exported for
 	// observability and future load-aware placement.
 	Capacity int `json:"capacity"`
+	// AlgoVersion is the worker's complete algorithm identity (version
+	// plus option suffixes). The coordinator refuses to mix fragments from
+	// different versions within one sweep job and uses it to attribute
+	// shadow-verify divergence.
+	AlgoVersion string `json:"algo_version,omitempty"`
+	// Epoch is the worker's cache epoch at registration.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // RegisterResponse acknowledges a registration and tells the worker how
-// often the coordinator expects heartbeats.
+// often the coordinator expects heartbeats and which cache epoch the
+// fleet is at (a worker joining after a flush converges immediately).
 type RegisterResponse struct {
-	HeartbeatMillis int `json:"heartbeat_millis"`
+	HeartbeatMillis int    `json:"heartbeat_millis"`
+	Epoch           uint64 `json:"epoch,omitempty"`
 }
 
 // HeartbeatRequest is the body of POST /v1/nodes/heartbeat and
 // /v1/nodes/deregister.
 type HeartbeatRequest struct {
 	ID string `json:"id"`
+	// AlgoVersion and Epoch piggyback the worker's current identity on
+	// every heartbeat, so the coordinator's registry tracks them live.
+	AlgoVersion string `json:"algo_version,omitempty"`
+	Epoch       uint64 `json:"epoch,omitempty"`
+}
+
+// HeartbeatResponse carries the fleet cache epoch back on every beat: a
+// worker that missed the flush fan-out (restarting, partitioned) catches
+// up within one heartbeat interval.
+type HeartbeatResponse struct {
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// FlushRequest is the body of POST /v1/cache/flush on both daemons. Epoch
+// names the fleet epoch to converge to; zero (or an empty body) means
+// "bump by one".
+type FlushRequest struct {
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// FlushResponse reports the cache epoch now in force after a flush.
+type FlushResponse struct {
+	Epoch uint64 `json:"epoch"`
 }
 
 // AgentConfig tunes a worker's coordinator-registration agent.
@@ -54,6 +87,17 @@ type AgentConfig struct {
 	// Interval overrides the heartbeat cadence; 0 adopts the coordinator's
 	// suggestion from the register response (2s until registered).
 	Interval time.Duration
+	// AlgoVersion is the worker's advertised algorithm identity
+	// (Server.AlgoVersion()). Empty is legal for tests.
+	AlgoVersion string
+	// Epoch, when set, reports the worker's current cache epoch; it is
+	// sent with every register and heartbeat.
+	Epoch func() uint64
+	// ApplyEpoch, when set, receives the fleet cache epoch whenever the
+	// coordinator reports one ahead of ours (normally Server.FlushTo), so
+	// a worker that missed a flush converges instead of serving stale
+	// bytes forever.
+	ApplyEpoch func(epoch uint64)
 	// Logf, when set, receives agent lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -116,9 +160,11 @@ func (a *Agent) loop(ctx context.Context) {
 		if !a.registered.Load() {
 			var resp RegisterResponse
 			err := a.post(ctx, "/v1/nodes/register", RegisterRequest{
-				ID:       a.cfg.NodeID,
-				Endpoint: a.cfg.Endpoint,
-				Capacity: a.cfg.Capacity,
+				ID:          a.cfg.NodeID,
+				Endpoint:    a.cfg.Endpoint,
+				Capacity:    a.cfg.Capacity,
+				AlgoVersion: a.cfg.AlgoVersion,
+				Epoch:       a.epoch(),
 			}, &resp)
 			switch {
 			case err == nil:
@@ -126,18 +172,28 @@ func (a *Agent) loop(ctx context.Context) {
 				if a.cfg.Interval == 0 && resp.HeartbeatMillis > 0 {
 					interval = time.Duration(resp.HeartbeatMillis) * time.Millisecond
 				}
+				a.converge(resp.Epoch)
 				a.logf("registered with %s as %s (heartbeat %v)", a.cfg.Coordinator, a.cfg.NodeID, interval)
 			case ctx.Err() == nil:
 				a.logf("register with %s failed, will retry: %v", a.cfg.Coordinator, err)
 			}
-		} else if err := a.post(ctx, "/v1/nodes/heartbeat", HeartbeatRequest{ID: a.cfg.NodeID}, nil); err != nil {
+		} else {
+			var resp HeartbeatResponse
+			err := a.post(ctx, "/v1/nodes/heartbeat", HeartbeatRequest{
+				ID:          a.cfg.NodeID,
+				AlgoVersion: a.cfg.AlgoVersion,
+				Epoch:       a.epoch(),
+			}, &resp)
 			var se *statusError
-			if errors.As(err, &se) && (se.code == http.StatusNotFound || se.code == http.StatusGone) {
+			switch {
+			case err == nil:
+				a.converge(resp.Epoch)
+			case errors.As(err, &se) && (se.code == http.StatusNotFound || se.code == http.StatusGone):
 				// The coordinator restarted and lost the registry: fall back
 				// to the register path next tick.
 				a.registered.Store(false)
 				a.logf("coordinator forgot %s, re-registering", a.cfg.NodeID)
-			} else if ctx.Err() == nil {
+			case ctx.Err() == nil:
 				a.logf("heartbeat to %s failed: %v", a.cfg.Coordinator, err)
 			}
 		}
@@ -147,6 +203,24 @@ func (a *Agent) loop(ctx context.Context) {
 		case <-time.After(interval):
 		}
 	}
+}
+
+func (a *Agent) epoch() uint64 {
+	if a.cfg.Epoch == nil {
+		return 0
+	}
+	return a.cfg.Epoch()
+}
+
+// converge pulls the worker's cache epoch up to the fleet's. Only forward:
+// the fleet epoch is monotonic, and a zero from an older coordinator (or
+// an empty response body) is a no-op.
+func (a *Agent) converge(fleet uint64) {
+	if a.cfg.ApplyEpoch == nil || fleet == 0 || fleet <= a.epoch() {
+		return
+	}
+	a.cfg.ApplyEpoch(fleet)
+	a.logf("converged to fleet cache epoch %d", fleet)
 }
 
 // post sends a JSON body and decodes a JSON response into out (when
@@ -170,7 +244,11 @@ func (a *Agent) post(ctx context.Context, path string, in, out any) error {
 		return &statusError{code: resp.StatusCode}
 	}
 	if out != nil {
-		return json.NewDecoder(resp.Body).Decode(out)
+		// An empty 2xx body (a 204, or an older coordinator) is "no
+		// information", not a protocol error: leave out at its zero value.
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && !errors.Is(err, io.EOF) {
+			return err
+		}
 	}
 	return nil
 }

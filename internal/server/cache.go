@@ -8,16 +8,26 @@ import (
 // lruCache is a fixed-capacity least-recently-used result cache. Keys are
 // content hashes of canonicalized requests; values are the exact response
 // bodies that were served cold, so a hit replays byte-identical bytes.
+//
+// The cache owns the worker's cache epoch. Every entry is recorded under
+// the epoch it was computed in; FlushTo wipes the table and raises the
+// epoch, after which entries from older epochs can neither be served (Get
+// re-checks the entry's epoch) nor inserted (Add rejects a stale epoch).
+// The double guard matters for the flush/insert race: a compute that
+// started before a flush finishes after it, and its Add must not
+// repopulate the post-flush cache with pre-flush bytes.
 type lruCache struct {
 	mu    sync.Mutex
 	cap   int
+	epoch uint64
 	order *list.List // front = most recently used
 	byKey map[string]*list.Element
 }
 
 type lruEntry struct {
-	key string
-	val []byte
+	key   string
+	val   []byte
+	epoch uint64
 }
 
 func newLRUCache(capacity int) *lruCache {
@@ -27,7 +37,36 @@ func newLRUCache(capacity int) *lruCache {
 	return &lruCache{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element, capacity)}
 }
 
-// Get returns the cached value and refreshes its recency.
+// Epoch returns the current cache epoch. Callers snapshot it once per
+// request and pass the same value to Add, so a flush racing the request is
+// detected rather than overwritten.
+func (c *lruCache) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// FlushTo wipes the cache and raises the epoch to at least target
+// (monotonic — a lower target still bumps by one, so a local flush always
+// invalidates). It returns the new epoch.
+func (c *lruCache) FlushTo(target uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.byKey = make(map[string]*list.Element, c.cap)
+	if target > c.epoch {
+		c.epoch = target
+	} else {
+		c.epoch++
+	}
+	return c.epoch
+}
+
+// Get returns the cached value and refreshes its recency. An entry
+// recorded under an older epoch is never served: it is dropped and the
+// lookup misses (defense in depth — FlushTo already wiped the table, this
+// guards the window where a racing insert slipped in between wipe and
+// epoch check).
 func (c *lruCache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -35,26 +74,40 @@ func (c *lruCache) Get(key string) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
+	if e := el.Value.(*lruEntry); e.epoch != c.epoch {
+		c.order.Remove(el)
+		delete(c.byKey, key)
+		return nil, false
+	}
 	c.order.MoveToFront(el)
 	return el.Value.(*lruEntry).val, true
 }
 
-// Add inserts or refreshes a value, evicting the least recently used entry
-// when over capacity.
-func (c *lruCache) Add(key string, val []byte) {
+// Add inserts or refreshes a value computed under the given epoch,
+// evicting the least recently used entry when over capacity. A stale
+// epoch — the cache was flushed after the caller snapshotted it — is
+// rejected: the computation may predate an algorithm change the flush
+// announced, so its bytes must not outlive it.
+func (c *lruCache) Add(key string, val []byte, epoch uint64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if epoch != c.epoch {
+		return false
+	}
 	if el, ok := c.byKey[key]; ok {
 		c.order.MoveToFront(el)
-		el.Value.(*lruEntry).val = val
-		return
+		e := el.Value.(*lruEntry)
+		e.val = val
+		e.epoch = epoch
+		return true
 	}
-	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, val: val, epoch: epoch})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.byKey, oldest.Value.(*lruEntry).key)
 	}
+	return true
 }
 
 // Len returns the number of cached entries.

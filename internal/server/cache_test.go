@@ -9,9 +9,9 @@ import (
 
 func TestLRUEvictionOrder(t *testing.T) {
 	c := newLRUCache(3)
-	c.Add("a", []byte("A"))
-	c.Add("b", []byte("B"))
-	c.Add("c", []byte("C"))
+	c.Add("a", []byte("A"), 0)
+	c.Add("b", []byte("B"), 0)
+	c.Add("c", []byte("C"), 0)
 	if got := c.Keys(); !reflect.DeepEqual(got, []string{"c", "b", "a"}) {
 		t.Fatalf("keys after fill: %v", got)
 	}
@@ -21,7 +21,7 @@ func TestLRUEvictionOrder(t *testing.T) {
 	if v, ok := c.Get("a"); !ok || string(v) != "A" {
 		t.Fatalf("Get(a) = %q, %v", v, ok)
 	}
-	c.Add("d", []byte("D"))
+	c.Add("d", []byte("D"), 0)
 	if got := c.Keys(); !reflect.DeepEqual(got, []string{"d", "a", "c"}) {
 		t.Fatalf("keys after eviction: %v (want [d a c])", got)
 	}
@@ -33,7 +33,7 @@ func TestLRUEvictionOrder(t *testing.T) {
 	}
 
 	// Re-adding an existing key refreshes value and recency, no eviction.
-	c.Add("c", []byte("C2"))
+	c.Add("c", []byte("C2"), 0)
 	if got := c.Keys(); !reflect.DeepEqual(got, []string{"c", "d", "a"}) {
 		t.Fatalf("keys after re-add: %v", got)
 	}
@@ -51,7 +51,7 @@ func TestLRUConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				key := fmt.Sprintf("k%d", (w*7+i)%32)
-				c.Add(key, []byte(key))
+				c.Add(key, []byte(key), 0)
 				if v, ok := c.Get(key); ok && string(v) != key {
 					t.Errorf("got %q for key %q", v, key)
 				}
@@ -62,6 +62,85 @@ func TestLRUConcurrentAccess(t *testing.T) {
 	if c.Len() > 16 {
 		t.Fatalf("capacity exceeded: %d", c.Len())
 	}
+}
+
+func TestLRUFlushRejectsStaleEpochInsert(t *testing.T) {
+	c := newLRUCache(8)
+	e0 := c.Epoch()
+	c.Add("k", []byte("old"), e0)
+
+	// The flush wipes and raises the epoch.
+	e1 := c.FlushTo(0)
+	if e1 <= e0 {
+		t.Fatalf("FlushTo did not raise the epoch: %d -> %d", e0, e1)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry survived a flush")
+	}
+
+	// An in-flight computation that snapshotted the pre-flush epoch must
+	// not repopulate the cache: its bytes may predate the algorithm change
+	// the flush announced.
+	if c.Add("k", []byte("stale"), e0) {
+		t.Fatal("Add accepted a stale-epoch insert after flush")
+	}
+	if v, ok := c.Get("k"); ok {
+		t.Fatalf("stale insert is being served: %q", v)
+	}
+	if !c.Add("k", []byte("fresh"), e1) {
+		t.Fatal("Add rejected a current-epoch insert")
+	}
+	if v, _ := c.Get("k"); string(v) != "fresh" {
+		t.Fatalf("post-flush value = %q, want fresh", v)
+	}
+
+	// FlushTo converges to a higher fleet epoch verbatim.
+	if e := c.FlushTo(e1 + 10); e != e1+10 {
+		t.Fatalf("FlushTo(%d) = %d", e1+10, e)
+	}
+}
+
+// TestLRUFlushInsertRace drives concurrent flushes against inserts under
+// -race: at every point the cache may only serve bytes recorded under its
+// current epoch.
+func TestLRUFlushInsertRace(t *testing.T) {
+	c := newLRUCache(32)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			c.FlushTo(0)
+		}
+		close(stop)
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("k%d", (w*5+i)%16)
+				e := c.Epoch()
+				want := fmt.Sprintf("%s@%d", key, e)
+				c.Add(key, []byte(want), e)
+				if v, ok := c.Get(key); ok {
+					// Whatever is served must carry the epoch it was
+					// inserted under — never bytes from before a flush.
+					if got := string(v); got != want && c.Epoch() == e {
+						t.Errorf("epoch %d served %q, want %q", e, got, want)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 func TestSingleflightSequentialNotShared(t *testing.T) {

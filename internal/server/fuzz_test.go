@@ -3,6 +3,8 @@ package server
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/schedule"
 )
 
 // FuzzScheduleRequest fuzzes the /v1/schedule JSON decoder: arbitrary bytes
@@ -29,16 +31,31 @@ func FuzzScheduleRequest(f *testing.F) {
 		if err := job.m.Validate(); err != nil {
 			t.Fatalf("accepted an invalid machine: %v", err)
 		}
-		k1 := job.cacheKey()
+		salt := keySalt(schedule.AlgoVersion, 0)
+		k1 := job.cacheKey(salt)
 		job2, err := parseScheduleRequest(data)
 		if err != nil {
 			t.Fatalf("second parse of accepted body failed: %v", err)
 		}
-		if k2 := job2.cacheKey(); k1 != k2 {
+		if k2 := job2.cacheKey(salt); k1 != k2 {
 			t.Fatalf("cache key not deterministic: %s vs %s", k1, k2)
 		}
 		if bytes.ContainsAny([]byte(k1), " \n") || len(k1) != 64 {
 			t.Fatalf("malformed cache key %q", k1)
+		}
+		// The salt is load-bearing: a different algorithm version or a
+		// different epoch must move the key, and deterministically so.
+		for _, other := range []string{
+			keySalt(schedule.AlgoVersion+"+bestfit", 0),
+			keySalt(schedule.AlgoVersion, 1),
+		} {
+			ko := job.cacheKey(other)
+			if ko == k1 {
+				t.Fatalf("salt %q did not change the cache key", other)
+			}
+			if ko2 := job2.cacheKey(other); ko2 != ko {
+				t.Fatalf("salted key not deterministic: %s vs %s", ko, ko2)
+			}
 		}
 	})
 }

@@ -26,6 +26,7 @@ type metrics struct {
 	rejected       atomic.Int64 // 429 backpressure rejections
 	badRequests    atomic.Int64 // 400s
 	verifyFailures atomic.Int64 // schedules the Verify oracle rejected
+	cacheFlushes   atomic.Int64 // cache wipes (epoch bumps)
 
 	mu      sync.Mutex
 	ring    [latencyWindow]time.Duration
@@ -70,7 +71,7 @@ func quantileIndex(n int, q float64) int {
 }
 
 // render writes the metrics in the Prometheus text exposition format.
-func (m *metrics) render(w io.Writer, queueDepth, cacheEntries int) {
+func (m *metrics) render(w io.Writer, queueDepth, cacheEntries int, epoch uint64) {
 	p50, p99 := m.quantiles()
 	fmt.Fprintf(w, "gpserved_requests_total %d\n", m.requests.Load())
 	fmt.Fprintf(w, "gpserved_schedule_requests_total %d\n", m.scheduleReqs.Load())
@@ -78,6 +79,8 @@ func (m *metrics) render(w io.Writer, queueDepth, cacheEntries int) {
 	fmt.Fprintf(w, "gpserved_cache_hits_total %d\n", m.cacheHits.Load())
 	fmt.Fprintf(w, "gpserved_cache_misses_total %d\n", m.cacheMisses.Load())
 	fmt.Fprintf(w, "gpserved_cache_entries %d\n", cacheEntries)
+	fmt.Fprintf(w, "gpserved_cache_flushes_total %d\n", m.cacheFlushes.Load())
+	fmt.Fprintf(w, "gpserved_algo_epoch %d\n", epoch)
 	fmt.Fprintf(w, "gpserved_coalesced_total %d\n", m.coalesced.Load())
 	fmt.Fprintf(w, "gpserved_rejected_total %d\n", m.rejected.Load())
 	fmt.Fprintf(w, "gpserved_bad_requests_total %d\n", m.badRequests.Load())

@@ -21,6 +21,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -294,12 +295,23 @@ func parseScheme(s string) (core.Algorithm, string, error) {
 	return 0, "", fmt.Errorf("unknown scheme %q (want GP, Fixed or URACAM)", s)
 }
 
-// cacheKey content-addresses the job: the canonical machine description,
-// the canonical ddgio text of the loop, and the scheme. Equivalent requests
-// — JSON loop vs. text loop, grid machine vs. its description — therefore
-// share one cache entry.
-func (j *scheduleJob) cacheKey() string {
+// keySalt builds the algorithm-identity salt folded into every cache key:
+// the algorithm version string and the cache epoch. Two workers running
+// different scheduler generations — or one worker across a flush — can
+// therefore never collide on a key, even for byte-identical requests.
+func keySalt(algoVersion string, epoch uint64) string {
+	return algoVersion + "\x00" + strconv.FormatUint(epoch, 10)
+}
+
+// cacheKey content-addresses the job under an algorithm-identity salt: the
+// salt, the canonical machine description, the canonical ddgio text of the
+// loop, and the scheme. Equivalent requests — JSON loop vs. text loop,
+// grid machine vs. its description — share one cache entry; requests
+// scheduled by different algorithm generations never do.
+func (j *scheduleJob) cacheKey(salt string) string {
 	h := sha256.New()
+	h.Write([]byte(salt))
+	h.Write([]byte{0})
 	h.Write([]byte(machine.Format(j.m)))
 	h.Write([]byte{0})
 	h.Write([]byte(j.scheme))
@@ -310,16 +322,19 @@ func (j *scheduleJob) cacheKey() string {
 
 // ScheduleCacheKey parses and validates a /v1/schedule body exactly as the
 // daemon's admission does and returns the request's content-address cache
-// key. The cluster coordinator routes on it — rendezvous hashing the key
-// over the worker fleet sends identical requests to the same worker, whose
-// LRU then acts as one shard of a distributed cache — and uses the parse
-// error to shed malformed bodies before they consume a worker.
+// key under the compiled-in algorithm version at epoch zero. The cluster
+// coordinator routes on it — rendezvous hashing the key over the worker
+// fleet sends identical requests to the same worker, whose LRU then acts
+// as one shard of a distributed cache — and uses the parse error to shed
+// malformed bodies before they consume a worker. Placement deliberately
+// ignores the runtime epoch: a fleet-wide flush must invalidate bytes, not
+// reshuffle which shard owns which request.
 func ScheduleCacheKey(body []byte) (string, error) {
 	job, err := parseScheduleRequest(body)
 	if err != nil {
 		return "", err
 	}
-	return job.cacheKey(), nil
+	return job.cacheKey(keySalt(schedule.AlgoVersion, 0)), nil
 }
 
 // buildResponse assembles the deterministic response body from a scheduling

@@ -16,6 +16,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/partition"
 	"repro/internal/schedule"
 )
 
@@ -36,6 +37,15 @@ type Config struct {
 	// so a cluster coordinator (and its clients) can observe which worker
 	// actually served a proxied request.
 	NodeID string
+	// AlgoVersion overrides the compiled-in schedule.AlgoVersion this
+	// daemon advertises and salts its cache keys with. Tests and canary
+	// deploys use it; production builds leave it empty.
+	AlgoVersion string
+	// BalanceBestFit turns on the best-fit partition balancing variant.
+	// It changes schedule bytes, so it is folded into the advertised
+	// algorithm version (and through it into every cache key) — two
+	// workers differing only in this flag must never share cache entries.
+	BalanceBestFit bool
 }
 
 func (c Config) workers() int {
@@ -73,11 +83,27 @@ func (c Config) retryAfter() time.Duration {
 	return time.Second
 }
 
+// algoVersion is the complete algorithm identity this daemon advertises:
+// the base version plus a suffix for every output-affecting option, so
+// any configuration that can change schedule bytes is visible in the
+// version string and distinct in the cache keyspace.
+func (c Config) algoVersion() string {
+	v := c.AlgoVersion
+	if v == "" {
+		v = schedule.AlgoVersion
+	}
+	if c.BalanceBestFit {
+		v += "+bestfit"
+	}
+	return v
+}
+
 // Server is the gpserved HTTP daemon. Create with New, serve its Handler,
 // and Close it after the HTTP server has shut down (Close drains the
 // worker pool).
 type Server struct {
 	cfg     Config
+	algo    string // complete advertised algorithm identity, from cfg.algoVersion()
 	cache   *lruCache
 	flight  flightGroup
 	pool    *workerPool
@@ -94,12 +120,14 @@ type Server struct {
 func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
+		algo:  cfg.algoVersion(),
 		cache: newLRUCache(cfg.cacheEntries()),
 		pool:  newWorkerPool(cfg.workers(), cfg.queueDepth()),
 		mux:   http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/cache/flush", s.handleCacheFlush)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -108,12 +136,17 @@ func New(cfg Config) *Server {
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s }
 
-// ServeHTTP dispatches to the daemon's endpoints.
+// ServeHTTP dispatches to the daemon's endpoints. Every response carries
+// the worker's algorithm identity and cache epoch so clients — above all
+// the coordinator's shadow verifier — can attribute any byte divergence to
+// a specific scheduler generation.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
 	if s.cfg.NodeID != "" {
 		w.Header().Set("X-Node", s.cfg.NodeID)
 	}
+	w.Header().Set("X-Algo-Version", s.algo)
+	w.Header().Set("X-Algo-Epoch", strconv.FormatUint(s.cache.Epoch(), 10))
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -129,6 +162,23 @@ func (s *Server) Metrics() (cacheHits, cacheMisses, coalesced, rejected int64) {
 		s.metrics.coalesced.Load(), s.metrics.rejected.Load()
 }
 
+// AlgoVersion returns the complete algorithm identity this daemon
+// advertises (compiled-in version plus option suffixes).
+func (s *Server) AlgoVersion() string { return s.algo }
+
+// Epoch returns the daemon's current cache epoch.
+func (s *Server) Epoch() uint64 { return s.cache.Epoch() }
+
+// FlushTo wipes the result cache and raises the epoch to at least target
+// (a lower or zero target still bumps by one). The coordinator's agent
+// calls it when the fleet epoch moves; the /v1/cache/flush endpoint is the
+// same operation over HTTP.
+func (s *Server) FlushTo(target uint64) uint64 {
+	e := s.cache.FlushTo(target)
+	s.metrics.cacheFlushes.Add(1)
+	return e
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
@@ -136,7 +186,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.metrics.render(w, s.pool.QueueDepth(), s.cache.Len())
+	s.metrics.render(w, s.pool.QueueDepth(), s.cache.Len(), s.cache.Epoch())
 }
 
 // readBody reads at most MaxBodyBytes of the request body.
@@ -157,6 +207,32 @@ func (s *Server) writeError(w http.ResponseWriter, status int, format string, ar
 	_ = json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// handleCacheFlush is POST /v1/cache/flush: wipe the result cache and
+// raise the cache epoch. The body is an optional JSON FlushRequest naming
+// the fleet epoch to converge to; an empty body (or a lower epoch) is a
+// plain local flush that bumps by one. The response reports the epoch now
+// in force.
+func (s *Server) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	var req FlushRequest
+	if len(bytes.TrimSpace(body)) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	}
+	epoch := s.FlushTo(req.Epoch)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Algo-Epoch", strconv.FormatUint(epoch, 10)) // ServeHTTP stamped the pre-flush epoch
+	_ = json.NewEncoder(w).Encode(FlushResponse{Epoch: epoch})
+}
+
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	s.metrics.scheduleReqs.Add(1)
 	start := time.Now()
@@ -171,7 +247,11 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	key := job.cacheKey()
+	// Snapshot the epoch once: the key is salted with it, and the same
+	// value travels to cache.Add, so a flush that lands mid-computation
+	// invalidates this request's insert instead of being overwritten.
+	epoch := s.cache.Epoch()
+	key := job.cacheKey(keySalt(s.algo, epoch))
 
 	if cached, ok := s.cache.Get(key); ok {
 		s.metrics.cacheHits.Add(1)
@@ -191,7 +271,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		var out []byte
 		var computeErr error
 		poolErr := s.pool.Do(context.Background(), func() {
-			out, computeErr = s.compute(key, job)
+			out, computeErr = s.compute(key, job, epoch)
 		})
 		if poolErr != nil {
 			return nil, poolErr
@@ -229,9 +309,10 @@ func (s *Server) writeScheduleBody(w http.ResponseWriter, body []byte, xcache st
 }
 
 // compute schedules the job, Verify-checks the result, marshals the
-// deterministic response body and inserts it into the cache. It runs on a
-// pool worker.
-func (s *Server) compute(key string, job *scheduleJob) ([]byte, error) {
+// deterministic response body and inserts it into the cache under the
+// epoch the request was keyed with (a flush in between rejects the
+// insert). It runs on a pool worker.
+func (s *Server) compute(key string, job *scheduleJob, epoch uint64) ([]byte, error) {
 	if s.computeHook != nil {
 		s.computeHook(key)
 	}
@@ -239,7 +320,11 @@ func (s *Server) compute(key string, job *scheduleJob) ([]byte, error) {
 	if err := job.admissionCheck(); err != nil {
 		return nil, err
 	}
-	res, err := core.ScheduleLoop(job.g, job.m, &core.Options{Algorithm: job.alg})
+	opts := &core.Options{Algorithm: job.alg}
+	if s.cfg.BalanceBestFit {
+		opts.Partition = &partition.Options{BalanceBestFit: true}
+	}
+	res, err := core.ScheduleLoop(job.g, job.m, opts)
 	if err != nil {
 		return nil, fmt.Errorf("schedule: %v", err)
 	}
@@ -255,7 +340,7 @@ func (s *Server) compute(key string, job *scheduleJob) ([]byte, error) {
 		return nil, err
 	}
 	body := buf.Bytes()
-	s.cache.Add(key, body)
+	s.cache.Add(key, body, epoch)
 	return body, nil
 }
 

@@ -477,3 +477,122 @@ func TestSweepMalformed(t *testing.T) {
 		}
 	}
 }
+
+// TestCacheFlushEndpoint proves the stale-cache kill switch end to end: a
+// cached response survives re-requests byte-identically, POST
+// /v1/cache/flush wipes it and raises the advertised epoch, and the next
+// identical request is a recomputed miss.
+func TestCacheFlushEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	body := scheduleBody(t, nil)
+
+	respCold, cold := postSchedule(t, ts, body)
+	if respCold.StatusCode != http.StatusOK {
+		t.Fatalf("cold: %d %s", respCold.StatusCode, cold)
+	}
+	if v := respCold.Header.Get("X-Algo-Version"); v != srv.AlgoVersion() {
+		t.Fatalf("X-Algo-Version = %q, want %q", v, srv.AlgoVersion())
+	}
+	if e := respCold.Header.Get("X-Algo-Epoch"); e != "0" {
+		t.Fatalf("pre-flush X-Algo-Epoch = %q, want 0", e)
+	}
+
+	// Flush with an explicit fleet epoch.
+	resp, err := http.Post(ts.URL+"/v1/cache/flush", "application/json", strings.NewReader(`{"epoch": 7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fr FlushResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || fr.Epoch != 7 {
+		t.Fatalf("flush: %d epoch=%d, want 200 epoch=7", resp.StatusCode, fr.Epoch)
+	}
+	if got := resp.Header.Get("X-Algo-Epoch"); got != "7" {
+		t.Fatalf("flush X-Algo-Epoch = %q, want 7", got)
+	}
+	if srv.Epoch() != 7 {
+		t.Fatalf("Epoch() = %d, want 7", srv.Epoch())
+	}
+
+	// The identical request recomputes: the flush really emptied the cache.
+	respAfter, after := postSchedule(t, ts, body)
+	if respAfter.StatusCode != http.StatusOK {
+		t.Fatalf("post-flush: %d %s", respAfter.StatusCode, after)
+	}
+	if got := respAfter.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("post-flush X-Cache = %q, want miss", got)
+	}
+	if got := respAfter.Header.Get("X-Algo-Epoch"); got != "7" {
+		t.Fatalf("post-flush X-Algo-Epoch = %q, want 7", got)
+	}
+	// Same binary, same algorithm: the recomputed bytes must match.
+	if !bytes.Equal(cold, after) {
+		t.Fatal("recomputed response differs from pre-flush response")
+	}
+
+	// An empty flush body bumps by one.
+	resp2, err := http.Post(ts.URL+"/v1/cache/flush", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if srv.Epoch() != 8 {
+		t.Fatalf("epoch after empty flush = %d, want 8", srv.Epoch())
+	}
+}
+
+// TestBalanceBestFitDivergesIdentity pins the satellite fix for
+// output-affecting server options: a worker with -balance-best-fit must
+// advertise a different algorithm version and compute under different
+// cache keys than a stock worker, so the two can never cross-pollute a
+// shared (coordinator-sharded) cache.
+func TestBalanceBestFitDivergesIdentity(t *testing.T) {
+	var mu sync.Mutex
+	keys := make(map[string][]string)
+	hook := func(tag string) func(string) {
+		return func(key string) {
+			mu.Lock()
+			keys[tag] = append(keys[tag], key)
+			mu.Unlock()
+		}
+	}
+	stock := New(Config{})
+	stock.computeHook = hook("stock")
+	bestfit := New(Config{BalanceBestFit: true})
+	bestfit.computeHook = hook("bestfit")
+	tsStock := httptest.NewServer(stock.Handler())
+	tsBest := httptest.NewServer(bestfit.Handler())
+	t.Cleanup(func() {
+		tsStock.Close()
+		tsBest.Close()
+		stock.Close()
+		bestfit.Close()
+	})
+
+	if stock.AlgoVersion() == bestfit.AlgoVersion() {
+		t.Fatalf("BalanceBestFit did not change the advertised version: %q", stock.AlgoVersion())
+	}
+	if !strings.HasSuffix(bestfit.AlgoVersion(), "+bestfit") {
+		t.Fatalf("bestfit version = %q, want +bestfit suffix", bestfit.AlgoVersion())
+	}
+
+	body := scheduleBody(t, nil)
+	if resp, out := postSchedule(t, tsStock, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stock: %d %s", resp.StatusCode, out)
+	}
+	if resp, out := postSchedule(t, tsBest, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("bestfit: %d %s", resp.StatusCode, out)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(keys["stock"]) != 1 || len(keys["bestfit"]) != 1 {
+		t.Fatalf("computes: %v", keys)
+	}
+	if keys["stock"][0] == keys["bestfit"][0] {
+		t.Fatal("identical cache key across diverging BalanceBestFit configs")
+	}
+}

@@ -340,6 +340,11 @@ func (j *Journal) DeleteJob(id string) error {
 	return j.mutate(&record{Op: opJobDel, ID: id})
 }
 
+// SetEpoch implements Store.
+func (j *Journal) SetEpoch(epoch uint64) error {
+	return j.mutate(&record{Op: opEpochSet, Epoch: epoch})
+}
+
 // Stats implements Store.
 func (j *Journal) Stats() Stats {
 	j.mu.Lock()

@@ -23,12 +23,13 @@ func applyOps(t *testing.T, s Store, rng *rand.Rand, n int) []error {
 	var jobSeq int64
 	for i := 0; i < n; i++ {
 		var err error
-		switch rng.Intn(6) {
+		switch rng.Intn(7) {
 		case 0:
 			err = s.PutNode(NodeRecord{
-				ID:       fmt.Sprintf("n%d", rng.Intn(4)),
-				Endpoint: fmt.Sprintf("127.0.0.1:%d", 9000+rng.Intn(100)),
-				Capacity: rng.Intn(8),
+				ID:          fmt.Sprintf("n%d", rng.Intn(4)),
+				Endpoint:    fmt.Sprintf("127.0.0.1:%d", 9000+rng.Intn(100)),
+				Capacity:    rng.Intn(8),
+				AlgoVersion: fmt.Sprintf("gp/%d", 1+rng.Intn(3)),
 			})
 		case 1:
 			err = s.DeleteNode(fmt.Sprintf("n%d", rng.Intn(5)))
@@ -38,9 +39,10 @@ func applyOps(t *testing.T, s Store, rng *rand.Rand, n int) []error {
 				[]byte(fmt.Sprintf(`{"maxLoops":%d}`, rng.Intn(1000))))
 		case 3:
 			err = s.FinishCell(fmt.Sprintf("job-%d", rng.Intn(6)), CellRecord{
-				Index: rng.Intn(10),
-				Key:   fmt.Sprintf("key-%d", rng.Intn(20)),
-				Rows:  []byte(fmt.Sprintf("a,b,%d\n", rng.Intn(1000))),
+				Index:       rng.Intn(10),
+				Key:         fmt.Sprintf("key-%d", rng.Intn(20)),
+				Rows:        []byte(fmt.Sprintf("a,b,%d\n", rng.Intn(1000))),
+				AlgoVersion: fmt.Sprintf("gp/%d", 1+rng.Intn(3)),
 			})
 		case 4:
 			state := JobDone
@@ -50,6 +52,8 @@ func applyOps(t *testing.T, s Store, rng *rand.Rand, n int) []error {
 			err = s.SetJobState(fmt.Sprintf("job-%d", rng.Intn(6)), state)
 		case 5:
 			err = s.DeleteJob(fmt.Sprintf("job-%d", rng.Intn(6)))
+		case 6:
+			err = s.SetEpoch(uint64(rng.Intn(16)))
 		}
 		errs = append(errs, err)
 	}

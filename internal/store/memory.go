@@ -73,6 +73,11 @@ func (m *Memory) DeleteJob(id string) error {
 	return m.mutate(&record{Op: opJobDel, ID: id})
 }
 
+// SetEpoch implements Store.
+func (m *Memory) SetEpoch(epoch uint64) error {
+	return m.mutate(&record{Op: opEpochSet, Epoch: epoch})
+}
+
 // Stats implements Store.
 func (m *Memory) Stats() Stats {
 	m.mu.Lock()

@@ -16,6 +16,7 @@ const (
 	opCellDone = "cell_done"
 	opJobState = "job_state"
 	opJobDel   = "job_del"
+	opEpochSet = "epoch_set"
 )
 
 // record is the wire/journal form of one mutation. Seq is the journal's
@@ -30,6 +31,7 @@ type record struct {
 	Request []byte      `json:"request,omitempty"`
 	Cell    *CellRecord `json:"cell,omitempty"`
 	State   string      `json:"state,omitempty"`
+	Epoch   uint64      `json:"epoch,omitempty"`
 }
 
 // tables is the in-memory mirror every Store keeps: the state records
@@ -38,6 +40,7 @@ type tables struct {
 	nodes  map[string]NodeRecord
 	jobs   map[string]*JobRecord
 	jobSeq int64
+	epoch  uint64
 }
 
 func newTables() *tables {
@@ -56,6 +59,7 @@ func (t *tables) load(s *State) {
 		t.jobs[j.ID] = &j
 	}
 	t.jobSeq = s.JobSeq
+	t.epoch = s.Epoch
 }
 
 // apply folds one record in. It is idempotent (puts replace, deletes of
@@ -110,6 +114,12 @@ func (t *tables) apply(rec *record) error {
 		j.State = rec.State
 	case opJobDel:
 		delete(t.jobs, rec.ID)
+	case opEpochSet:
+		// Monotonic: a replayed lower epoch (a checkpoint already past it)
+		// never rolls the fleet back to a pre-flush view.
+		if rec.Epoch > t.epoch {
+			t.epoch = rec.Epoch
+		}
 	default:
 		return fmt.Errorf("store: unknown op %q", rec.Op)
 	}
@@ -118,7 +128,7 @@ func (t *tables) apply(rec *record) error {
 
 // snapshot deep-copies the tables into the canonical sorted State shape.
 func (t *tables) snapshot() *State {
-	s := &State{JobSeq: t.jobSeq}
+	s := &State{JobSeq: t.jobSeq, Epoch: t.epoch}
 	for _, n := range t.nodes {
 		s.Nodes = append(s.Nodes, n)
 	}

@@ -27,6 +27,11 @@ type NodeRecord struct {
 	ID       string `json:"id"`
 	Endpoint string `json:"endpoint"`
 	Capacity int    `json:"capacity"`
+	// AlgoVersion is the scheduler algorithm identity the worker advertised
+	// at registration (schedule.AlgoVersion plus any output-affecting
+	// options). A registration fact, not liveness: the coordinator uses it
+	// to refuse mixing fragments from different versions in one job.
+	AlgoVersion string `json:"algo_version,omitempty"`
 }
 
 // CellRecord is one completed sweep-job cell: its position in the job's
@@ -38,6 +43,10 @@ type CellRecord struct {
 	Index int    `json:"index"`
 	Key   string `json:"key"`
 	Rows  []byte `json:"rows"`
+	// AlgoVersion is the algorithm identity of the worker that produced the
+	// fragment. On restore, fragments are readopted only when they all share
+	// one version — a journal must never resurrect a mixed-version job.
+	AlgoVersion string `json:"algo_version,omitempty"`
 }
 
 // Job states a store will accept and return.
@@ -68,6 +77,10 @@ type State struct {
 	// JobSeq is the highest job sequence number ever put, including
 	// deleted jobs — a restarted coordinator must never reissue an ID.
 	JobSeq int64 `json:"job_seq,omitempty"`
+	// Epoch is the fleet cache epoch: bumped by every POST /v1/cache/flush
+	// and persisted before the flush fans out, so a restarted coordinator
+	// never resurrects a pre-flush view of the fleet's caches.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Stats counts a store's write traffic; the coordinator exposes them on
@@ -104,6 +117,9 @@ type Store interface {
 	FinishCell(jobID string, cell CellRecord) error
 	// SetJobState moves a known job to JobDone or JobFailed.
 	SetJobState(jobID, state string) error
+	// SetEpoch raises the persisted fleet cache epoch. Lowering is a no-op:
+	// the epoch is monotonic by construction.
+	SetEpoch(epoch uint64) error
 	// DeleteJob removes a job and its fragments (retention eviction).
 	// Deleting an unknown ID is a no-op.
 	DeleteJob(id string) error

@@ -14,8 +14,14 @@
 # kill -9'd mid-job, and a fresh gpcoordd on the same -journal directory
 # and port must list the job as resumed, still serve the first job's CSV,
 # and finish the second with CSV byte-identical to the same golden.
-# Finally both workers and the coordinator must drain gracefully (exit 0)
-# on SIGTERM.
+#
+# Then the rolling-upgrade gate: one worker is restarted with a bumped
+# -algo-version, the operator-style POST /v1/cache/flush must converge
+# every worker on the new epoch, the same request must recompute (X-Cache
+# miss, byte-identical to the pre-upgrade answer) instead of serving a
+# stale pre-flush entry, and the always-on shadow verifier (-shadow-rate 1)
+# must have sampled replays with zero mismatches. Finally both workers and
+# the coordinator must drain gracefully (exit 0) on SIGTERM.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,7 +55,7 @@ wait_listen() { # logfile prefix -> base URL
 
 echo "== booting gpcoordd (journaled) + 2 gpserved workers"
 journal="$work/smoke-journal"
-"$work/gpcoordd" -addr 127.0.0.1:0 -heartbeat 500ms -journal "$journal" >"$work/coordd.log" 2>&1 &
+"$work/gpcoordd" -addr 127.0.0.1:0 -heartbeat 500ms -journal "$journal" -shadow-rate 1 >"$work/coordd.log" 2>&1 &
 pids+=($!)
 coord_pid=$!
 coord="$(wait_listen "$work/coordd.log" gpcoordd)"
@@ -122,7 +128,7 @@ kill -9 "$coord_pid"
 wait "$coord_pid" 2>/dev/null || true
 
 port="${coord##*:}"
-"$work/gpcoordd" -addr "127.0.0.1:$port" -heartbeat 500ms -journal "$journal" >"$work/coordd2.log" 2>&1 &
+"$work/gpcoordd" -addr "127.0.0.1:$port" -heartbeat 500ms -journal "$journal" -shadow-rate 1 >"$work/coordd2.log" 2>&1 &
 pids+=($!)
 coord_pid=$!
 coord2="$(wait_listen "$work/coordd2.log" gpcoordd)"
@@ -156,6 +162,63 @@ done
 cmp "$work/resumed.csv" internal/bench/testdata/sweep_short_golden.csv ||
     { echo "resumed sweep differs from single-node golden" >&2; exit 1; }
 echo "== resumed job CSV byte-identical to sweep_short_golden.csv"
+
+echo "== rolling upgrade: restart worker b on a bumped algorithm version"
+kill -TERM "$wb_pid"
+wait "$wb_pid" || { echo "worker b failed to drain for the upgrade" >&2; cat "$work/worker-b.log" >&2; exit 1; }
+"$work/gpserved" -addr 127.0.0.1:0 -coordinator "$coord" -node-id smoke-b -algo-version gp/3-smoke >"$work/worker-b2.log" 2>&1 &
+pids+=($!)
+wb_pid=$!
+for i in $(seq 1 200); do
+    ready="$(curl -sf "$coord/v1/nodes" | grep -c '"state": "ready"' || true)"
+    [ "$ready" = 2 ] && break
+    if [ "$i" = 200 ]; then
+        echo "fleet never re-readied after the upgrade:" >&2
+        curl -s "$coord/v1/nodes" >&2 || true
+        exit 1
+    fi
+    sleep 0.05
+done
+curl -sf "$coord/v1/nodes" | grep -q '"algo_version": "gp/3-smoke"' ||
+    { echo "upgraded worker's version never reached the registry" >&2; curl -s "$coord/v1/nodes" >&2; exit 1; }
+
+echo "== fleet cache flush converges every worker on the new epoch"
+flush="$(curl -sf "$coord/v1/cache/flush" -d '{}')"
+epoch="$(printf '%s' "$flush" | sed -n 's/.*"epoch": \([0-9]*\).*/\1/p' | head -1)"
+[ "${epoch:-0}" -ge 1 ] || { echo "flush did not raise the epoch: $flush" >&2; exit 1; }
+for i in $(seq 1 200); do
+    conv="$(curl -sf "$coord/v1/nodes" | grep -c "\"epoch\": $epoch" || true)"
+    [ "$conv" = 2 ] && break
+    if [ "$i" = 200 ]; then
+        echo "fleet never converged on epoch $epoch:" >&2
+        curl -s "$coord/v1/nodes" >&2 || true
+        exit 1
+    fi
+    sleep 0.05
+done
+
+# The flushed fleet must recompute — and land on the same bytes as before
+# the upgrade, since both versions are this build. A stale pre-flush cache
+# entry would surface here as an X-Cache hit or divergent bytes.
+curl -sf -D "$work/h3" -o "$work/b3" "$coord/v1/schedule" -d "$req"
+[ "$(tr -d '\r' <"$work/h3" | sed -n 's/^X-Cache: //p')" = miss ] ||
+    { echo "post-flush request served a stale cache entry" >&2; cat "$work/h3" >&2; exit 1; }
+[ "$(tr -d '\r' <"$work/h3" | sed -n 's/^X-Algo-Epoch: //p' | head -1)" = "$epoch" ] ||
+    { echo "post-flush response not stamped with epoch $epoch" >&2; cat "$work/h3" >&2; exit 1; }
+cmp "$work/b1" "$work/b3" || { echo "bytes changed across the rolling upgrade" >&2; exit 1; }
+curl -sf -D "$work/h4" -o "$work/b4" "$coord/v1/schedule" -d "$req"
+[ "$(tr -d '\r' <"$work/h4" | sed -n 's/^X-Cache: //p')" = hit ] ||
+    { echo "post-flush cache never repopulated" >&2; cat "$work/h4" >&2; exit 1; }
+cmp "$work/b1" "$work/b4" || { echo "repopulated cache bytes differ" >&2; exit 1; }
+
+echo "== shadow verifier sampled replays with zero mismatches"
+sleep 2 # let the async replays of the requests above land
+metrics="$(curl -sf "$coord/metrics")"
+sampled="$(printf '%s\n' "$metrics" | sed -n 's/^gpcoordd_shadow_sampled_total //p')"
+[ "${sampled:-0}" -ge 1 ] || { echo "shadow verifier sampled nothing (rate 1)" >&2; exit 1; }
+printf '%s\n' "$metrics" | grep -q '^gpcoordd_shadow_mismatch_total 0$' ||
+    { echo "shadow mismatches across a same-binary upgrade:" >&2
+      printf '%s\n' "$metrics" | grep '^gpcoordd_shadow' >&2; exit 1; }
 
 echo "== graceful drain"
 kill -TERM "$wa_pid" "$wb_pid"
