@@ -68,6 +68,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	heartbeat := fs.Duration("heartbeat-interval", 0, "heartbeat cadence override (0 = the coordinator's suggestion)")
 	algoVersion := fs.String("algo-version", "", "advertised algorithm version override (default the compiled-in schedule.AlgoVersion; canary deploys set this)")
 	bestFit := fs.Bool("balance-best-fit", false, "use the best-fit partition balancing variant (folded into the advertised algorithm version and every cache key)")
+	portfolio := fs.Int("portfolio", 0, "default portfolio width: race K seeded partition starts per request and keep the best (0 or 1 = sequential; K>1 is folded into the advertised algorithm version)")
 	benchJSON := fs.String("bench-json", "", "measure sustained throughput and write the snapshot to this JSON file, then exit")
 	benchReqs := fs.Int("bench-requests", 400, "total requests of the -bench-json measurement")
 	benchConc := fs.Int("bench-concurrency", 8, "client goroutines of the -bench-json measurement")
@@ -76,7 +77,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := server.Config{Workers: *workers, QueueDepth: *queue, CacheEntries: *cacheN,
-		AlgoVersion: *algoVersion, BalanceBestFit: *bestFit}
+		AlgoVersion: *algoVersion, BalanceBestFit: *bestFit, Portfolio: *portfolio}
 
 	if *benchJSON != "" {
 		snap, err := server.MeasureThroughput(cfg, server.PerfOptions{

@@ -30,6 +30,17 @@ type ServerPerfSnapshot struct {
 	CacheHitRate   float64 `json:"cache_hit_rate"`
 	P50Micros      float64 `json:"p50_micros"`
 	P99Micros      float64 `json:"p99_micros"`
+
+	// Cache-warm amortization comparison: after the sustained mix every
+	// distinct loop is hot, and the same working set is re-driven twice —
+	// once as verbatim singleton requests (the body-hash fast path) and
+	// once packed into /v1/schedule/batch envelopes. Both rates are
+	// loops per second; BatchSpeedup is their ratio, the measured value of
+	// amortizing HTTP round-trips and admission over a compilation unit.
+	BatchLoops          int     `json:"batch_loops"`
+	SingletonWarmPerSec float64 `json:"singleton_warm_per_sec"`
+	BatchLoopsPerSec    float64 `json:"batch_loops_per_sec"`
+	BatchSpeedup        float64 `json:"batch_speedup"`
 }
 
 // WriteServerPerfJSON writes the snapshot as indented JSON.

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// batchBody builds a /v1/schedule/batch envelope carrying the named loops
+// (scheduleBody's loop shape) plus optionally a broken one.
+func batchBody(t *testing.T, names []string, withBroken bool) []byte {
+	t.Helper()
+	var loops []map[string]any
+	for _, n := range names {
+		loop := fmt.Sprintf(`loop %s 100
+node 0 Load a[i]
+node 1 FPMul *c
+node 2 FPAdd +s
+node 3 Store s=
+edge 0 1 2 0 data
+edge 1 2 4 0 data
+edge 2 3 4 0 data
+edge 2 2 4 1 data
+`, n)
+		loops = append(loops, map[string]any{"loop_text": loop})
+	}
+	if withBroken {
+		loops = append(loops, map[string]any{"loop_text": "loop broken"})
+	}
+	body, err := json.Marshal(map[string]any{
+		"clusters": 2, "regs": 32, "nbus": 1, "latbus": 1,
+		"scheme": "GP",
+		"loops":  loops,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postBatch(t *testing.T, base string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/schedule/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/schedule/batch: %v", err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestBatchDistributedByteIdenticalToSingleNode pins the batch fan-out
+// contract: a batch through the coordinator — its loops rendezvous-placed
+// across two workers, one of which dies mid-batch and fails over — produces
+// exactly the bytes a single standalone worker's batch endpoint does,
+// including the per-loop error element for a broken loop.
+func TestBatchDistributedByteIdenticalToSingleNode(t *testing.T) {
+	coord, base := startCoordinator(t, testConfig())
+	wA := startWorker(t, base, "wA")
+	startWorker(t, base, "wB")
+
+	ref := server.New(server.Config{})
+	rts := httptest.NewServer(ref.Handler())
+	t.Cleanup(func() {
+		rts.Close()
+		ref.Close()
+	})
+
+	names := []string{"ba", "bb", "bc", "bd"}
+	body := batchBody(t, names, true)
+
+	refResp, want := postBatch(t, rts.URL, body)
+	if refResp.StatusCode != http.StatusOK {
+		t.Fatalf("single-node batch: %d %s", refResp.StatusCode, want)
+	}
+
+	// Kill the next schedule connection wA accepts: one of the batch's
+	// loops fails over to wB mid-batch.
+	wA.chaos.armKillSchedule(1)
+	resp, got := postBatch(t, base, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("distributed batch: %d %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("distributed batch diverges from single-node bytes:\ngot:  %s\nwant: %s", got, want)
+	}
+	if coord.metrics.failovers.Load() == 0 {
+		t.Fatal("chaos did not trigger a failover; the kill path went untested")
+	}
+	if n := coord.metrics.batchLoops.Load(); n != int64(len(names)+1) {
+		t.Fatalf("batch loops metric = %d, want %d", n, len(names)+1)
+	}
+
+	// Affinity: rerunning the same batch is all cache hits on the workers,
+	// still byte-identical.
+	resp2, got2 := postBatch(t, base, body)
+	if resp2.StatusCode != http.StatusOK || !bytes.Equal(got2, want) {
+		t.Fatal("batch rerun diverged")
+	}
+}
+
+// TestBatchEnvelopeRejectedAtEdge pins that a malformed batch envelope is
+// shed by the coordinator without consuming any worker.
+func TestBatchEnvelopeRejectedAtEdge(t *testing.T) {
+	coord, base := startCoordinator(t, testConfig())
+	startWorker(t, base, "wA")
+	resp, out := postBatch(t, base, []byte(`{"clusters":2,"loops":[]}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d (want 400), body %s", resp.StatusCode, out)
+	}
+	if coord.metrics.placements.Load() != 0 {
+		t.Fatal("malformed batch reached a worker")
+	}
+}

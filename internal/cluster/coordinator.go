@@ -22,6 +22,7 @@
 //	POST /v1/nodes/deregister  graceful worker exit
 //	GET  /v1/nodes             node table with health states
 //	POST /v1/schedule          proxied single-loop scheduling (cache-affine)
+//	POST /v1/schedule/batch    per-loop fan-out of a batch, reassembled in order
 //	POST /v1/jobs              async sweep job; returns {id, cells}
 //	GET  /v1/jobs              all retained jobs' status summaries
 //	GET  /v1/jobs/{id}         job status and per-cell placement detail
@@ -246,6 +247,7 @@ func New(cfg Config) (*Coordinator, error) {
 	c.mux.HandleFunc("POST /v1/nodes/deregister", c.handleDeregister)
 	c.mux.HandleFunc("GET /v1/nodes", c.handleNodes)
 	c.mux.HandleFunc("POST /v1/schedule", c.handleSchedule)
+	c.mux.HandleFunc("POST /v1/schedule/batch", c.handleScheduleBatch)
 	c.mux.HandleFunc("POST /v1/cache/flush", c.handleCacheFlush)
 	c.mux.HandleFunc("POST /v1/jobs", c.handleCreateJob)
 	c.mux.HandleFunc("GET /v1/jobs", c.handleListJobs)
@@ -408,6 +410,51 @@ func (c *Coordinator) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	fr := c.scheduleOnFleet(r.Context(), key, reqBody)
+	if fr.resp != nil {
+		// 2xx and request-defect 4xx relay as-is: a 400 is wrong on
+		// every worker, retrying it elsewhere would just burn the fleet.
+		relayServed(w, fr.node.id, fr.resp)
+		w.WriteHeader(fr.resp.StatusCode)
+		_, _ = w.Write(fr.body)
+		if fr.resp.StatusCode == http.StatusOK {
+			c.shadow.maybeReplay(fr.node, key, reqBody, fr.body)
+		}
+		return
+	}
+	switch {
+	case fr.noWorkers:
+		c.metrics.noCapacity.Add(1)
+		c.writeError(w, http.StatusServiceUnavailable, "no ready workers")
+	case fr.allSaturated:
+		// Every worker shed with 429: the fleet is loaded, not broken.
+		// Relay the single-node backpressure contract so clients back off
+		// instead of hard-retrying a "failure".
+		c.metrics.noCapacity.Add(1)
+		w.Header().Set("Retry-After", "1")
+		c.writeError(w, http.StatusTooManyRequests, "every worker is saturated, retry later")
+	default:
+		c.writeError(w, http.StatusBadGateway, "all workers failed, last: %v", fr.lastErr)
+	}
+}
+
+// fleetResult is scheduleOnFleet's outcome: a served response (resp != nil,
+// any status below 500 except 429) or a terminal failure classification.
+type fleetResult struct {
+	node candidate
+	resp *http.Response
+	body []byte
+
+	noWorkers    bool  // no placeable candidate remained
+	allSaturated bool  // at least one attempt, every one shed with 429
+	lastErr      error // last worker failure; nil when noWorkers
+}
+
+// scheduleOnFleet runs the placement + failover loop for one singleton
+// schedule body: rendezvous placement on the content-address key, then
+// failover down the ranking with an exclusion list when workers fail. Both
+// the singleton proxy and the batch fan-out ride on it.
+func (c *Coordinator) scheduleOnFleet(ctx context.Context, key string, reqBody []byte) fleetResult {
 	exclude := make(map[string]bool)
 	var lastErr error
 	allSaturated := true
@@ -418,7 +465,7 @@ func (c *Coordinator) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		}
 		c.metrics.placements.Add(1)
 		c.reg.countRequest(node.id)
-		resp, body, err := c.forward(r.Context(), node, "/v1/schedule", reqBody, c.cfg.scheduleTimeout())
+		resp, body, err := c.forward(ctx, node, "/v1/schedule", reqBody, c.cfg.scheduleTimeout())
 		switch {
 		case err != nil:
 			// Transport failure or truncated body: the worker is gone or
@@ -441,32 +488,77 @@ func (c *Coordinator) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			exclude[node.id] = true
 			lastErr = fmt.Errorf("worker %s saturated", node.id)
 		default:
-			// 2xx and request-defect 4xx relay as-is: a 400 is wrong on
-			// every worker, retrying it elsewhere would just burn the fleet.
-			relayServed(w, node.id, resp)
-			w.WriteHeader(resp.StatusCode)
-			_, _ = w.Write(body)
-			if resp.StatusCode == http.StatusOK {
-				c.shadow.maybeReplay(node, key, reqBody, body)
-			}
-			return
+			return fleetResult{node: node, resp: resp, body: body}
 		}
 	}
-	if lastErr == nil {
-		c.metrics.noCapacity.Add(1)
-		c.writeError(w, http.StatusServiceUnavailable, "no ready workers")
+	return fleetResult{
+		noWorkers:    lastErr == nil,
+		allSaturated: lastErr != nil && allSaturated,
+		lastErr:      lastErr,
+	}
+}
+
+// handleScheduleBatch fans a /v1/schedule/batch envelope out across the
+// fleet loop by loop: every loop is forwarded as its equivalent singleton
+// request to the worker that rendezvous placement would pick for that
+// singleton — so batch loops hit exactly the cache shards singleton traffic
+// warms — and the responses are reassembled under the server package's
+// batch framing, byte-identical to a single worker's batch of the same
+// envelope (asserted by the cluster smoke test, including under worker
+// kill: a dead worker's loops fail over and the bytes do not change).
+// Per-loop failures render as error elements in place; loops that cannot be
+// forwarded at all (no workers, fleet saturated) do too, keeping partial
+// results useful. Shadow replay stays a singleton-path concern.
+func (c *Coordinator) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
+	c.metrics.batchReqs.Add(1)
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, c.cfg.maxBodyBytes())); err != nil {
+		c.writeError(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
-	if allSaturated {
-		// Every worker shed with 429: the fleet is loaded, not broken.
-		// Relay the single-node backpressure contract so clients back off
-		// instead of hard-retrying a "failure".
-		c.metrics.noCapacity.Add(1)
-		w.Header().Set("Retry-After", "1")
-		c.writeError(w, http.StatusTooManyRequests, "every worker is saturated, retry later")
+	items, err := server.BatchItems(buf.Bytes())
+	if err != nil {
+		c.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	c.writeError(w, http.StatusBadGateway, "all workers failed, last: %v", lastErr)
+	c.metrics.batchLoops.Add(int64(len(items)))
+
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = io.WriteString(w, server.BatchOpen)
+	for i := range items {
+		if i > 0 {
+			_, _ = io.WriteString(w, server.BatchSep)
+		}
+		_, _ = w.Write(c.batchElement(r.Context(), &items[i]))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_, _ = io.WriteString(w, server.BatchClose)
+}
+
+// batchElement resolves one batch loop to its element bytes: a loop with a
+// local admission error renders it without burning a worker; otherwise the
+// forwarded singleton response body (success or per-loop 4xx alike) is the
+// element, trailing newline trimmed to fit the framing.
+func (c *Coordinator) batchElement(ctx context.Context, it *server.BatchItem) []byte {
+	if it.Err != nil {
+		return server.ErrorElement(it.Err.Error())
+	}
+	fr := c.scheduleOnFleet(ctx, it.Key, it.Body)
+	switch {
+	case fr.resp != nil:
+		return bytes.TrimSuffix(fr.body, []byte("\n"))
+	case fr.noWorkers:
+		c.metrics.noCapacity.Add(1)
+		return server.ErrorElement("no ready workers")
+	case fr.allSaturated:
+		c.metrics.noCapacity.Add(1)
+		return server.ErrorElement("every worker is saturated, retry later")
+	default:
+		return server.ErrorElement(fmt.Sprintf("all workers failed, last: %v", fr.lastErr))
+	}
 }
 
 // relayServed copies the response headers of the attempt actually being

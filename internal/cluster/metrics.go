@@ -14,6 +14,8 @@ import (
 type metrics struct {
 	requests     atomic.Int64 // every HTTP request seen
 	scheduleReqs atomic.Int64
+	batchReqs    atomic.Int64 // /v1/schedule/batch requests
+	batchLoops   atomic.Int64 // loops fanned out from batch requests
 	placements   atomic.Int64 // successful placement decisions
 	retries      atomic.Int64 // re-placements after a worker 429/503
 	failovers    atomic.Int64 // re-placements after a worker failure
@@ -46,6 +48,8 @@ type metrics struct {
 func (m *metrics) render(w io.Writer, nodes []NodeInfo, jobsRunning int, epoch uint64, st store.Stats) {
 	fmt.Fprintf(w, "gpcoordd_requests_total %d\n", m.requests.Load())
 	fmt.Fprintf(w, "gpcoordd_schedule_requests_total %d\n", m.scheduleReqs.Load())
+	fmt.Fprintf(w, "gpcoordd_batch_requests_total %d\n", m.batchReqs.Load())
+	fmt.Fprintf(w, "gpcoordd_batch_loops_total %d\n", m.batchLoops.Load())
 	fmt.Fprintf(w, "gpcoordd_placements_total %d\n", m.placements.Load())
 	fmt.Fprintf(w, "gpcoordd_retries_total %d\n", m.retries.Load())
 	fmt.Fprintf(w, "gpcoordd_failovers_total %d\n", m.failovers.Load())

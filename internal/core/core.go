@@ -67,13 +67,42 @@ type Options struct {
 	// IIWindow bounds how far past the MII the II may escalate before the
 	// list-scheduling fallback engages. Zero means the default MII+64.
 	IIWindow int
+	// Portfolio, when > 1, races K deterministically-seeded partition
+	// starts (seeds 0..K−1; seed 0 is the canonical paper start) in
+	// parallel at every II of the escalation and keeps the best schedule
+	// under a fixed tie-break: lowest II, then the partition's
+	// execution-time bound, then seed index. Output is byte-identical for a
+	// given K, and never a worse II than Portfolio=1 (seed 0 always races).
+	// Ignored for URACAM, which has no partition to vary. Values above 16
+	// are clamped; 0 and 1 mean the sequential paper path.
+	Portfolio int
+	// Arena, when non-nil, supplies the partitioner's scratch arena so a
+	// serving path can pool the cold-path allocations across requests. Only
+	// the sequential (Portfolio ≤ 1) path uses it; portfolio search
+	// acquires one pooled arena per seed. The arena must not be shared with
+	// a concurrent ScheduleLoop call.
+	Arena *partition.Arena
 }
+
+// maxPortfolio caps the racer count: past this the marginal II benefit is
+// noise while goroutine and arena cost keep growing.
+const maxPortfolio = 16
 
 func (o *Options) window() int {
 	if o.IIWindow > 0 {
 		return o.IIWindow
 	}
 	return 64
+}
+
+func (o *Options) portfolio() int {
+	if o.Portfolio > maxPortfolio {
+		return maxPortfolio
+	}
+	if o.Portfolio > 1 {
+		return o.Portfolio
+	}
+	return 1
 }
 
 // Result is the outcome of scheduling one loop.
@@ -93,6 +122,9 @@ type Result struct {
 	Attempts int
 	// ListFallback reports that modulo scheduling was abandoned.
 	ListFallback bool
+	// PortfolioSeed is the seed index of the winning portfolio racer (0
+	// when Portfolio ≤ 1: the canonical start).
+	PortfolioSeed int
 	// Elapsed is the wall-clock scheduling time, the paper's Table 2 metric.
 	Elapsed time.Duration
 }
@@ -130,9 +162,13 @@ func ScheduleLoopContext(ctx context.Context, g *ddg.Graph, m *machine.Config, o
 	start := time.Now()
 	res := &Result{MII: g.MII(m)}
 
+	if opts.portfolio() > 1 && opts.Algorithm != URACAM {
+		return schedulePortfolio(ctx, g, m, opts, start, res)
+	}
+
 	var assign []int
 	var part *partition.Result
-	partitioner := partition.New(g, m, opts.Partition)
+	partitioner := partition.NewWithArena(g, m, opts.Partition, opts.Arena)
 	mode := schedule.ModeURACAM
 	switch opts.Algorithm {
 	case GP, FixedPartition:

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/schedule"
+	"repro/internal/workload"
+)
+
+// portfolioCorpus returns a deterministic slice of real loops: the first
+// loop of each SPECfp95 benchmark.
+func portfolioCorpus() []*workload.Loop {
+	var loops []*workload.Loop
+	for _, bm := range workload.SPECfp95() {
+		loops = append(loops, bm.Loops[0])
+	}
+	return loops
+}
+
+// TestPortfolioK1EqualsSequential pins that Portfolio=1 (and 0) takes the
+// sequential path and produces exactly today's output.
+func TestPortfolioK1EqualsSequential(t *testing.T) {
+	m := machine.MustClustered(4, 64, 1, 1)
+	for _, l := range portfolioCorpus() {
+		base, err := ScheduleLoop(l.G, m, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", l.G.Name, err)
+		}
+		for _, k := range []int{0, 1} {
+			got, err := ScheduleLoop(l.G, m, &Options{Portfolio: k})
+			if err != nil {
+				t.Fatalf("%s K=%d: %v", l.G.Name, k, err)
+			}
+			if !reflect.DeepEqual(got.Schedule, base.Schedule) || !reflect.DeepEqual(got.Assign, base.Assign) {
+				t.Errorf("%s: Portfolio=%d output differs from sequential", l.G.Name, k)
+			}
+			if got.PortfolioSeed != 0 {
+				t.Errorf("%s: Portfolio=%d reported seed %d", l.G.Name, k, got.PortfolioSeed)
+			}
+		}
+	}
+}
+
+// TestPortfolioDeterministicAndNeverWorse pins the two acceptance
+// properties: for fixed K the result is bit-identical across runs (no
+// goroutine-interleaving leakage), and K=4 never finishes at a worse II
+// than K=1 (seed 0 always races). Every winner must satisfy the
+// independent verifier.
+func TestPortfolioDeterministicAndNeverWorse(t *testing.T) {
+	m := machine.MustClustered(4, 64, 1, 1)
+	for _, l := range portfolioCorpus() {
+		seq, err := ScheduleLoop(l.G, m, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", l.G.Name, err)
+		}
+		a, err := ScheduleLoop(l.G, m, &Options{Portfolio: 4})
+		if err != nil {
+			t.Fatalf("%s K=4: %v", l.G.Name, err)
+		}
+		b, err := ScheduleLoop(l.G, m, &Options{Portfolio: 4})
+		if err != nil {
+			t.Fatalf("%s K=4 rerun: %v", l.G.Name, err)
+		}
+		if !reflect.DeepEqual(a.Schedule, b.Schedule) || !reflect.DeepEqual(a.Assign, b.Assign) ||
+			a.PortfolioSeed != b.PortfolioSeed {
+			t.Errorf("%s: K=4 output differs between runs", l.G.Name)
+		}
+		if !a.ListFallback && a.Schedule.II > seq.Schedule.II {
+			t.Errorf("%s: K=4 II %d worse than K=1 II %d", l.G.Name, a.Schedule.II, seq.Schedule.II)
+		}
+		if a.PortfolioSeed < 0 || a.PortfolioSeed >= 4 {
+			t.Errorf("%s: winner seed %d out of range", l.G.Name, a.PortfolioSeed)
+		}
+		if !a.ListFallback {
+			if err := schedule.Verify(l.G, m, a.Schedule); err != nil {
+				t.Errorf("%s: K=4 winner fails verification: %v", l.G.Name, err)
+			}
+		}
+	}
+}
+
+// TestPortfolioURACAMIgnored pins that URACAM (no partition to vary)
+// ignores the portfolio knob rather than spawning pointless racers.
+func TestPortfolioURACAMIgnored(t *testing.T) {
+	g := sampleLoop()
+	m := machine.MustClustered(2, 32, 1, 1)
+	base, err := ScheduleLoop(g, m, &Options{Algorithm: URACAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ScheduleLoop(g, m, &Options{Algorithm: URACAM, Portfolio: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Schedule, base.Schedule) || got.Partitions != 0 {
+		t.Errorf("URACAM portfolio output differs from sequential")
+	}
+}

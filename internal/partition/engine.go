@@ -53,9 +53,12 @@ type engine struct {
 	times ddg.Times // reusable start-time buffers for estimate
 }
 
-// newEngine returns an engine synchronized with assign.
+// newEngine returns the partitioner's arena-owned engine, synchronized with
+// assign. Reset rebuilds every tally, so whatever a previous run left in the
+// arena cannot leak into this one.
 func newEngine(p *Partitioner, assign []int) *engine {
-	en := &engine{p: p}
+	en := &p.ar.en
+	en.p = p
 	en.reset(assign)
 	return en
 }

@@ -75,6 +75,13 @@ type Options struct {
 	// construction — the first feasible cluster in index order is taken —
 	// which preserves the golden paper outputs; see TestBalanceFirstFit.
 	BalanceBestFit bool
+	// Seed selects a deterministic variant of the coarsest-level initial
+	// placement for portfolio search: 0 is the canonical paper start
+	// (heaviest macro-node first); any other value deterministically
+	// shuffles the macro-node order before the round-robin cluster seeding,
+	// giving refinement a different, reproducible starting point. Output
+	// remains a pure function of (graph, machine, options).
+	Seed int
 }
 
 // Result is a computed cluster assignment.
@@ -102,6 +109,9 @@ type Partitioner struct {
 	m    *machine.Config
 	opts Options
 
+	// ar owns every reusable buffer of a Partition run; weights, extra and
+	// sc alias into it. See arena.go for the ownership contract.
+	ar      *Arena
 	weights []int64 // per original edge; 0 for non-data edges
 	extra   []int   // scratch per-edge latency additions
 
@@ -109,7 +119,7 @@ type Partitioner struct {
 	// m: a lower bound on any schedule length, used by the refinement
 	// candidate screen.
 	maxOpLat int
-	sc       scratch // persistent evaluation arena, reused across calls
+	sc       *scratch // persistent evaluation arena, reused across calls
 
 	// debugFullEval forces full re-evaluation (no incremental state, no
 	// screening) for every refinement candidate. Test hook: the engine
@@ -117,13 +127,26 @@ type Partitioner struct {
 	debugFullEval bool
 }
 
-// New returns a partitioner for graph g on machine m. opts may be nil for
-// the paper-faithful defaults.
+// New returns a partitioner for graph g on machine m with a private arena.
+// opts may be nil for the paper-faithful defaults.
 func New(g *ddg.Graph, m *machine.Config, opts *Options) *Partitioner {
-	p := &Partitioner{g: g, m: m, extra: make([]int, len(g.Edges))}
+	return NewWithArena(g, m, opts, nil)
+}
+
+// NewWithArena returns a partitioner whose scratch lives in ar, so repeated
+// runs (across requests, or across II escalations of one request) reuse the
+// same buffers. A nil ar gets a private arena. The arena must not serve two
+// live Partitioners at once.
+func NewWithArena(g *ddg.Graph, m *machine.Config, opts *Options, ar *Arena) *Partitioner {
+	if ar == nil {
+		ar = NewArena()
+	}
+	p := &Partitioner{g: g, m: m, ar: ar, sc: &ar.sc}
 	if opts != nil {
 		p.opts = *opts
 	}
+	ar.extra = resizeInts(ar.extra, len(g.Edges))
+	p.extra = ar.extra
 	for _, n := range g.Nodes {
 		if lat := m.OpLatency(n.Op); lat > p.maxOpLat {
 			p.maxOpLat = lat
@@ -150,7 +173,8 @@ func (p *Partitioner) Partition(ii int) *Result {
 	// Initial partition: one coarsest macro-node per cluster (deterministic:
 	// heaviest macro-node — most operations — first).
 	coarsest := levels[len(levels)-1]
-	order := make([]int, len(coarsest.groups))
+	order := resizeInts(p.ar.idx, len(coarsest.groups))
+	p.ar.idx = order
 	for i := range order {
 		order[i] = i
 	}
@@ -164,6 +188,9 @@ func (p *Partitioner) Partition(ii int) *Result {
 				break
 			}
 		}
+	}
+	if p.opts.Seed != 0 {
+		shuffleSeeded(order, p.opts.Seed)
 	}
 	for rank, gi := range order {
 		for _, v := range coarsest.groups[gi] {
@@ -286,7 +313,8 @@ func (x *xferScratch) compute(g *ddg.Graph, m *machine.Config, assign []int) (ii
 // per §2.1.2).
 func (p *Partitioner) computeWeights(ii int) {
 	g := p.g
-	p.weights = resizeInt64s(p.weights, len(g.Edges))
+	p.weights = resizeInt64s(p.ar.weights, len(g.Edges))
+	p.ar.weights = p.weights
 	for i := range p.weights {
 		p.weights[i] = 0
 	}
@@ -336,27 +364,40 @@ func (p *Partitioner) computeWeights(ii int) {
 }
 
 // level is one coarsening level: groups[i] lists the original node IDs
-// fused into macro-node i.
+// fused into macro-node i. The membership lists live in the level's slab
+// (every level partitions the original node set, so the slab holds exactly
+// g.N() entries); both are arena-owned and reused across runs.
 type level struct {
 	groups [][]int
+	slab   []int // flat member storage backing groups
+	used   int   // slab entries consumed
 	// edges are the collapsed inter-group data edges with summed weights.
 	edges []graph.Edge
 	// gcs caches the per-group unit counts (lazily, via groupCountsOf):
 	// they depend only on the fixed group membership, not the assignment.
-	gcs [][isa.NumUnitKinds]int
+	gcs   [][isa.NumUnitKinds]int
+	gcsOK bool
 }
 
 // coarsen builds the level hierarchy, finest first, stopping once the
-// number of macro-nodes reaches the cluster count (§3.2.1).
+// number of macro-nodes reaches the cluster count (§3.2.1). All levels are
+// arena-owned; the returned slice is valid until the arena's next run.
 func (p *Partitioner) coarsen() []*level {
 	g := p.g
 	n := g.N()
-	lv0 := &level{groups: make([][]int, n)}
-	for v := 0; v < n; v++ {
-		lv0.groups[v] = []int{v}
+	lv0 := p.freshLevel(0)
+	if cap(lv0.groups) >= n {
+		lv0.groups = lv0.groups[:n]
+	} else {
+		lv0.groups = make([][]int, n)
 	}
-	lv0.edges = p.collapseEdges(lv0.groups)
-	levels := []*level{lv0}
+	for v := 0; v < n; v++ {
+		lv0.slab[v] = v
+		lv0.groups[v] = lv0.slab[v : v+1 : v+1]
+	}
+	lv0.used = n
+	p.collapseEdgesInto(lv0)
+	count := 1
 
 	for cur := lv0; len(cur.groups) > p.m.Clusters; {
 		gg := &graph.Graph{N: len(cur.groups), Edges: cur.edges}
@@ -366,35 +407,37 @@ func (p *Partitioner) coarsen() []*level {
 		} else {
 			m = graph.MaxWeightMatching(gg)
 		}
-		next := p.fuse(cur, m)
+		next := p.fuse(cur, m, count)
 		if len(next.groups) == len(cur.groups) {
 			// No matched edges (disconnected remainder): force-pair the two
 			// smallest groups so coarsening always terminates.
-			next = p.forcePair(cur)
+			next = p.forcePair(cur, count)
 			if len(next.groups) == len(cur.groups) {
 				break
 			}
 		}
-		levels = append(levels, next)
+		count++
 		cur = next
 	}
-	return levels
+	return p.ar.levels[:count]
 }
 
-// fuse builds the next level by fusing matched macro-node pairs, respecting
-// the target count: it never fuses below the cluster count.
-func (p *Partitioner) fuse(cur *level, m *graph.Matching) *level {
+// fuse builds level li by fusing matched macro-node pairs of cur,
+// respecting the target count: it never fuses below the cluster count.
+func (p *Partitioner) fuse(cur *level, m *graph.Matching, li int) *level {
 	n := len(cur.groups)
 	target := p.m.Clusters
-	remap := make([]int, n)
+	remap := resizeInts(p.ar.remap, n)
+	p.ar.remap = remap
 	for i := range remap {
 		remap[i] = -1
 	}
-	next := &level{}
+	next := p.freshLevel(li)
 	budget := n - target // how many fusions we may still perform
 	// Matched pairs in decreasing weight order (EdgeIdx is not sorted by
 	// weight, so sort indices by edge weight for determinism).
-	idx := append([]int(nil), m.EdgeIdx...)
+	idx := append(p.ar.idx[:0], m.EdgeIdx...)
+	p.ar.idx = idx
 	for i := 1; i < len(idx); i++ {
 		for j := i; j > 0; j-- {
 			a, b := cur.edges[idx[j-1]], cur.edges[idx[j]]
@@ -413,27 +456,23 @@ func (p *Partitioner) fuse(cur *level, m *graph.Matching) *level {
 		if remap[e.U] != -1 || remap[e.V] != -1 {
 			continue
 		}
-		id := len(next.groups)
-		merged := make([]int, 0, len(cur.groups[e.U])+len(cur.groups[e.V]))
-		merged = append(merged, cur.groups[e.U]...)
-		merged = append(merged, cur.groups[e.V]...)
-		next.groups = append(next.groups, merged)
-		remap[e.U], remap[e.V] = id, id
+		remap[e.U], remap[e.V] = len(next.groups), len(next.groups)
+		next.addGroup(cur.groups[e.U], cur.groups[e.V])
 		budget--
 	}
 	for v := 0; v < n; v++ {
 		if remap[v] == -1 {
 			remap[v] = len(next.groups)
-			next.groups = append(next.groups, cur.groups[v])
+			next.addGroup(cur.groups[v])
 		}
 	}
-	next.edges = p.collapseEdges(next.groups)
+	p.collapseEdgesInto(next)
 	return next
 }
 
 // forcePair fuses the two smallest groups when matching cannot make
-// progress (disconnected graphs).
-func (p *Partitioner) forcePair(cur *level) *level {
+// progress (disconnected graphs), building level li.
+func (p *Partitioner) forcePair(cur *level, li int) *level {
 	if len(cur.groups) < 2 {
 		return cur
 	}
@@ -448,55 +487,35 @@ func (p *Partitioner) forcePair(cur *level) *level {
 	if a > b {
 		a, b = b, a
 	}
-	next := &level{}
-	next.groups = append(next.groups, append(append([]int{}, cur.groups[a]...), cur.groups[b]...))
+	next := p.freshLevel(li)
+	next.addGroup(cur.groups[a], cur.groups[b])
 	for i := range cur.groups {
 		if i != a && i != b {
-			next.groups = append(next.groups, cur.groups[i])
+			next.addGroup(cur.groups[i])
 		}
 	}
-	next.edges = p.collapseEdges(next.groups)
+	p.collapseEdgesInto(next)
 	return next
 }
 
-// collapseEdges builds the inter-group data edges with summed weights
-// (parallel edges combine, intra-group edges disappear — §2.1.2).
-func (p *Partitioner) collapseEdges(groups [][]int) []graph.Edge {
-	owner := make([]int, p.g.N())
-	for gi, members := range groups {
-		for _, v := range members {
-			owner[v] = gi
-		}
+// shuffleSeeded applies a deterministic Fisher–Yates permutation driven by
+// a splitmix64 stream: the portfolio's per-seed start variation.
+func shuffleSeeded(s []int, seed int) {
+	x := uint64(seed)
+	next := func() uint64 {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		z ^= z >> 31
+		return z
 	}
-	sum := make(map[[2]int]int64)
-	for i, e := range p.g.Edges {
-		if e.Kind != ddg.Data {
-			continue
-		}
-		a, b := owner[e.From], owner[e.To]
-		if a == b {
-			continue
-		}
-		if a > b {
-			a, b = b, a
-		}
-		sum[[2]int{a, b}] += p.weights[i]
+	for i := len(s) - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		s[i], s[j] = s[j], s[i]
 	}
-	edges := make([]graph.Edge, 0, len(sum))
-	// Deterministic order: scan pairs in sorted order.
-	keys := make([][2]int, 0, len(sum))
-	for k := range sum {
-		keys = append(keys, k)
-	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && lessPair(keys[j], keys[j-1]); j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
-	for _, k := range keys {
-		edges = append(edges, graph.Edge{U: k[0], V: k[1], W: sum[k]})
-	}
-	return edges
 }
 
 func lessPair(a, b [2]int) bool {

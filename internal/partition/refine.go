@@ -203,11 +203,16 @@ func (p *Partitioner) groupCounts(members []int) [isa.NumUnitKinds]int {
 // groupCountsOf returns the level's per-group unit counts, computed once
 // (the groups of a level never change; only their cluster assignment does).
 func (p *Partitioner) groupCountsOf(lv *level) [][isa.NumUnitKinds]int {
-	if lv.gcs == nil {
-		lv.gcs = make([][isa.NumUnitKinds]int, len(lv.groups))
+	if !lv.gcsOK {
+		if cap(lv.gcs) >= len(lv.groups) {
+			lv.gcs = lv.gcs[:len(lv.groups)]
+		} else {
+			lv.gcs = make([][isa.NumUnitKinds]int, len(lv.groups))
+		}
 		for gi, members := range lv.groups {
 			lv.gcs[gi] = p.groupCounts(members)
 		}
+		lv.gcsOK = true
 	}
 	return lv.gcs
 }
@@ -340,7 +345,7 @@ func (p *Partitioner) minimizeCut(lv *level, en *engine, ii int) int {
 	// Neighbor groups via original data edges: a sorted, deduplicated CSR
 	// adjacency built once per level, so the per-iteration scans below are
 	// deterministic and allocation-free.
-	nbrHead, nbrList := buildGroupAdjacency(p.g, owner, len(lv.groups))
+	nbrHead, nbrList := p.buildGroupAdjacency(owner, len(lv.groups))
 	p.sc.destSeen = resizeBools(p.sc.destSeen, m.Clusters)
 	for i := range p.sc.destSeen {
 		p.sc.destSeen[i] = false
@@ -356,12 +361,14 @@ func (p *Partitioner) minimizeCut(lv *level, en *engine, ii int) int {
 			swapGj int // ≥ 0: interchange with group gj (in c2)
 			est    estimate
 		}
-		var best *move
+		var best move
+		haveBest := false
 
 		consider := func(mv move, e estimate) {
-			if best == nil || e.better(best.est) {
+			if !haveBest || e.better(best.est) {
 				mv.est = e
-				best = &mv
+				best = mv
+				haveBest = true
 			}
 		}
 
@@ -382,11 +389,11 @@ func (p *Partitioner) minimizeCut(lv *level, en *engine, ii int) int {
 				return p.evaluate(en.assign, ii), true
 			}
 			lb := en.lowerBoundT(ii)
-			if lb >= cur.t || (best != nil && lb > best.est.t) {
+			if lb >= cur.t || (haveBest && lb > best.est.t) {
 				return estimate{}, false
 			}
 			e := en.estimateFast(ii)
-			if e.t >= cur.t || (best != nil && e.t > best.est.t) {
+			if e.t >= cur.t || (haveBest && e.t > best.est.t) {
 				return estimate{}, false
 			}
 			en.finishSlack(&e)
@@ -464,7 +471,7 @@ func (p *Partitioner) minimizeCut(lv *level, en *engine, ii int) int {
 			}
 		}
 
-		if best == nil || !best.est.better(cur) || best.est.t >= cur.t {
+		if !haveBest || !best.est.better(cur) || best.est.t >= cur.t {
 			return moves // no strictly positive execution-time benefit
 		}
 		members := lv.groups[best.gi]
@@ -480,9 +487,15 @@ func (p *Partitioner) minimizeCut(lv *level, en *engine, ii int) int {
 
 // buildGroupAdjacency returns the macro-node neighbor lists as a CSR pair
 // (head, list): group gi's neighbors are list[head[gi]:head[gi+1]], sorted
-// ascending and deduplicated. Built once per refinement level.
-func buildGroupAdjacency(g *ddg.Graph, owner []int, nG int) (head, list []int) {
-	head = make([]int, nG+1)
+// ascending and deduplicated. Built once per refinement level into the
+// arena's buffers (explicitly re-zeroed: arena contents are unspecified).
+func (p *Partitioner) buildGroupAdjacency(owner []int, nG int) (head, list []int) {
+	g, ar := p.g, p.ar
+	head = resizeInts(ar.nbrHead, nG+1)
+	ar.nbrHead = head
+	for i := range head {
+		head[i] = 0
+	}
 	for _, e := range g.Edges {
 		if e.Kind != ddg.Data {
 			continue
@@ -497,8 +510,13 @@ func buildGroupAdjacency(g *ddg.Graph, owner []int, nG int) (head, list []int) {
 	for i := 0; i < nG; i++ {
 		head[i+1] += head[i]
 	}
-	list = make([]int, head[nG])
-	fill := make([]int, nG)
+	list = resizeInts(ar.nbrList, head[nG])
+	ar.nbrList = list
+	fill := resizeInts(ar.nbrFill, nG)
+	ar.nbrFill = fill
+	for i := range fill {
+		fill[i] = 0
+	}
 	for _, e := range g.Edges {
 		if e.Kind != ddg.Data {
 			continue

@@ -501,7 +501,13 @@ func (st *state) finish(transforms int) *Schedule {
 			if f := store + m.OpLatency(isa.Store); f > s.SL {
 				s.SL = f
 			}
-			for c, l := range val.mem.loads {
+			// Deterministic cluster order: loads is a map, and MemOps is
+			// part of the served response bytes.
+			for c := 0; c < m.Clusters; c++ {
+				l, ok := val.mem.loads[c]
+				if !ok {
+					continue
+				}
 				s.MemOps = append(s.MemOps, MemOp{Producer: id, Cluster: c, Cycle: l - shift})
 				if f := l - shift + m.OpLatency(isa.Load); f > s.SL {
 					s.SL = f

@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"crypto/sha256"
 	"sync"
 )
 
@@ -22,19 +23,50 @@ type lruCache struct {
 	epoch uint64
 	order *list.List // front = most recently used
 	byKey map[string]*list.Element
+
+	// byBody maps sha256(request body) → entry, an alias index over the
+	// same entries: a repeat of the exact bytes of an earlier request is
+	// served without parsing it at all (the content-hash key above still
+	// unifies equivalent-but-differently-spelled requests; this index only
+	// accelerates verbatim repeats, the common replay pattern). Aliases are
+	// recorded by LinkBody after the canonical key resolved, bounded per
+	// entry, and die with their entry.
+	byBody map[[sha256.Size]byte]*list.Element
 }
 
 type lruEntry struct {
-	key   string
-	val   []byte
-	epoch uint64
+	key    string
+	val    []byte
+	epoch  uint64
+	bodies [][sha256.Size]byte // body hashes aliasing this entry
 }
+
+// maxBodyAliases bounds the body-hash aliases per entry: the same job can be
+// spelled many ways (whitespace, field order), and the alias index must not
+// grow past a small factor of the entry count.
+const maxBodyAliases = 4
 
 func newLRUCache(capacity int) *lruCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &lruCache{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element, capacity)}
+	return &lruCache{
+		cap:    capacity,
+		order:  list.New(),
+		byKey:  make(map[string]*list.Element, capacity),
+		byBody: make(map[[sha256.Size]byte]*list.Element, capacity),
+	}
+}
+
+// dropLocked removes an element and all its indexes. Caller holds mu.
+func (c *lruCache) dropLocked(el *list.Element) {
+	e := el.Value.(*lruEntry)
+	c.order.Remove(el)
+	delete(c.byKey, e.key)
+	for _, h := range e.bodies {
+		delete(c.byBody, h)
+	}
+	e.bodies = nil
 }
 
 // Epoch returns the current cache epoch. Callers snapshot it once per
@@ -54,6 +86,7 @@ func (c *lruCache) FlushTo(target uint64) uint64 {
 	defer c.mu.Unlock()
 	c.order.Init()
 	c.byKey = make(map[string]*list.Element, c.cap)
+	c.byBody = make(map[[sha256.Size]byte]*list.Element, c.cap)
 	if target > c.epoch {
 		c.epoch = target
 	} else {
@@ -75,12 +108,52 @@ func (c *lruCache) Get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	if e := el.Value.(*lruEntry); e.epoch != c.epoch {
-		c.order.Remove(el)
-		delete(c.byKey, key)
+		c.dropLocked(el)
 		return nil, false
 	}
 	c.order.MoveToFront(el)
 	return el.Value.(*lruEntry).val, true
+}
+
+// GetByBody serves a hit for an exact byte-for-byte repeat of a previously
+// linked request body, without the caller parsing anything. The fast path is
+// allocation-free (asserted by TestHitPathZeroAllocs); epoch and recency
+// semantics match Get.
+func (c *lruCache) GetByBody(h [sha256.Size]byte) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byBody[h]
+	if !ok {
+		return nil, false
+	}
+	if e := el.Value.(*lruEntry); e.epoch != c.epoch {
+		c.dropLocked(el)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// LinkBody records a body hash as an alias of the entry under key, so the
+// next verbatim repeat of those bytes takes the parse-free GetByBody path.
+// A missing key (entry evicted or flushed since resolution) is a no-op.
+func (c *lruCache) LinkBody(key string, h [sha256.Size]byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return
+	}
+	if prev, ok := c.byBody[h]; ok && prev == el {
+		return
+	}
+	e := el.Value.(*lruEntry)
+	if len(e.bodies) >= maxBodyAliases {
+		delete(c.byBody, e.bodies[0])
+		e.bodies = append(e.bodies[:0], e.bodies[1:]...)
+	}
+	e.bodies = append(e.bodies, h)
+	c.byBody[h] = el
 }
 
 // Add inserts or refreshes a value computed under the given epoch,
@@ -103,9 +176,7 @@ func (c *lruCache) Add(key string, val []byte, epoch uint64) bool {
 	}
 	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, val: val, epoch: epoch})
 	for c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*lruEntry).key)
+		c.dropLocked(c.order.Back())
 	}
 	return true
 }

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// machineCache is a small LRU of parsed-and-validated machine
+// configurations, keyed by the sha256 of the machine-description JSON
+// value. The overwhelming fleet pattern is many loops against one machine
+// (a compilation unit compiles against one target), so repeated requests
+// skip machine.Parse, Validate and the admission size checks entirely.
+//
+// Cached configs are shared across requests and goroutines: everything
+// downstream (partitioner, scheduler, verifier) treats machine.Config as
+// read-only, the same contract the parallel sweep harness relies on.
+//
+// Unlike the result cache, entries carry no epoch: parsing is
+// algorithm-independent, so a fleet epoch flush does not invalidate them.
+type machineCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List
+	byKey map[[sha256.Size]byte]*list.Element
+}
+
+type machineEntry struct {
+	key [sha256.Size]byte
+	cfg *machine.Config
+}
+
+// machineCacheEntries bounds the cache: a fleet serves a handful of live
+// machine descriptions at a time; 64 is generous.
+const machineCacheEntries = 64
+
+func newMachineCache() *machineCache {
+	return &machineCache{
+		cap:   machineCacheEntries,
+		order: list.New(),
+		byKey: make(map[[sha256.Size]byte]*list.Element, machineCacheEntries),
+	}
+}
+
+func (c *machineCache) get(key [sha256.Size]byte) (*machine.Config, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*machineEntry).cfg, true
+}
+
+func (c *machineCache) add(key [sha256.Size]byte, cfg *machine.Config) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*machineEntry).cfg = cfg
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&machineEntry{key: key, cfg: cfg})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*machineEntry).key)
+	}
+}
+
+// resolveMachine turns the raw machine JSON value (a JSON string holding a
+// machine-description text) into a validated, admission-checked config,
+// through mc when non-nil. The returned state is "hit" or "miss" for the
+// X-Machine-Cache header; validation is skipped on a hit (the cached config
+// already passed it).
+func resolveMachine(raw json.RawMessage, mc *machineCache) (*machine.Config, string, error) {
+	var key [sha256.Size]byte
+	if mc != nil {
+		key = sha256.Sum256(raw)
+		if cfg, ok := mc.get(key); ok {
+			return cfg, "hit", nil
+		}
+	}
+	m := new(machine.Config)
+	if err := json.Unmarshal(raw, m); err != nil {
+		return nil, "", fmt.Errorf("bad machine: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, "", err
+	}
+	if err := checkServedMachine(m); err != nil {
+		return nil, "", err
+	}
+	if mc != nil {
+		mc.add(key, m)
+	}
+	return m, "miss", nil
+}

@@ -20,13 +20,23 @@ type metrics struct {
 	requests       atomic.Int64 // every HTTP request seen
 	scheduleReqs   atomic.Int64
 	sweepReqs      atomic.Int64
+	batchReqs      atomic.Int64 // /v1/schedule/batch requests
+	batchLoops     atomic.Int64 // loops carried inside batch requests
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
+	bodyHits       atomic.Int64 // cache hits served off the parse-free body-hash index
 	coalesced      atomic.Int64 // requests folded into an in-flight twin
 	rejected       atomic.Int64 // 429 backpressure rejections
 	badRequests    atomic.Int64 // 400s
 	verifyFailures atomic.Int64 // schedules the Verify oracle rejected
 	cacheFlushes   atomic.Int64 // cache wipes (epoch bumps)
+
+	machineCacheHits   atomic.Int64 // parsed-machine cache hits
+	machineCacheMisses atomic.Int64
+
+	// portfolioWins counts, per seed index, how often that seed produced
+	// the served schedule of a portfolio (K>1) computation.
+	portfolioWins [maxRequestPortfolio]atomic.Int64
 
 	mu      sync.Mutex
 	ring    [latencyWindow]time.Duration
@@ -76,8 +86,13 @@ func (m *metrics) render(w io.Writer, queueDepth, cacheEntries int, epoch uint64
 	fmt.Fprintf(w, "gpserved_requests_total %d\n", m.requests.Load())
 	fmt.Fprintf(w, "gpserved_schedule_requests_total %d\n", m.scheduleReqs.Load())
 	fmt.Fprintf(w, "gpserved_sweep_requests_total %d\n", m.sweepReqs.Load())
+	fmt.Fprintf(w, "gpserved_batch_requests_total %d\n", m.batchReqs.Load())
+	fmt.Fprintf(w, "gpserved_batch_loops_total %d\n", m.batchLoops.Load())
 	fmt.Fprintf(w, "gpserved_cache_hits_total %d\n", m.cacheHits.Load())
 	fmt.Fprintf(w, "gpserved_cache_misses_total %d\n", m.cacheMisses.Load())
+	fmt.Fprintf(w, "gpserved_cache_body_hits_total %d\n", m.bodyHits.Load())
+	fmt.Fprintf(w, "gpserved_machine_cache_hits_total %d\n", m.machineCacheHits.Load())
+	fmt.Fprintf(w, "gpserved_machine_cache_misses_total %d\n", m.machineCacheMisses.Load())
 	fmt.Fprintf(w, "gpserved_cache_entries %d\n", cacheEntries)
 	fmt.Fprintf(w, "gpserved_cache_flushes_total %d\n", m.cacheFlushes.Load())
 	fmt.Fprintf(w, "gpserved_algo_epoch %d\n", epoch)
@@ -85,6 +100,11 @@ func (m *metrics) render(w io.Writer, queueDepth, cacheEntries int, epoch uint64
 	fmt.Fprintf(w, "gpserved_rejected_total %d\n", m.rejected.Load())
 	fmt.Fprintf(w, "gpserved_bad_requests_total %d\n", m.badRequests.Load())
 	fmt.Fprintf(w, "gpserved_verify_failures_total %d\n", m.verifyFailures.Load())
+	for seed := range m.portfolioWins {
+		if n := m.portfolioWins[seed].Load(); n > 0 {
+			fmt.Fprintf(w, "gpserved_portfolio_wins_total{seed=\"%d\"} %d\n", seed, n)
+		}
+	}
 	fmt.Fprintf(w, "gpserved_queue_depth %d\n", queueDepth)
 	fmt.Fprintf(w, "gpserved_latency_p50_seconds %g\n", p50.Seconds())
 	fmt.Fprintf(w, "gpserved_latency_p99_seconds %g\n", p99.Seconds())

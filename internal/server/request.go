@@ -51,6 +51,36 @@ type ScheduleRequest struct {
 	LatBus   int             `json:"latbus,omitempty"`
 
 	Scheme string `json:"scheme,omitempty"`
+
+	// Portfolio races K deterministically seeded partition starts and keeps
+	// the best schedule (core.Options.Portfolio). 0 means the server
+	// default; 1 forces sequential. Values above 1 are folded into the
+	// cache key (the response bytes may differ), so K=1 and absent keep
+	// their historical keys — and their coordinator placement.
+	Portfolio int `json:"portfolio,omitempty"`
+}
+
+// scheduleRequestWire mirrors ScheduleRequest but holds the loop and
+// machine values raw: the parsed-machine cache intercepts the machine
+// before machine.Config's UnmarshalText (parse + validate) runs, and the
+// batch endpoint synthesizes per-loop singleton bodies by re-marshaling
+// this struct with the envelope's raw segments spliced in verbatim.
+type scheduleRequestWire struct {
+	Loop      json.RawMessage `json:"loop,omitempty"`
+	LoopText  string          `json:"loop_text,omitempty"`
+	Machine   json.RawMessage `json:"machine,omitempty"`
+	Clusters  int             `json:"clusters,omitempty"`
+	Regs      int             `json:"regs,omitempty"`
+	NBus      int             `json:"nbus,omitempty"`
+	LatBus    int             `json:"latbus,omitempty"`
+	Scheme    string          `json:"scheme,omitempty"`
+	Portfolio int             `json:"portfolio,omitempty"`
+}
+
+// rawPresent reports whether a raw JSON field carries a value ("null"
+// counts as absent, matching the typed decode it replaced).
+func rawPresent(raw json.RawMessage) bool {
+	return len(raw) > 0 && string(raw) != "null"
 }
 
 // ScheduleResponse is the body of a successful POST /v1/schedule. It is
@@ -91,29 +121,43 @@ type errorResponse struct {
 
 // scheduleJob is a decoded, validated schedule request.
 type scheduleJob struct {
-	g      *ddg.Graph
-	m      *machine.Config
-	alg    core.Algorithm
-	scheme string
+	g         *ddg.Graph
+	m         *machine.Config
+	alg       core.Algorithm
+	scheme    string
+	portfolio int    // explicit request K (0 = server default)
+	mcState   string // machine-cache outcome: "hit", "miss", or "" (grid)
 }
 
 // parseScheduleRequest decodes and validates a request body. Any error is a
 // client error (HTTP 400).
 func parseScheduleRequest(body []byte) (*scheduleJob, error) {
+	return parseScheduleRequestCached(body, nil)
+}
+
+// parseScheduleRequestCached is parseScheduleRequest with an optional
+// parsed-machine cache: when mc is non-nil and the machine arrives as a
+// description text, a cache hit skips machine parsing and validation.
+func parseScheduleRequestCached(body []byte, mc *machineCache) (*scheduleJob, error) {
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
-	var req ScheduleRequest
+	var req scheduleRequestWire
 	if err := dec.Decode(&req); err != nil {
 		return nil, fmt.Errorf("bad request body: %v", err)
 	}
 
 	var g *ddg.Graph
+	haveLoop := rawPresent(req.Loop)
 	switch {
-	case req.Loop != nil && req.LoopText != "":
+	case haveLoop && req.LoopText != "":
 		return nil, fmt.Errorf("give exactly one of loop and loop_text, not both")
-	case req.Loop != nil:
+	case haveLoop:
+		jl := new(ddgio.JSONLoop)
+		if err := json.Unmarshal(req.Loop, jl); err != nil {
+			return nil, fmt.Errorf("bad loop: %v", err)
+		}
 		var err error
-		g, err = ddgio.FromJSON(req.Loop)
+		g, err = ddgio.FromJSON(jl)
 		if err != nil {
 			return nil, err
 		}
@@ -131,11 +175,17 @@ func parseScheduleRequest(body []byte) (*scheduleJob, error) {
 	}
 
 	var m *machine.Config
+	var mcState string
+	haveMachine := rawPresent(req.Machine)
 	switch {
-	case req.Machine != nil && (req.Clusters != 0 || req.Regs != 0 || req.NBus != 0 || req.LatBus != 0):
+	case haveMachine && (req.Clusters != 0 || req.Regs != 0 || req.NBus != 0 || req.LatBus != 0):
 		return nil, fmt.Errorf("give either machine or the clusters/regs/nbus/latbus grid, not both")
-	case req.Machine != nil:
-		m = req.Machine // parsed and validated by UnmarshalText
+	case haveMachine:
+		var err error
+		m, mcState, err = resolveMachine(req.Machine, mc)
+		if err != nil {
+			return nil, err
+		}
 	case req.Clusters == 1:
 		m = machine.NewUnified(defaultRegs(req.Regs))
 	case req.Clusters != 0:
@@ -147,19 +197,26 @@ func parseScheduleRequest(body []byte) (*scheduleJob, error) {
 	default:
 		return nil, fmt.Errorf("missing machine: give machine (description text) or clusters")
 	}
-	// The grid constructors check divisibility, not positivity (e.g. -8
-	// registers split evenly); Parse validates internally, the grid paths
-	// must too, so nothing invalid gets past admission.
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	if err := checkServedMachine(m); err != nil {
-		return nil, err
+	if mcState == "" {
+		// The grid constructors check divisibility, not positivity (e.g. -8
+		// registers split evenly); Parse validates internally, the grid
+		// paths must too, so nothing invalid gets past admission. (The
+		// machine-text path validated inside resolveMachine — or skipped it
+		// on a cache hit, where the cached config already passed.)
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		if err := checkServedMachine(m); err != nil {
+			return nil, err
+		}
 	}
 
 	alg, scheme, err := parseScheme(req.Scheme)
 	if err != nil {
 		return nil, err
+	}
+	if req.Portfolio < 0 || req.Portfolio > maxRequestPortfolio {
+		return nil, fmt.Errorf("portfolio %d outside served range [0, %d]", req.Portfolio, maxRequestPortfolio)
 	}
 
 	// Cheap admission guards, O(nodes + edges) — everything on the handler
@@ -194,8 +251,13 @@ func parseScheduleRequest(body []byte) (*scheduleJob, error) {
 			return nil, fmt.Errorf("machine %s has no %v units but the loop needs %d", m.Name, isa.UnitKind(k), counts[k])
 		}
 	}
-	return &scheduleJob{g: g, m: m, alg: alg, scheme: scheme}, nil
+	return &scheduleJob{g: g, m: m, alg: alg, scheme: scheme, portfolio: req.Portfolio, mcState: mcState}, nil
 }
+
+// maxRequestPortfolio mirrors core's portfolio clamp: admission rejects what
+// the core would silently truncate, so a request's K is always exactly what
+// it pays for in the cache key.
+const maxRequestPortfolio = 16
 
 // Admission limits for served scheduling work. Generous against every real
 // workload (the corpora top out at ~100 ops, latencies and distances in
@@ -317,6 +379,13 @@ func (j *scheduleJob) cacheKey(salt string) string {
 	h.Write([]byte(j.scheme))
 	h.Write([]byte{0})
 	_ = ddgio.Write(h, j.g) // writes to a hash never fail
+	if j.portfolio > 1 {
+		// An explicit K>1 can change the response bytes, so it gets its
+		// own entries. K=1 and absent hash exactly as before, keeping the
+		// coordinator's rendezvous placement stable for existing traffic.
+		h.Write([]byte{0})
+		h.Write([]byte("portfolio:" + strconv.Itoa(j.portfolio)))
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 

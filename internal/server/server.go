@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
@@ -46,6 +48,12 @@ type Config struct {
 	// algorithm version (and through it into every cache key) — two
 	// workers differing only in this flag must never share cache entries.
 	BalanceBestFit bool
+	// Portfolio is the default number of seeded partition starts raced per
+	// request (core.Options.Portfolio); 0 or 1 keeps the sequential path.
+	// Like BalanceBestFit it can change schedule bytes, so K>1 is folded
+	// into the advertised algorithm version. Requests may override it with
+	// their own portfolio field.
+	Portfolio int
 }
 
 func (c Config) workers() int {
@@ -95,6 +103,9 @@ func (c Config) algoVersion() string {
 	if c.BalanceBestFit {
 		v += "+bestfit"
 	}
+	if c.Portfolio > 1 {
+		v += "+p" + strconv.Itoa(c.Portfolio)
+	}
 	return v
 }
 
@@ -102,13 +113,14 @@ func (c Config) algoVersion() string {
 // and Close it after the HTTP server has shut down (Close drains the
 // worker pool).
 type Server struct {
-	cfg     Config
-	algo    string // complete advertised algorithm identity, from cfg.algoVersion()
-	cache   *lruCache
-	flight  flightGroup
-	pool    *workerPool
-	metrics metrics
-	mux     *http.ServeMux
+	cfg      Config
+	algo     string // complete advertised algorithm identity, from cfg.algoVersion()
+	cache    *lruCache
+	machines *machineCache
+	flight   flightGroup
+	pool     *workerPool
+	metrics  metrics
+	mux      *http.ServeMux
 
 	// computeHook, when set, observes every actual schedule computation
 	// (cache misses that reached a worker). Tests use it to prove
@@ -119,13 +131,15 @@ type Server struct {
 // New returns a ready-to-serve daemon.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:   cfg,
-		algo:  cfg.algoVersion(),
-		cache: newLRUCache(cfg.cacheEntries()),
-		pool:  newWorkerPool(cfg.workers(), cfg.queueDepth()),
-		mux:   http.NewServeMux(),
+		cfg:      cfg,
+		algo:     cfg.algoVersion(),
+		cache:    newLRUCache(cfg.cacheEntries()),
+		machines: newMachineCache(),
+		pool:     newWorkerPool(cfg.workers(), cfg.queueDepth()),
+		mux:      http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("POST /v1/schedule/batch", s.handleScheduleBatch)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/cache/flush", s.handleCacheFlush)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -198,6 +212,27 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error
 	return buf.Bytes(), nil
 }
 
+// bodyPool recycles request-body read buffers across requests (part of the
+// request-arena discipline: the schedule hot path should not pay a growing
+// buffer per request).
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// readBodyPooled is readBody on pooled storage. The returned release func
+// recycles the backing array; the caller must not retain the bytes past it.
+// That holds on the schedule paths: parsing copies everything it keeps (JSON
+// decoding allocates fresh strings), cache entries store response bytes, and
+// the alias index stores only a hash.
+func (s *Server) readBodyPooled(w http.ResponseWriter, r *http.Request) ([]byte, func(), error) {
+	buf := bodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	release := func() { bodyPool.Put(buf) }
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())); err != nil {
+		release()
+		return nil, nil, err
+	}
+	return buf.Bytes(), release, nil
+}
+
 func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	if status == http.StatusBadRequest {
 		s.metrics.badRequests.Add(1)
@@ -237,15 +272,39 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	s.metrics.scheduleReqs.Add(1)
 	start := time.Now()
 
-	body, err := s.readBody(w, r)
+	body, release, err := s.readBodyPooled(w, r)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
-	job, err := parseScheduleRequest(body)
+	defer release()
+
+	// Parse-free fast path: a verbatim repeat of a previously served body
+	// is answered from the body-hash alias index with zero schedule-side
+	// allocations — one sha256 over the bytes, one map probe, write.
+	bodyHash := sha256.Sum256(body)
+	if cached, ok := s.cache.GetByBody(bodyHash); ok {
+		s.metrics.cacheHits.Add(1)
+		s.metrics.bodyHits.Add(1)
+		s.writeScheduleBody(w, cached, "hit")
+		s.metrics.observe(time.Since(start))
+		return
+	}
+
+	job, err := parseScheduleRequestCached(body, s.machines)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if job.mcState != "" {
+		// Only machine-description requests touch the parsed-machine
+		// cache; grid requests construct their config directly.
+		w.Header().Set("X-Machine-Cache", job.mcState)
+		if job.mcState == "hit" {
+			s.metrics.machineCacheHits.Add(1)
+		} else {
+			s.metrics.machineCacheMisses.Add(1)
+		}
 	}
 	// Snapshot the epoch once: the key is salted with it, and the same
 	// value travels to cache.Add, so a flush that lands mid-computation
@@ -255,6 +314,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 
 	if cached, ok := s.cache.Get(key); ok {
 		s.metrics.cacheHits.Add(1)
+		s.cache.LinkBody(key, bodyHash)
 		s.writeScheduleBody(w, cached, "hit")
 		s.metrics.observe(time.Since(start))
 		return
@@ -298,6 +358,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	s.cache.LinkBody(key, bodyHash)
 	s.writeScheduleBody(w, resp, "miss")
 	s.metrics.observe(time.Since(start))
 }
@@ -307,6 +368,11 @@ func (s *Server) writeScheduleBody(w http.ResponseWriter, body []byte, xcache st
 	w.Header().Set("X-Cache", xcache)
 	_, _ = w.Write(body)
 }
+
+// encBufPool recycles response-encoding buffers: the encoder's growth
+// reallocs are paid once per pool entry instead of once per compute; the
+// cached body is a single exact-size copy out of the pooled buffer.
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // compute schedules the job, Verify-checks the result, marshals the
 // deterministic response body and inserts it into the cache under the
@@ -320,7 +386,17 @@ func (s *Server) compute(key string, job *scheduleJob, epoch uint64) ([]byte, er
 	if err := job.admissionCheck(); err != nil {
 		return nil, err
 	}
-	opts := &core.Options{Algorithm: job.alg}
+	// The partitioner runs out of a pooled arena: across requests the
+	// coarsening levels, engine state and work lists reuse their capacity.
+	// The portfolio path acquires its own arena per racer and ignores this
+	// one (see core.Options.Arena).
+	ar := partition.AcquireArena()
+	defer ar.Release()
+	k := job.portfolio
+	if k == 0 {
+		k = s.cfg.Portfolio
+	}
+	opts := &core.Options{Algorithm: job.alg, Portfolio: k, Arena: ar}
 	if s.cfg.BalanceBestFit {
 		opts.Partition = &partition.Options{BalanceBestFit: true}
 	}
@@ -333,13 +409,18 @@ func (s *Server) compute(key string, job *scheduleJob, epoch uint64) ([]byte, er
 		s.metrics.verifyFailures.Add(1)
 		return nil, fmt.Errorf("schedule failed verification: %v", err)
 	}
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
+	if k > 1 && res.PortfolioSeed >= 0 && res.PortfolioSeed < len(s.metrics.portfolioWins) {
+		s.metrics.portfolioWins[res.PortfolioSeed].Add(1)
+	}
+	buf := encBufPool.Get().(*bytes.Buffer)
+	defer encBufPool.Put(buf)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(buildResponse(job, res)); err != nil {
 		return nil, err
 	}
-	body := buf.Bytes()
+	body := append(make([]byte, 0, buf.Len()), buf.Bytes()...)
 	s.cache.Add(key, body, epoch)
 	return body, nil
 }

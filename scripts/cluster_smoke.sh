@@ -90,6 +90,32 @@ hit="$(tr -d '\r' <"$work/h2" | sed -n 's/^X-Cache: //p')"
 [ "$hit" = hit ] || { echo "second identical request not a cache hit (X-Cache: $hit)" >&2; exit 1; }
 cmp "$work/b1" "$work/b2" || { echo "cache hit bytes differ" >&2; exit 1; }
 
+echo "== distributed /v1/schedule/batch matches a standalone single node byte-for-byte"
+# The coordinator shards a batch's loops across the fleet per-loop and
+# reassembles the streamed array; a standalone gpserved answers the same
+# envelope in-process. The two bodies must be byte-identical, including the
+# in-place error element for the malformed middle loop (per-loop partial
+# failure, not a 400).
+"$work/gpserved" -addr 127.0.0.1:0 >"$work/standalone.log" 2>&1 &
+pids+=($!)
+sa_pid=$!
+standalone="$(wait_listen "$work/standalone.log" gpserved)"
+batch='{"clusters": 2, "regs": 32, "nbus": 1, "latbus": 1, "loops": [
+  {"loop_text": "loop smoke 100\nnode 0 Load a[i]\nnode 1 FPMul *c\nnode 2 FPAdd +s\nedge 0 1 2 0 data\nedge 1 2 4 0 data\nedge 2 2 4 1 data\n"},
+  {"loop_text": "loop broken"},
+  {"loop_text": "loop smoke2 64\nnode 0 IntALU +a\nnode 1 Store s[i]\nedge 0 1 1 0 data\n"}]}'
+curl -sf -o "$work/batch-single" "$standalone/v1/schedule/batch" -d "$batch"
+curl -sf -o "$work/batch-cluster" "$coord/v1/schedule/batch" -d "$batch"
+cmp "$work/batch-single" "$work/batch-cluster" ||
+    { echo "distributed batch differs from single-node batch" >&2; exit 1; }
+curl -sf -o "$work/batch-cluster2" "$coord/v1/schedule/batch" -d "$batch"
+cmp "$work/batch-cluster" "$work/batch-cluster2" ||
+    { echo "distributed batch not byte-stable across repeats" >&2; exit 1; }
+curl -sf "$coord/metrics" | grep -q '^gpcoordd_batch_loops_total [1-9]' ||
+    { echo "coordinator did not count fanned-out batch loops" >&2; exit 1; }
+kill -TERM "$sa_pid"
+wait "$sa_pid" || { echo "standalone gpserved failed to drain" >&2; cat "$work/standalone.log" >&2; exit 1; }
+
 echo "== distributed -short sweep job vs committed single-node golden"
 job="$(curl -sf "$coord/v1/jobs" -d '{"max_loops": 2, "verify": true}')"
 id="$(printf '%s' "$job" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')"
