@@ -18,12 +18,19 @@
 //
 // Usage:
 //
-//	gpcoordd [-addr :8038] [-heartbeat 2s] [-suspect-after 6s] [-dead-after 12s] [-job-workers N] [-journal DIR]
+//	gpcoordd [-addr :8038] [-heartbeat 2s] [-suspect-after 6s] [-dead-after 12s] [-job-workers N] [-journal DIR] [-load-bound 1.25]
 //	gpcoordd -bench-json BENCH_cluster.json [-bench-requests N] [-bench-concurrency N] [-bench-workers N]
+//
+// Placement is bounded-load rendezvous hashing: -load-bound sets the
+// factor c past which a key's HRW owner (at more than c×mean in-flight
+// requests) spills work to the next-ranked ready node. <=0 disables
+// spilling (pure HRW).
 //
 // The -bench-json mode does not serve: it boots an in-process coordinator
 // plus worker fleet, drives it with a sustained request mix over loopback
-// HTTP, writes the throughput snapshot and exits.
+// HTTP, writes the throughput snapshot — including the Zipf hot-key
+// phases proving bounded-load spilling restores skewed-traffic throughput
+// — and exits.
 package main
 
 import (
@@ -61,6 +68,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	journalDir := fs.String("journal", "", "journal directory for durable coordinator state (empty = in-memory, nothing survives a restart)")
 	shadowRate := fs.Float64("shadow-rate", 0, "fraction of proxied schedule hits replayed against a second worker and byte-compared (0 = off, 1 = all)")
 	shadowCanary := fs.String("shadow-canary", "", "node ID every shadow replay targets (empty = the next HRW-ranked worker)")
+	loadBound := fs.Float64("load-bound", 1.25, "bounded-load factor c: a key spills past its HRW owner once the owner exceeds c×mean in-flight (<=0 disables spilling)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
 	benchJSON := fs.String("bench-json", "", "measure cluster throughput and write the snapshot to this JSON file, then exit")
 	benchReqs := fs.Int("bench-requests", 400, "total requests of the -bench-json measurement")
@@ -79,6 +87,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		ShadowRate:        *shadowRate,
 		ShadowCanary:      *shadowCanary,
 	}
+	if *loadBound <= 0 {
+		cfg.LoadBound = -1
+	} else {
+		cfg.LoadBound = *loadBound
+	}
 
 	if *benchJSON != "" {
 		snap, err := cluster.MeasureThroughput(cfg, cluster.PerfOptions{
@@ -90,6 +103,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "gpcoordd: bench: %v\n", err)
 			return 1
 		}
+		hot, err := cluster.MeasureHotKey(cfg, cluster.HotKeyOptions{
+			Workers: *benchWorkers,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "gpcoordd: bench: hot-key: %v\n", err)
+			return 1
+		}
+		snap.HotKey = hot
 		f, err := os.Create(*benchJSON)
 		if err != nil {
 			fmt.Fprintf(stderr, "gpcoordd: %v\n", err)
@@ -106,6 +127,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "cluster perf snapshot written to %s (%.0f req/s, %.0f%% fleet cache hits, p99 %.0fµs)\n",
 			*benchJSON, snap.RequestsPerSec, snap.CacheHitRate*100, snap.P99Micros)
+		fmt.Fprintf(stdout, "hot-key: uniform %.0f/s, hot no-spill %.0f/s, hot spill %.0f/s (%.2fx vs no-spill, uniform/spill %.2f, %d spills)\n",
+			hot.UniformPerSec, hot.HotNoSpillPerSec, hot.HotSpillPerSec, hot.SpeedupVsNoSpill, hot.UniformOverSpill, hot.Spills)
 		return 0
 	}
 

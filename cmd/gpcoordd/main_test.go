@@ -150,15 +150,26 @@ func TestCoorddSmoke(t *testing.T) {
 	startFleetWorker(t, base, "smoke-b")
 	waitForReadyNodes(t, base, 2)
 
-	// Liveness.
+	// Liveness: healthz is a JSON fleet summary now.
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, _ := io.ReadAll(resp.Body)
+	healthBody, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(ok)) != "ok" {
-		t.Fatalf("healthz: %d %q", resp.StatusCode, ok)
+	var health struct {
+		Status  string `json:"status"`
+		Journal bool   `json:"journal"`
+		Nodes   struct {
+			Ready int `json:"ready"`
+		} `json:"nodes"`
+		Advice string `json:"advice"`
+	}
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(healthBody, &health) != nil {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, healthBody)
+	}
+	if health.Status != "ok" || health.Journal || health.Nodes.Ready != 2 || health.Advice == "" {
+		t.Fatalf("healthz summary off: %s", healthBody)
 	}
 
 	// Proxied scheduling: identical requests route to one worker and the

@@ -138,6 +138,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			Capacity:    capacity(cfg.Workers),
 			Interval:    *heartbeat,
 			AlgoVersion: srv.AlgoVersion(),
+			Load:        srv.Load,
 			Epoch:       srv.Epoch,
 			ApplyEpoch:  func(e uint64) { srv.FlushTo(e) },
 			Logf: func(format string, args ...any) {

@@ -41,6 +41,43 @@ type ServerPerfSnapshot struct {
 	SingletonWarmPerSec float64 `json:"singleton_warm_per_sec"`
 	BatchLoopsPerSec    float64 `json:"batch_loops_per_sec"`
 	BatchSpeedup        float64 `json:"batch_speedup"`
+
+	// HotKey, when present, is the Zipf-skew bounded-load measurement
+	// (coordinator benchmarks only).
+	HotKey *HotKeySnapshot `json:"hot_key,omitempty"`
+}
+
+// HotKeySnapshot is the result of the cluster hot-key benchmark: the same
+// Zipf-skewed traffic driven against the fleet with bounded-load spilling
+// off and on, plus a uniform-traffic baseline, all under an identical
+// per-worker serve gate. The claim it measures: with spilling, hot-key
+// throughput approaches uniform-traffic throughput instead of collapsing
+// to a single owner's capacity — without giving up byte-identical
+// responses.
+type HotKeySnapshot struct {
+	Workers     int `json:"workers"`
+	Requests    int `json:"requests"` // per phase
+	Concurrency int `json:"concurrency"`
+
+	ZipfS       float64 `json:"zipf_s"`
+	ZipfSeed    int64   `json:"zipf_seed"`
+	UniqueKeys  int     `json:"unique_keys"`
+	HotKeyShare float64 `json:"hot_key_share"` // traffic fraction of the hottest key
+	LoadBound   float64 `json:"load_bound"`
+
+	UniformPerSec    float64 `json:"uniform_per_sec"`
+	HotNoSpillPerSec float64 `json:"hot_nospill_per_sec"`
+	HotSpillPerSec   float64 `json:"hot_spill_per_sec"`
+	Spills           int64   `json:"spills"` // spill placements during the spill phase
+
+	// SpeedupVsNoSpill is hot-spill over hot-no-spill throughput (the win);
+	// UniformOverSpill is uniform over hot-spill (how close skewed traffic
+	// gets to the unskewed ceiling; 1.0 means no hot-key penalty remains).
+	SpeedupVsNoSpill float64 `json:"speedup_vs_no_spill"`
+	UniformOverSpill float64 `json:"uniform_over_spill"`
+
+	Errors   int `json:"errors"`
+	Rejected int `json:"rejected"` // 429s across all phases
 }
 
 // WriteServerPerfJSON writes the snapshot as indented JSON.

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"sync"
+)
+
+// The fleet scaling advisor behind GET /v1/fleet/advice: a small
+// hysteresis-damped controller an autoscaler (or an operator) can poll.
+// Every reconcile tick it folds the fleet's shed delta, worst reported p99
+// and live in-flight total into a raw verdict — scale_up, scale_down or
+// hold — and only adopts a verdict after it has held for AdviceHysteresis
+// consecutive ticks, so one shed burst or one idle tick cannot flap the
+// advice (and an HPA consuming it cannot thrash the fleet).
+
+// FleetAdvice is the body of GET /v1/fleet/advice.
+type FleetAdvice struct {
+	// Advice is "scale_up", "scale_down" or "hold".
+	Advice string `json:"advice"`
+	// Reason is the human-readable trigger of the current verdict.
+	Reason string `json:"reason"`
+	// DesiredDelta is the suggested change in worker count (+1, -1 or 0):
+	// one step per hysteresis window, so the advisor observes each change
+	// before suggesting the next.
+	DesiredDelta int `json:"desired_delta"`
+	// ReadyNodes and DrainingNodes summarize the placeable fleet.
+	ReadyNodes    int `json:"ready_nodes"`
+	DrainingNodes int `json:"draining_nodes"`
+	// ShedTotal is the fleet-wide cumulative 429 count (from worker
+	// heartbeat load reports); ShedDelta is its growth over the last tick —
+	// the scale-up trigger.
+	ShedTotal int64 `json:"shed_total"`
+	ShedDelta int64 `json:"shed_delta"`
+	// InflightTotal is the coordinator's live outstanding-work count.
+	InflightTotal int64 `json:"inflight_total"`
+	// P99MicrosMax is the worst reported p99 across the fleet.
+	P99MicrosMax float64 `json:"p99_micros_max"`
+}
+
+// adviceValue maps a verdict to the gpcoordd_fleet_advice gauge.
+func adviceValue(advice string) int {
+	switch advice {
+	case "scale_up":
+		return 1
+	case "scale_down":
+		return 2
+	}
+	return 0
+}
+
+type advisor struct {
+	mu       sync.Mutex
+	current  FleetAdvice
+	pending  string // raw verdict awaiting hysteresis
+	streak   int    // consecutive ticks pending has held
+	lastShed int64
+	primed   bool // first tick only establishes the shed baseline
+}
+
+// tick folds one reconcile-interval observation into the advisor. nodes is
+// the registry snapshot; hysteresis is the tick count a raw verdict must
+// hold; p99Limit (µs) is the latency scale-up trigger.
+func (a *advisor) tick(nodes []NodeInfo, hysteresis int, p99Limit float64) {
+	var (
+		ready, draining int
+		shed, inflight  int64
+		p99Max          float64
+	)
+	for _, n := range nodes {
+		if n.Draining {
+			draining++
+		} else if n.State == NodeReady.String() {
+			ready++
+		}
+		shed += n.Shed
+		inflight += n.Inflight
+		if n.P99Micros > p99Max {
+			p99Max = n.P99Micros
+		}
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	shedDelta := shed - a.lastShed
+	if !a.primed {
+		// First tick: the cumulative shed total is history, not news.
+		shedDelta = 0
+		a.primed = true
+	}
+	a.lastShed = shed
+
+	raw, reason, delta := "hold", "fleet load within bounds", 0
+	switch {
+	case shedDelta > 0:
+		raw, reason, delta = "scale_up", "workers are shedding load (429s growing)", 1
+	case p99Limit > 0 && p99Max > p99Limit && inflight > 0:
+		raw, reason, delta = "scale_up", "worker p99 latency over threshold under load", 1
+	case inflight == 0 && ready > 1:
+		raw, reason, delta = "scale_down", "fleet idle with spare ready workers", -1
+	}
+
+	if raw == a.pending {
+		a.streak++
+	} else {
+		a.pending, a.streak = raw, 1
+	}
+	// Adopt only a verdict that survived the hysteresis window; the
+	// current verdict's own fleet numbers stay live either way.
+	adopt := a.streak >= hysteresis && raw != a.current.Advice
+	if adopt || a.current.Advice == "" {
+		a.current.Advice = raw
+		a.current.Reason = reason
+		a.current.DesiredDelta = delta
+		if !adopt {
+			// Initial verdict before the first window closes: hold.
+			a.current.Advice, a.current.Reason, a.current.DesiredDelta = "hold", "observing", 0
+		}
+	}
+	a.current.ReadyNodes = ready
+	a.current.DrainingNodes = draining
+	a.current.ShedTotal = shed
+	a.current.ShedDelta = shedDelta
+	a.current.InflightTotal = inflight
+	a.current.P99MicrosMax = p99Max
+}
+
+// snapshot returns the advice as of the last tick.
+func (a *advisor) snapshot() FleetAdvice {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := a.current
+	if out.Advice == "" {
+		out.Advice, out.Reason = "hold", "observing"
+	}
+	return out
+}

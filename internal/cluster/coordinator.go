@@ -17,18 +17,28 @@
 //
 // Endpoints:
 //
-//	POST /v1/nodes/register    worker announces {id, endpoint, capacity}
-//	POST /v1/nodes/heartbeat   worker liveness; 404 asks it to re-register
-//	POST /v1/nodes/deregister  graceful worker exit
-//	GET  /v1/nodes             node table with health states
-//	POST /v1/schedule          proxied single-loop scheduling (cache-affine)
-//	POST /v1/schedule/batch    per-loop fan-out of a batch, reassembled in order
-//	POST /v1/jobs              async sweep job; returns {id, cells}
-//	GET  /v1/jobs              all retained jobs' status summaries
-//	GET  /v1/jobs/{id}         job status and per-cell placement detail
-//	GET  /v1/jobs/{id}/csv     assembled CSV once the job is done
-//	GET  /healthz              liveness
-//	GET  /metrics              coordinator + per-node Prometheus text
+//	POST /v1/nodes/register            worker announces {id, endpoint, capacity}
+//	POST /v1/nodes/heartbeat           worker liveness (+ piggybacked load report)
+//	POST /v1/nodes/deregister          graceful worker exit
+//	GET  /v1/fleet/nodes               node table: health, schema, in-flight, load
+//	GET  /v1/fleet/advice              hysteresis-damped scale up/down/hold verdict
+//	POST /v1/fleet/nodes/{id}/drain    stop placing on a node (undrain reverses)
+//	GET  /v1/nodes                     deprecated alias of /v1/fleet/nodes
+//	POST /v1/schedule                  proxied single-loop scheduling (cache-affine)
+//	POST /v1/schedule/batch            per-loop fan-out of a batch, reassembled in order
+//	POST /v1/jobs                      async sweep job; returns {id, cells}
+//	GET  /v1/jobs                      all retained jobs' status summaries
+//	GET  /v1/jobs/{id}                 job status and per-cell placement detail
+//	GET  /v1/jobs/{id}/csv             assembled CSV once the job is done
+//	GET  /healthz                      liveness + fleet summary (JSON)
+//	GET  /metrics                      coordinator + per-node Prometheus text
+//
+// Placement is rendezvous hashing with bounded loads: the HRW owner of a
+// key serves it while its in-flight count stays under LoadBound × the
+// fleet mean; beyond that the request spills to the next-ranked node, so a
+// Zipf-hot key saturates neither its owner nor the response contract —
+// responses stay byte-identical wherever they are computed. Every routed
+// unit of work walks the explicit placement protocol in placement.go.
 //
 // All mutable control-plane state — node registrations, job specs,
 // completed cell fragments — is written through a pluggable store
@@ -112,6 +122,20 @@ type Config struct {
 	// to (a designated canary running the incoming version). Empty picks
 	// the next-HRW-ranked worker after the one that served the request.
 	ShadowCanary string
+	// LoadBound is the bounded-load factor c of placement: the HRW owner
+	// serves a key only while its in-flight count stays under
+	// ceil(c·(m+1)/n) (m = fleet in-flight, n = candidates); an overloaded
+	// owner spills to the next-ranked node under the bound. 0 picks the
+	// default 1.25; negative disables spilling (pure HRW).
+	LoadBound float64
+	// AdviceHysteresis is how many consecutive reconcile ticks a raw
+	// scaling verdict must hold before /v1/fleet/advice adopts it
+	// (default 3).
+	AdviceHysteresis int
+	// AdviceP99Micros is the worst-node p99 (µs) above which the advisor
+	// recommends scaling up while load is in flight (default 250000 —
+	// 250ms; 0 keeps the default, negative disables the latency trigger).
+	AdviceP99Micros float64
 }
 
 func (c Config) heartbeatInterval() time.Duration {
@@ -191,6 +215,33 @@ func (c Config) maxBodyBytes() int64 {
 	return 8 << 20
 }
 
+func (c Config) loadBound() float64 {
+	switch {
+	case c.LoadBound < 0:
+		return 0 // disabled: placeBounded degenerates to plain HRW
+	case c.LoadBound == 0:
+		return 1.25
+	}
+	return c.LoadBound
+}
+
+func (c Config) adviceHysteresis() int {
+	if c.AdviceHysteresis > 0 {
+		return c.AdviceHysteresis
+	}
+	return 3
+}
+
+func (c Config) adviceP99Micros() float64 {
+	switch {
+	case c.AdviceP99Micros < 0:
+		return 0 // latency trigger disabled
+	case c.AdviceP99Micros == 0:
+		return 250_000
+	}
+	return c.AdviceP99Micros
+}
+
 // Coordinator is the gpcoordd daemon. Create with New, serve Handler, and
 // Close after the HTTP server has shut down (Close stops the reconciler
 // and aborts running jobs).
@@ -217,6 +268,12 @@ type Coordinator struct {
 	shadow shadowVerifier
 
 	jobs jobTable
+
+	// placements is the live table of durable (sweep-cell) placements,
+	// mirroring the store; adv is the fleet scaling advisor behind
+	// GET /v1/fleet/advice.
+	placements placementTable
+	adv        advisor
 }
 
 // New returns a running coordinator (its reconciliation loop is live),
@@ -245,7 +302,13 @@ func New(cfg Config) (*Coordinator, error) {
 	c.mux.HandleFunc("POST /v1/nodes/register", c.handleRegister)
 	c.mux.HandleFunc("POST /v1/nodes/heartbeat", c.handleHeartbeat)
 	c.mux.HandleFunc("POST /v1/nodes/deregister", c.handleDeregister)
+	// /v1/nodes is the deprecated alias of /v1/fleet/nodes (same handler,
+	// same bytes); kept so pre-fleet-API tooling keeps working.
 	c.mux.HandleFunc("GET /v1/nodes", c.handleNodes)
+	c.mux.HandleFunc("GET /v1/fleet/nodes", c.handleNodes)
+	c.mux.HandleFunc("GET /v1/fleet/advice", c.handleFleetAdvice)
+	c.mux.HandleFunc("POST /v1/fleet/nodes/{id}/drain", c.handleDrain)
+	c.mux.HandleFunc("POST /v1/fleet/nodes/{id}/undrain", c.handleUndrain)
 	c.mux.HandleFunc("POST /v1/schedule", c.handleSchedule)
 	c.mux.HandleFunc("POST /v1/schedule/batch", c.handleScheduleBatch)
 	c.mux.HandleFunc("POST /v1/cache/flush", c.handleCacheFlush)
@@ -307,23 +370,61 @@ func (c *Coordinator) Close() {
 // Nodes returns the current node table (tests and gpcoordd logs use it).
 func (c *Coordinator) Nodes() []NodeInfo { return c.reg.snapshot() }
 
+// HealthSummary is the body of the coordinator's GET /healthz: liveness
+// plus a one-glance fleet summary (durability mode, node-health counts,
+// running jobs, epoch and the current scaling advice).
+type HealthSummary struct {
+	Status  string `json:"status"`
+	Journal bool   `json:"journal"`
+	Epoch   uint64 `json:"epoch"`
+	Nodes   struct {
+		Ready    int `json:"ready"`
+		Suspect  int `json:"suspect"`
+		Dead     int `json:"dead"`
+		Draining int `json:"draining"`
+	} `json:"nodes"`
+	JobsRunning int    `json:"jobs_running"`
+	Advice      string `json:"advice"`
+}
+
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	sum := HealthSummary{Status: "ok", Journal: c.st.Durable(), Epoch: c.epoch.Load()}
+	for _, n := range c.reg.snapshot() {
+		switch {
+		case n.Draining:
+			sum.Nodes.Draining++
+		case n.State == NodeReady.String():
+			sum.Nodes.Ready++
+		case n.State == NodeSuspect.String():
+			sum.Nodes.Suspect++
+		default:
+			sum.Nodes.Dead++
+		}
+	}
+	sum.JobsRunning = c.jobs.running()
+	sum.Advice = c.adv.snapshot().Advice
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(sum)
 }
 
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	c.metrics.render(w, c.reg.snapshot(), c.jobs.running(), c.epoch.Load(), c.st.Stats())
+	c.metrics.render(w, c.reg.snapshot(), c.jobs.running(), c.epoch.Load(), c.st.Stats(), c.adv.snapshot())
 }
 
-func (c *Coordinator) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+// writeError answers with the fleet-wide error envelope
+// {"error":{"code","message","retryable"}} — the same shape gpserved
+// renders, so clients parse one format no matter which daemon refused them.
+func (c *Coordinator) writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
 	if status == http.StatusBadRequest {
 		c.metrics.badRequests.Add(1)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	_, _ = w.Write(server.MarshalError(code, fmt.Sprintf(format, args...)))
+	_, _ = io.WriteString(w, "\n")
 }
 
 func (c *Coordinator) readJSON(w http.ResponseWriter, r *http.Request, out any) error {
@@ -335,18 +436,28 @@ func (c *Coordinator) readJSON(w http.ResponseWriter, r *http.Request, out any) 
 func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req server.RegisterRequest
 	if err := c.readJSON(w, r, &req); err != nil {
-		c.writeError(w, http.StatusBadRequest, "bad register body: %v", err)
+		c.writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest, "bad register body: %v", err)
 		return
 	}
 	if req.ID == "" || req.Endpoint == "" {
-		c.writeError(w, http.StatusBadRequest, "register needs id and endpoint")
+		c.writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest, "register needs id and endpoint")
+		return
+	}
+	// A joiner speaking a different wire schema is refused outright: the
+	// coordinator relays worker bytes verbatim, so one fleet must speak one
+	// codec or clients would see responses they cannot parse.
+	if fleet, conflict := c.reg.schemaConflict(req.SchemaVersion); conflict {
+		c.metrics.schemaRefusals.Add(1)
+		c.writeError(w, http.StatusConflict, server.ErrCodeSchemaMismatch,
+			"node %s speaks schema %q but the fleet speaks %q", req.ID, req.SchemaVersion, fleet)
 		return
 	}
 	if err := c.reg.register(req.ID, req.Endpoint, req.Capacity, req.AlgoVersion, req.Epoch); err != nil {
 		c.storeError("put_node", err)
-		c.writeError(w, http.StatusInternalServerError, "persist registration: %v", err)
+		c.writeError(w, http.StatusInternalServerError, server.ErrCodeInternal, "persist registration: %v", err)
 		return
 	}
+	c.reg.noteSchema(req.ID, req.SchemaVersion)
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(server.RegisterResponse{
 		HeartbeatMillis: int(c.cfg.heartbeatInterval() / time.Millisecond),
@@ -357,14 +468,28 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req server.HeartbeatRequest
 	if err := c.readJSON(w, r, &req); err != nil {
-		c.writeError(w, http.StatusBadRequest, "bad heartbeat body: %v", err)
+		c.writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest, "bad heartbeat body: %v", err)
+		return
+	}
+	// A worker that upgraded in place to a different wire schema is as
+	// unwelcome as a mixed-schema joiner (it restarted, so the register
+	// gate never saw the new codec): refuse the beat so it stops serving
+	// the fleet rather than smuggling a second codec in.
+	if fleet, conflict := c.reg.schemaConflict(req.SchemaVersion); conflict {
+		c.metrics.schemaRefusals.Add(1)
+		c.writeError(w, http.StatusConflict, server.ErrCodeSchemaMismatch,
+			"node %s speaks schema %q but the fleet speaks %q", req.ID, req.SchemaVersion, fleet)
 		return
 	}
 	if !c.reg.heartbeat(req.ID, req.AlgoVersion, req.Epoch) {
 		// Unknown ID: the coordinator restarted (or the node was evicted);
 		// 404 tells the agent to fall back to the register path.
-		c.writeError(w, http.StatusNotFound, "unknown node %q, re-register", req.ID)
+		c.writeError(w, http.StatusNotFound, server.ErrCodeNotFound, "unknown node %q, re-register", req.ID)
 		return
+	}
+	c.reg.noteSchema(req.ID, req.SchemaVersion)
+	if req.Load != nil {
+		c.reg.absorbLoad(req.ID, req.Load.Inflight, req.Load.Shed, req.Load.P99Micros)
 	}
 	// Answer with the fleet epoch: a worker that missed the flush fan-out
 	// converges on its next beat instead of serving stale bytes forever.
@@ -375,11 +500,44 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
 	var req server.HeartbeatRequest
 	if err := c.readJSON(w, r, &req); err != nil {
-		c.writeError(w, http.StatusBadRequest, "bad deregister body: %v", err)
+		c.writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest, "bad deregister body: %v", err)
 		return
 	}
 	c.reg.deregister(req.ID)
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleFleetAdvice answers GET /v1/fleet/advice with the advisor's
+// hysteresis-damped scaling verdict.
+func (c *Coordinator) handleFleetAdvice(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(c.adv.snapshot())
+}
+
+// handleDrain and handleUndrain flip a node's drain flag
+// (POST /v1/fleet/nodes/{id}/drain and /undrain): a draining node keeps
+// its in-flight work and heartbeats but attracts no new placements, and
+// its durable placements walk the Ready→Draining edge (back on undrain).
+func (c *Coordinator) handleDrain(w http.ResponseWriter, r *http.Request)   { c.setDrain(w, r, true) }
+func (c *Coordinator) handleUndrain(w http.ResponseWriter, r *http.Request) { c.setDrain(w, r, false) }
+
+func (c *Coordinator) setDrain(w http.ResponseWriter, r *http.Request, draining bool) {
+	id := r.PathValue("id")
+	if !c.reg.setDraining(id, draining) {
+		c.writeError(w, http.StatusNotFound, server.ErrCodeNotFound, "unknown node %q", id)
+		return
+	}
+	c.metrics.drainFlips.Add(1)
+	flipped := c.drainPlacements(id, draining)
+	verb := "draining"
+	if !draining {
+		verb = "undrained"
+	}
+	c.logf("fleet: node %s %s (%d durable placement(s) flipped)", id, verb, flipped)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"node": id, "draining": draining, "placements_flipped": flipped})
 }
 
 func (c *Coordinator) handleNodes(w http.ResponseWriter, r *http.Request) {
@@ -398,7 +556,7 @@ func (c *Coordinator) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	c.metrics.scheduleReqs.Add(1)
 	var buf bytes.Buffer
 	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, c.cfg.maxBodyBytes())); err != nil {
-		c.writeError(w, http.StatusBadRequest, "read body: %v", err)
+		c.writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest, "read body: %v", err)
 		return
 	}
 	reqBody := buf.Bytes()
@@ -406,7 +564,7 @@ func (c *Coordinator) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	// and the parse yields the placement key.
 	key, err := server.ScheduleCacheKey(reqBody)
 	if err != nil {
-		c.writeError(w, http.StatusBadRequest, "%v", err)
+		c.writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest, "%v", err)
 		return
 	}
 
@@ -425,16 +583,16 @@ func (c *Coordinator) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case fr.noWorkers:
 		c.metrics.noCapacity.Add(1)
-		c.writeError(w, http.StatusServiceUnavailable, "no ready workers")
+		c.writeError(w, http.StatusServiceUnavailable, server.ErrCodeNoWorkers, "no ready workers")
 	case fr.allSaturated:
 		// Every worker shed with 429: the fleet is loaded, not broken.
 		// Relay the single-node backpressure contract so clients back off
 		// instead of hard-retrying a "failure".
 		c.metrics.noCapacity.Add(1)
 		w.Header().Set("Retry-After", "1")
-		c.writeError(w, http.StatusTooManyRequests, "every worker is saturated, retry later")
+		c.writeError(w, http.StatusTooManyRequests, server.ErrCodeSaturated, "every worker is saturated, retry later")
 	default:
-		c.writeError(w, http.StatusBadGateway, "all workers failed, last: %v", fr.lastErr)
+		c.writeError(w, http.StatusBadGateway, server.ErrCodeUpstreamFailed, "all workers failed, last: %v", fr.lastErr)
 	}
 }
 
@@ -450,21 +608,26 @@ type fleetResult struct {
 	lastErr      error // last worker failure; nil when noWorkers
 }
 
-// scheduleOnFleet runs the placement + failover loop for one singleton
-// schedule body: rendezvous placement on the content-address key, then
-// failover down the ranking with an exclusion list when workers fail. Both
-// the singleton proxy and the batch fan-out ride on it.
+// scheduleOnFleet runs the placement protocol for one singleton schedule
+// body: bounded-load rendezvous placement on the content-address key
+// (Pending→Preparing), then — when the chosen worker fails — the abort edge
+// back to Pending with the node excluded, and the next round places down
+// the HRW ranking. Both the singleton proxy and the batch fan-out ride on
+// it. The placement is transient: it drives the in-flight accounting and
+// the per-transition metrics, then drops when the response is relayed.
 func (c *Coordinator) scheduleOnFleet(ctx context.Context, key string, reqBody []byte) fleetResult {
-	exclude := make(map[string]bool)
+	pl := c.newPlacement(key, false)
+	defer pl.drop()
 	var lastErr error
 	allSaturated := true
 	for {
-		node, ok := place(c.reg.candidates(), key, exclude)
+		node, spilled, ok := placeBounded(c.reg.candidates(), key, pl.exclude, c.cfg.loadBound())
 		if !ok {
 			break
 		}
 		c.metrics.placements.Add(1)
 		c.reg.countRequest(node.id)
+		pl.prepare(node, spilled)
 		resp, body, err := c.forward(ctx, node, "/v1/schedule", reqBody, c.cfg.scheduleTimeout())
 		switch {
 		case err != nil:
@@ -472,22 +635,23 @@ func (c *Coordinator) scheduleOnFleet(ctx context.Context, key string, reqBody [
 			// going — suspect it and fail over down the HRW ranking.
 			c.reg.reportFailure(node.id)
 			c.metrics.failovers.Add(1)
-			exclude[node.id] = true
+			pl.abort()
 			lastErr = fmt.Errorf("worker %s: %v", node.id, err)
 			allSaturated = false
 		case resp.StatusCode >= 500:
 			c.reg.reportFailure(node.id)
 			c.metrics.failovers.Add(1)
-			exclude[node.id] = true
+			pl.abort()
 			lastErr = fmt.Errorf("worker %s answered %d: %s", node.id, resp.StatusCode, firstLine(body))
 			allSaturated = false
 		case resp.StatusCode == http.StatusTooManyRequests:
 			// Saturation is load, not sickness: try another worker without
 			// marking this one suspect.
 			c.metrics.retries.Add(1)
-			exclude[node.id] = true
+			pl.abort()
 			lastErr = fmt.Errorf("worker %s saturated", node.id)
 		default:
+			pl.ready()
 			return fleetResult{node: node, resp: resp, body: body}
 		}
 	}
@@ -513,12 +677,12 @@ func (c *Coordinator) handleScheduleBatch(w http.ResponseWriter, r *http.Request
 	c.metrics.batchReqs.Add(1)
 	var buf bytes.Buffer
 	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, c.cfg.maxBodyBytes())); err != nil {
-		c.writeError(w, http.StatusBadRequest, "read body: %v", err)
+		c.writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest, "read body: %v", err)
 		return
 	}
 	items, err := server.BatchItems(buf.Bytes())
 	if err != nil {
-		c.writeError(w, http.StatusBadRequest, "%v", err)
+		c.writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest, "%v", err)
 		return
 	}
 	c.metrics.batchLoops.Add(int64(len(items)))
@@ -544,7 +708,7 @@ func (c *Coordinator) handleScheduleBatch(w http.ResponseWriter, r *http.Request
 // element, trailing newline trimmed to fit the framing.
 func (c *Coordinator) batchElement(ctx context.Context, it *server.BatchItem) []byte {
 	if it.Err != nil {
-		return server.ErrorElement(it.Err.Error())
+		return server.ErrorElement(server.ErrCodeBadRequest, it.Err.Error())
 	}
 	fr := c.scheduleOnFleet(ctx, it.Key, it.Body)
 	switch {
@@ -552,12 +716,12 @@ func (c *Coordinator) batchElement(ctx context.Context, it *server.BatchItem) []
 		return bytes.TrimSuffix(fr.body, []byte("\n"))
 	case fr.noWorkers:
 		c.metrics.noCapacity.Add(1)
-		return server.ErrorElement("no ready workers")
+		return server.ErrorElement(server.ErrCodeNoWorkers, "no ready workers")
 	case fr.allSaturated:
 		c.metrics.noCapacity.Add(1)
-		return server.ErrorElement("every worker is saturated, retry later")
+		return server.ErrorElement(server.ErrCodeSaturated, "every worker is saturated, retry later")
 	default:
-		return server.ErrorElement(fmt.Sprintf("all workers failed, last: %v", fr.lastErr))
+		return server.ErrorElement(server.ErrCodeUpstreamFailed, fmt.Sprintf("all workers failed, last: %v", fr.lastErr))
 	}
 }
 
@@ -569,7 +733,7 @@ func (c *Coordinator) batchElement(ctx context.Context, it *server.BatchItem) []
 func relayServed(w http.ResponseWriter, nodeID string, resp *http.Response) {
 	h := w.Header()
 	h.Set("X-Node", nodeID)
-	for _, name := range []string{"Content-Type", "X-Cache", "Retry-After", "X-Algo-Version", "X-Algo-Epoch"} {
+	for _, name := range []string{"Content-Type", "X-Cache", "Retry-After", "X-Algo-Version", "X-Algo-Epoch", "X-Schema-Version"} {
 		if v := resp.Header.Get(name); v != "" {
 			h.Set(name, v)
 		}
@@ -604,7 +768,7 @@ type FlushFleetResponse struct {
 func (c *Coordinator) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
 	var req server.FlushRequest
 	if err := c.readJSON(w, r, &req); err != nil && err != io.EOF {
-		c.writeError(w, http.StatusBadRequest, "bad flush body: %v", err)
+		c.writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest, "bad flush body: %v", err)
 		return
 	}
 	c.flushMu.Lock()
@@ -615,7 +779,7 @@ func (c *Coordinator) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := c.st.SetEpoch(epoch); err != nil {
 		c.storeError("set_epoch", err)
-		c.writeError(w, http.StatusInternalServerError, "persist epoch: %v", err)
+		c.writeError(w, http.StatusInternalServerError, server.ErrCodeInternal, "persist epoch: %v", err)
 		return
 	}
 	c.epoch.Store(epoch)
@@ -708,5 +872,7 @@ func (c *Coordinator) reconcileLoop() {
 			c.metrics.reconcilePlaced.Add(c.jobs.cancelInflightOn(id))
 		}
 		c.reg.expireDead(c.cfg.deadExpiry())
+		// Fold this tick's fleet observation into the scaling advisor.
+		c.adv.tick(c.reg.snapshot(), c.cfg.adviceHysteresis(), c.cfg.adviceP99Micros())
 	}
 }

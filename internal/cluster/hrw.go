@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"hash/fnv"
+	"math"
 	"sort"
 )
 
@@ -52,6 +53,45 @@ func hrwRank(nodes []candidate, key string) []candidate {
 // single allocation-free argmax scan rather than a full hrwRank sort; the
 // tie-break matches hrwRank's, so place(exclude) always returns the first
 // non-excluded entry of the ranking (tests pin the equivalence).
+// placeBounded is place with a load bound (consistent hashing with bounded
+// loads): the HRW owner serves the key only while its in-flight count stays
+// under ceil(bound·(m+1)/n), where m is the total in-flight across the
+// non-excluded candidates and n their count. An overloaded owner spills to
+// the next node in HRW rank order that is under the bound — so under a
+// Zipf-skewed workload the hot key fans out across the ranking instead of
+// melting its owner, while an idle fleet keeps perfect cache affinity (every
+// node is under the bound, so the owner always wins). bound ≤ 0 disables the
+// check and degenerates to plain place. spilled reports that a node other
+// than the HRW owner was picked. If no candidate is under the bound (bound
+// < 1 can starve everyone) the owner serves anyway: bounded load must never
+// turn a placeable fleet into a 503.
+func placeBounded(nodes []candidate, key string, exclude map[string]bool, bound float64) (picked candidate, spilled, ok bool) {
+	if bound <= 0 {
+		picked, ok = place(nodes, key, exclude)
+		return picked, false, ok
+	}
+	eligible := make([]candidate, 0, len(nodes))
+	var total int64
+	for _, n := range nodes {
+		if exclude[n.id] {
+			continue
+		}
+		eligible = append(eligible, n)
+		total += n.inflight
+	}
+	if len(eligible) == 0 {
+		return candidate{}, false, false
+	}
+	threshold := int64(math.Ceil(bound * float64(total+1) / float64(len(eligible))))
+	ranked := hrwRank(eligible, key)
+	for i, n := range ranked {
+		if n.inflight+1 <= threshold {
+			return n, i > 0, true
+		}
+	}
+	return ranked[0], false, true
+}
+
 func place(nodes []candidate, key string, exclude map[string]bool) (candidate, bool) {
 	var best candidate
 	var bestScore uint64

@@ -351,7 +351,7 @@ func buildJobCells(req *server.SweepRequest, machines []*machine.Config, corpora
 func (c *Coordinator) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	var req server.SweepRequest
 	if err := c.readJSON(w, r, &req); err != nil {
-		c.writeError(w, http.StatusBadRequest, "bad job body: %v", err)
+		c.writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest, "bad job body: %v", err)
 		return
 	}
 	// Resolve with gpserved's own defaulting and limits so a job the
@@ -359,14 +359,14 @@ func (c *Coordinator) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	// matches the single-node sweep exactly.
 	machines, corpora, err := server.ResolveSweep(&req)
 	if err != nil {
-		c.writeError(w, http.StatusBadRequest, "%v", err)
+		c.writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest, "%v", err)
 		return
 	}
 	// The resolved request is the job's durable record: recovery re-derives
 	// the identical cell enumeration from these bytes.
 	reqBytes, err := json.Marshal(&req)
 	if err != nil {
-		c.writeError(w, http.StatusInternalServerError, "marshal request: %v", err)
+		c.writeError(w, http.StatusInternalServerError, server.ErrCodeInternal, "marshal request: %v", err)
 		return
 	}
 
@@ -376,13 +376,13 @@ func (c *Coordinator) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	j.cells, err = buildJobCells(&req, machines, corpora)
 	if err != nil {
 		j.cancel()
-		c.writeError(w, http.StatusInternalServerError, "%v", err)
+		c.writeError(w, http.StatusInternalServerError, server.ErrCodeInternal, "%v", err)
 		return
 	}
 	evicted, ok := c.jobs.insert(j, c.cfg.maxJobs())
 	if !ok {
 		j.cancel()
-		c.writeError(w, http.StatusTooManyRequests, "job table full (%d jobs running)", c.cfg.maxJobs())
+		c.writeError(w, http.StatusTooManyRequests, server.ErrCodeJobTableFull, "job table full (%d jobs running)", c.cfg.maxJobs())
 		return
 	}
 	if evicted != "" {
@@ -395,7 +395,7 @@ func (c *Coordinator) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	if err := c.st.PutJob(j.id, seq, reqBytes); err != nil {
 		c.jobs.remove(j.id)
 		j.cancel()
-		c.writeError(w, http.StatusInternalServerError, "persist job: %v", err)
+		c.writeError(w, http.StatusInternalServerError, server.ErrCodeInternal, "persist job: %v", err)
 		return
 	}
 	c.metrics.jobsCreated.Add(1)
@@ -427,7 +427,7 @@ func (c *Coordinator) handleListJobs(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	j := c.jobs.get(r.PathValue("id"))
 	if j == nil {
-		c.writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		c.writeError(w, http.StatusNotFound, server.ErrCodeNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -439,7 +439,7 @@ func (c *Coordinator) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) handleJobCSV(w http.ResponseWriter, r *http.Request) {
 	j := c.jobs.get(r.PathValue("id"))
 	if j == nil {
-		c.writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		c.writeError(w, http.StatusNotFound, server.ErrCodeNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	j.mu.Lock()
@@ -455,7 +455,7 @@ func (c *Coordinator) handleJobCSV(w http.ResponseWriter, r *http.Request) {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(j.status(false))
 	case jobFailed:
-		c.writeError(w, http.StatusInternalServerError, "job %s failed, see its cell_status", j.id)
+		c.writeError(w, http.StatusInternalServerError, server.ErrCodeInternal, "job %s failed, see its cell_status", j.id)
 	default:
 		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
 		_, _ = w.Write(csv)
@@ -532,14 +532,21 @@ func (c *Coordinator) runJob(j *job) {
 	close(j.done)
 }
 
-// runCell drives one cell to done or failed: place by HRW, post to the
-// worker, and on any node-shaped failure re-place on the next-ranked
-// survivor with the failed node excluded. A canceled attempt context is
-// the reconciler yanking the cell off a dead node — the same re-place
-// path. The cell survives a fully excluded fleet by starting its exclusion
-// list over (the fleet may have churned entirely), and waits out an empty
-// fleet rather than failing: workers may still be on their way up.
+// runCell drives one cell to done or failed: place by bounded-load HRW,
+// post to the worker, and on any node-shaped failure walk the placement
+// protocol's abort edge and re-place on the next-ranked survivor with the
+// failed node excluded. A canceled attempt context is the reconciler
+// yanking the cell off a dead node — the same re-place path. The cell
+// survives a fully excluded fleet by starting its exclusion list over (the
+// fleet may have churned entirely), and waits out an empty fleet rather
+// than failing: workers may still be on their way up. The cell's placement
+// is durable: each transition is journaled, so a coordinator killed
+// mid-cell re-places the cell on the node it was on — including a spill
+// target the load bound had moved it to — instead of recomputing the
+// placement from scratch.
 func (c *Coordinator) runCell(j *job, cl *jobCell) {
+	pl := c.newPlacement(cl.key, true)
+	defer pl.drop()
 	for {
 		if j.ctx.Err() != nil {
 			c.finishCell(j, cl, nil, "job canceled")
@@ -568,7 +575,22 @@ func (c *Coordinator) runCell(j *job, cl *jobCell) {
 			}
 			cands = matching
 		}
-		node, ok := place(cands, cl.key, exclude)
+		// A journaled hint — the node a pre-restart coordinator had this
+		// cell on — wins over a fresh placement while it is placeable, so
+		// resumed cells land where their work (and cache residency) is.
+		var node candidate
+		var spilled, ok bool
+		if hint := c.placementHint(cl.key); hint != "" && !exclude[hint] {
+			for _, cand := range cands {
+				if cand.id == hint {
+					node, ok = cand, true
+					break
+				}
+			}
+		}
+		if !ok {
+			node, spilled, ok = placeBounded(cands, cl.key, exclude, c.cfg.loadBound())
+		}
 		if !ok {
 			if len(exclude) > 0 {
 				j.mu.Lock()
@@ -619,6 +641,7 @@ func (c *Coordinator) runCell(j *job, cl *jobCell) {
 		j.mu.Unlock()
 		c.metrics.placements.Add(1)
 		c.reg.countRequest(node.id)
+		pl.prepare(node, spilled)
 
 		resp, out, err := c.forward(attemptCtx, node, "/v1/sweep", cl.reqBody, c.cfg.cellTimeout())
 		cancel()
@@ -630,6 +653,7 @@ func (c *Coordinator) runCell(j *job, cl *jobCell) {
 		case err != nil:
 			// Transport error, reconciler cancel or timeout: node-shaped.
 			c.reg.reportFailure(node.id)
+			pl.abort()
 			c.requeueCell(j, cl, node.id)
 		case resp.StatusCode == http.StatusOK:
 			rows, ok := cellRows(out)
@@ -637,6 +661,7 @@ func (c *Coordinator) runCell(j *job, cl *jobCell) {
 				// A 200 whose CSV is truncated or carries an in-band ERROR
 				// row: the worker failed mid-stream.
 				c.reg.reportFailure(node.id)
+				pl.abort()
 				c.requeueCell(j, cl, node.id)
 				continue
 			}
@@ -646,6 +671,7 @@ func (c *Coordinator) runCell(j *job, cl *jobCell) {
 				// either side of the change, so recompute rather than risk
 				// a mixed-version CSV. Uncounted, like the pin race.
 				c.metrics.versionRefusals.Add(1)
+				pl.abort()
 				j.mu.Lock()
 				cl.attempts--
 				cl.exclude[node.id] = true
@@ -653,6 +679,7 @@ func (c *Coordinator) runCell(j *job, cl *jobCell) {
 				j.mu.Unlock()
 				continue
 			}
+			pl.ready()
 			c.finishCell(j, cl, rows, "")
 			return
 		case resp.StatusCode == http.StatusTooManyRequests, resp.StatusCode == http.StatusServiceUnavailable:
@@ -664,6 +691,7 @@ func (c *Coordinator) runCell(j *job, cl *jobCell) {
 			// canceled job context exits above, and actual failures still
 			// count attempts.
 			c.metrics.retries.Add(1)
+			pl.abort()
 			j.mu.Lock()
 			cl.attempts--
 			cl.exclude[node.id] = true
@@ -675,6 +703,7 @@ func (c *Coordinator) runCell(j *job, cl *jobCell) {
 			}
 		case resp.StatusCode >= 500:
 			c.reg.reportFailure(node.id)
+			pl.abort()
 			c.requeueCell(j, cl, node.id)
 		default:
 			// 4xx: the cell itself is bad; every worker would agree.

@@ -17,10 +17,19 @@ type metrics struct {
 	batchReqs    atomic.Int64 // /v1/schedule/batch requests
 	batchLoops   atomic.Int64 // loops fanned out from batch requests
 	placements   atomic.Int64 // successful placement decisions
+	spills       atomic.Int64 // placements bounded-load moved off the HRW owner
 	retries      atomic.Int64 // re-placements after a worker 429/503
 	failovers    atomic.Int64 // re-placements after a worker failure
 	noCapacity   atomic.Int64 // requests shed because no node was placeable
 	badRequests  atomic.Int64
+
+	// placeTransitions counts every placement-protocol edge taken,
+	// [from][to]-indexed; placeInvalid counts refused illegal edges.
+	placeTransitions [placeStates][placeStates]atomic.Int64
+	placeInvalid     atomic.Int64
+
+	schemaRefusals atomic.Int64 // register/heartbeat refused for a mixed wire schema
+	drainFlips     atomic.Int64 // operator drain/undrain requests applied
 
 	jobsCreated      atomic.Int64
 	jobsDone         atomic.Int64
@@ -45,12 +54,26 @@ type metrics struct {
 // format, including one health gauge (0 ready / 1 suspect / 2 dead) and the
 // routed/failed counters per registered node, plus the store's write and
 // replay traffic.
-func (m *metrics) render(w io.Writer, nodes []NodeInfo, jobsRunning int, epoch uint64, st store.Stats) {
+func (m *metrics) render(w io.Writer, nodes []NodeInfo, jobsRunning int, epoch uint64, st store.Stats, advice FleetAdvice) {
 	fmt.Fprintf(w, "gpcoordd_requests_total %d\n", m.requests.Load())
 	fmt.Fprintf(w, "gpcoordd_schedule_requests_total %d\n", m.scheduleReqs.Load())
 	fmt.Fprintf(w, "gpcoordd_batch_requests_total %d\n", m.batchReqs.Load())
 	fmt.Fprintf(w, "gpcoordd_batch_loops_total %d\n", m.batchLoops.Load())
 	fmt.Fprintf(w, "gpcoordd_placements_total %d\n", m.placements.Load())
+	fmt.Fprintf(w, "gpcoordd_spills_total %d\n", m.spills.Load())
+	for from := placementState(0); from < placeStates; from++ {
+		for to := placementState(0); to < placeStates; to++ {
+			if n := m.placeTransitions[from][to].Load(); n > 0 {
+				fmt.Fprintf(w, "gpcoordd_placement_transitions_total{from=%q,to=%q} %d\n", from.String(), to.String(), n)
+			}
+		}
+	}
+	if n := m.placeInvalid.Load(); n > 0 {
+		fmt.Fprintf(w, "gpcoordd_placement_invalid_transitions_total %d\n", n)
+	}
+	fmt.Fprintf(w, "gpcoordd_schema_refusals_total %d\n", m.schemaRefusals.Load())
+	fmt.Fprintf(w, "gpcoordd_drain_flips_total %d\n", m.drainFlips.Load())
+	fmt.Fprintf(w, "gpcoordd_fleet_advice %d\n", adviceValue(advice.Advice))
 	fmt.Fprintf(w, "gpcoordd_retries_total %d\n", m.retries.Load())
 	fmt.Fprintf(w, "gpcoordd_failovers_total %d\n", m.failovers.Load())
 	fmt.Fprintf(w, "gpcoordd_no_capacity_total %d\n", m.noCapacity.Load())
@@ -90,5 +113,9 @@ func (m *metrics) render(w io.Writer, nodes []NodeInfo, jobsRunning int, epoch u
 		fmt.Fprintf(w, "gpcoordd_node_requests_total{node=%q} %d\n", n.ID, n.Requests)
 		fmt.Fprintf(w, "gpcoordd_node_failures_total{node=%q} %d\n", n.ID, n.Failures)
 		fmt.Fprintf(w, "gpcoordd_node_epoch{node=%q} %d\n", n.ID, n.Epoch)
+		fmt.Fprintf(w, "gpcoordd_node_inflight{node=%q} %d\n", n.ID, n.Inflight)
+		if n.Draining {
+			fmt.Fprintf(w, "gpcoordd_node_draining{node=%q} 1\n", n.ID)
+		}
 	}
 }

@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// The explicit placement protocol. Every unit of routed work — a proxied
+// /v1/schedule request, a batch loop, a sweep cell — is a placement that
+// walks one state machine:
+//
+//	Pending ──► Preparing ──► Ready ──► Dropped
+//	   ▲            │           │
+//	   └────────────┘       Draining ──► Dropped
+//	     (abort:            │    ▲
+//	      node failed)      └────┘ (abort: drain canceled)
+//
+// Pending: admitted, no node chosen. Preparing: a node was chosen (by
+// bounded-load HRW) and the work is in flight. Ready: the node answered and
+// owns the key's cache residency. Draining: the node is being retired by an
+// operator and the key will re-place. Dropped: retired. The two abort edges
+// are Preparing→Pending (the chosen node failed; the placement re-enters
+// placement with the node excluded) and Draining→Ready (the drain was
+// canceled).
+//
+// Schedule-request placements are transient: they walk the machine for the
+// metrics and the in-flight accounting, then drop when the response is
+// relayed. Sweep-cell placements are durable: each transition writes the
+// placement record through the store, so a restarted coordinator knows
+// which node each in-flight cell was on — including a spill target — and
+// re-places it there first instead of bouncing it back to an owner the
+// bound had rejected.
+
+// placementState is a placement's position in the protocol.
+type placementState int
+
+const (
+	placePending placementState = iota
+	placePreparing
+	placeReady
+	placeDraining
+	placeDropped
+	placeStates // count, for the transition matrix
+)
+
+func (s placementState) String() string {
+	switch s {
+	case placePending:
+		return "pending"
+	case placePreparing:
+		return "preparing"
+	case placeReady:
+		return "ready"
+	case placeDraining:
+		return "draining"
+	case placeDropped:
+		return "dropped"
+	}
+	return fmt.Sprintf("placementState(%d)", int(s))
+}
+
+// validPlaceEdge is the protocol's legal-transition table.
+func validPlaceEdge(from, to placementState) bool {
+	switch from {
+	case placePending:
+		return to == placePreparing || to == placeDropped
+	case placePreparing:
+		return to == placeReady || to == placePending || to == placeDropped
+	case placeReady:
+		return to == placeDraining || to == placeDropped
+	case placeDraining:
+		return to == placeReady || to == placeDropped
+	}
+	return false
+}
+
+// placement is one unit of work walking the protocol. Not safe for
+// concurrent use: each belongs to the one goroutine driving its request or
+// cell attempt (the durable table has its own lock).
+type placement struct {
+	c       *Coordinator
+	key     string
+	durable bool // write transitions through the store (sweep cells)
+
+	state   placementState
+	node    candidate
+	spilled bool
+	exclude map[string]bool
+}
+
+// newPlacement admits a key into the protocol at Pending.
+func (c *Coordinator) newPlacement(key string, durable bool) *placement {
+	return &placement{c: c, key: key, durable: durable, state: placePending, exclude: make(map[string]bool)}
+}
+
+// transition moves the placement along one edge, counting it in the
+// per-transition metrics. Illegal edges are counted and refused — a
+// protocol bug must be visible, not state-corrupting.
+func (p *placement) transition(to placementState) {
+	if !validPlaceEdge(p.state, to) {
+		p.c.metrics.placeInvalid.Add(1)
+		p.c.logf("placement %s: illegal transition %s -> %s", p.key, p.state, to)
+		return
+	}
+	p.c.metrics.placeTransitions[p.state][to].Add(1)
+	p.state = to
+}
+
+// prepare binds the placement to a node (Pending→Preparing) and starts the
+// coordinator-side in-flight accounting bounded-load placement spills on.
+func (p *placement) prepare(node candidate, spilled bool) {
+	p.node = node
+	p.spilled = spilled
+	if spilled {
+		p.c.metrics.spills.Add(1)
+	}
+	p.transition(placePreparing)
+	p.c.reg.incInflight(node.id)
+	if p.durable {
+		p.c.putPlacement(store.PlacementRecord{Key: p.key, Node: node.id, State: placePreparing.String(), Spilled: spilled})
+	}
+}
+
+// abort walks the Preparing→Pending edge after the chosen node failed,
+// excluding it from the next placement round.
+func (p *placement) abort() {
+	p.c.reg.decInflight(p.node.id)
+	p.exclude[p.node.id] = true
+	p.transition(placePending)
+	if p.durable {
+		p.c.delPlacement(p.key)
+	}
+}
+
+// ready marks the node's answer landed (Preparing→Ready).
+func (p *placement) ready() {
+	p.c.reg.decInflight(p.node.id)
+	p.transition(placeReady)
+	if p.durable {
+		p.c.putPlacement(store.PlacementRecord{Key: p.key, Node: p.node.id, State: placeReady.String(), Spilled: p.spilled})
+	}
+}
+
+// drop retires the placement from whatever state it reached. In-flight
+// accounting is released only by ready/abort, so drop from Preparing (a
+// canceled job) must release it too.
+func (p *placement) drop() {
+	if p.state == placePreparing {
+		p.c.reg.decInflight(p.node.id)
+	}
+	if p.state != placeDropped {
+		p.transition(placeDropped)
+	}
+	if p.durable {
+		p.c.delPlacement(p.key)
+	}
+}
+
+// resetExclusions starts the placement's exclusion list over (the fleet may
+// have churned entirely since the excluded attempts).
+func (p *placement) resetExclusions() {
+	p.exclude = make(map[string]bool)
+}
+
+// placementTable is the coordinator's live view of the durable placements,
+// mirroring the store. Recovery seeds it from the journal; the job layer
+// consults it as affinity hints so resumed cells re-land where they were —
+// including on a spill target the bound had moved them to.
+type placementTable struct {
+	mu    sync.Mutex
+	byKey map[string]store.PlacementRecord
+}
+
+// putPlacement records a durable placement in the live table and the store.
+func (c *Coordinator) putPlacement(rec store.PlacementRecord) {
+	c.placements.mu.Lock()
+	if c.placements.byKey == nil {
+		c.placements.byKey = make(map[string]store.PlacementRecord)
+	}
+	c.placements.byKey[rec.Key] = rec
+	c.placements.mu.Unlock()
+	if err := c.st.PutPlacement(rec); err != nil {
+		c.storeError("put_placement", err)
+	}
+}
+
+// delPlacement retires a durable placement from the live table and store.
+func (c *Coordinator) delPlacement(key string) {
+	c.placements.mu.Lock()
+	delete(c.placements.byKey, key)
+	c.placements.mu.Unlock()
+	if err := c.st.DeletePlacement(key); err != nil {
+		c.storeError("delete_placement", err)
+	}
+}
+
+// placementHint returns the node a durable placement was last bound to, or
+// "" when there is none — or when the record is draining (a draining
+// placement must re-place elsewhere, so its old node is an anti-hint).
+func (c *Coordinator) placementHint(key string) string {
+	c.placements.mu.Lock()
+	defer c.placements.mu.Unlock()
+	rec, ok := c.placements.byKey[key]
+	if !ok || rec.State == placeDraining.String() {
+		return ""
+	}
+	return rec.Node
+}
+
+// drainPlacements walks every durable placement on a node across the
+// Ready→Draining edge (or back, Draining→Ready, when the drain is
+// canceled), persisting each flip. In-flight (Preparing) placements keep
+// running — a draining node finishes what it has, like a suspect one.
+func (c *Coordinator) drainPlacements(nodeID string, draining bool) int {
+	from, to := placeReady, placeDraining
+	if !draining {
+		from, to = placeDraining, placeReady
+	}
+	c.placements.mu.Lock()
+	var flipped []store.PlacementRecord
+	for key, rec := range c.placements.byKey {
+		if rec.Node == nodeID && rec.State == from.String() {
+			rec.State = to.String()
+			c.placements.byKey[key] = rec
+			flipped = append(flipped, rec)
+		}
+	}
+	c.placements.mu.Unlock()
+	for _, rec := range flipped {
+		c.metrics.placeTransitions[from][to].Add(1)
+		if err := c.st.PutPlacement(rec); err != nil {
+			c.storeError("put_placement", err)
+		}
+	}
+	return len(flipped)
+}

@@ -28,6 +28,19 @@ func (c *Coordinator) recover() error {
 	adopted := c.reg.adopt(state.Nodes)
 	c.metrics.nodesAdopted.Add(int64(adopted))
 
+	// Durable placements become the live table — and thereby affinity
+	// hints: a resumed cell re-lands on the node the pre-restart
+	// coordinator had it on, including a spill target the load bound chose,
+	// instead of recomputing placement against a fleet that has not even
+	// heartbeated yet.
+	if len(state.Placements) > 0 {
+		c.placements.byKey = make(map[string]store.PlacementRecord, len(state.Placements))
+		for _, rec := range state.Placements {
+			c.placements.byKey[rec.Key] = rec
+		}
+		c.logf("recovery: restored %d placement record(s)", len(state.Placements))
+	}
+
 	resumed, restored := 0, 0
 	for i := range state.Jobs {
 		j, cells := c.rebuildJob(&state.Jobs[i])

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -59,27 +60,57 @@ type node struct {
 	// within one sweep job, and the shadow verifier attributes divergence
 	// with it.
 	algoVersion string
+	// schemaVersion is the worker's advertised wire-codec identity. The
+	// coordinator refuses to mix schemas in one fleet; empty means a
+	// pre-schema worker and is compatible with anything.
+	schemaVersion string
+	// draining marks a node the operator is retiring via
+	// POST /v1/fleet/nodes/{id}/drain: it stays registered and healthy but
+	// attracts no new placements. Persisted so a drain survives a
+	// coordinator restart.
+	draining bool
 	// epoch is the worker's last reported cache epoch (runtime state, like
 	// health — only the worker's own reports can prove it).
 	epoch uint64
 
 	requests atomic.Int64 // proxied requests + job cells routed here
 	failures atomic.Int64 // transport errors and 5xx answers observed
+	// inflight is the coordinator's own count of work outstanding on this
+	// node (proxied schedule requests, batch loops, sweep cells). It is the
+	// load signal bounded-load placement spills on: locally maintained, so
+	// it moves request-by-request instead of once per heartbeat.
+	inflight atomic.Int64
+
+	// Load signals the worker itself reported on its last heartbeat
+	// (observability only — placement uses the coordinator-side inflight).
+	repInflight atomic.Int64
+	repShed     atomic.Int64
+	repP99      atomic.Uint64 // math.Float64bits of p99 in microseconds
 }
 
 // NodeInfo is a point-in-time snapshot of one node, the JSON shape of
 // GET /v1/nodes.
 type NodeInfo struct {
-	ID          string `json:"id"`
-	Endpoint    string `json:"endpoint"`
-	Capacity    int    `json:"capacity"`
-	State       string `json:"state"`
-	AlgoVersion string `json:"algo_version,omitempty"`
-	Epoch       uint64 `json:"epoch"`
+	ID            string `json:"id"`
+	Endpoint      string `json:"endpoint"`
+	Capacity      int    `json:"capacity"`
+	State         string `json:"state"`
+	AlgoVersion   string `json:"algo_version,omitempty"`
+	SchemaVersion string `json:"schema_version,omitempty"`
+	Draining      bool   `json:"draining,omitempty"`
+	Epoch         uint64 `json:"epoch"`
 	// SinceHeartbeatMillis is the age of the last heartbeat.
 	SinceHeartbeatMillis int64 `json:"since_heartbeat_millis"`
 	Requests             int64 `json:"requests"`
 	Failures             int64 `json:"failures"`
+	// Inflight is the coordinator's live count of work outstanding on this
+	// node — the signal bounded-load placement spills on.
+	Inflight int64 `json:"inflight"`
+	// ReportedInflight, Shed and P99Micros are the worker's own last
+	// heartbeat-reported load signals.
+	ReportedInflight int64   `json:"reported_inflight,omitempty"`
+	Shed             int64   `json:"shed,omitempty"`
+	P99Micros        float64 `json:"p99_micros,omitempty"`
 }
 
 // registry is the coordinator's node table. Registration facts (ID,
@@ -109,10 +140,18 @@ func newRegistry(st store.Store, storeErr func(op string, err error)) *registry 
 func (r *registry) register(id, endpoint string, capacity int, algoVersion string, epoch uint64) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := r.st.PutNode(store.NodeRecord{ID: id, Endpoint: endpoint, Capacity: capacity, AlgoVersion: algoVersion}); err != nil {
+	n, ok := r.nodes[id]
+	// Draining and schema are sticky across re-registration (a drain is
+	// operator intent about the node, not about one worker process), so the
+	// write-through must not wipe them from the journal.
+	rec := store.NodeRecord{ID: id, Endpoint: endpoint, Capacity: capacity, AlgoVersion: algoVersion}
+	if ok {
+		rec.SchemaVersion = n.schemaVersion
+		rec.Draining = n.draining
+	}
+	if err := r.st.PutNode(rec); err != nil {
 		return err
 	}
-	n, ok := r.nodes[id]
 	if !ok {
 		n = &node{id: id}
 		r.nodes[id] = n
@@ -146,6 +185,8 @@ func (r *registry) adopt(recs []store.NodeRecord) int {
 			endpoint:      rec.Endpoint,
 			capacity:      rec.Capacity,
 			algoVersion:   rec.AlgoVersion,
+			schemaVersion: rec.SchemaVersion,
+			draining:      rec.Draining,
 			state:         NodeSuspect,
 			lastHeartbeat: r.now(),
 		}
@@ -176,6 +217,115 @@ func (r *registry) heartbeat(id, algoVersion string, epoch uint64) bool {
 	n.state = NodeReady
 	n.lastHeartbeat = r.now()
 	return true
+}
+
+// schemaConflict reports whether an incoming schema version is incompatible
+// with the fleet's: some non-dead node advertises a different non-empty
+// schema. Empty on either side is a pre-schema build and compatible with
+// anything. It returns the conflicting fleet schema for the error message.
+func (r *registry) schemaConflict(schema string) (string, bool) {
+	if schema == "" {
+		return "", false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range r.nodes {
+		if n.state != NodeDead && n.schemaVersion != "" && n.schemaVersion != schema {
+			return n.schemaVersion, true
+		}
+	}
+	return "", false
+}
+
+// noteSchema records a node's advertised wire-codec identity and persists
+// it (so a restarted coordinator still refuses a mixed-schema joiner).
+// Empty schemas — older workers — leave the recorded one alone.
+func (r *registry) noteSchema(id, schema string) {
+	if schema == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.nodes[id]
+	if !ok || n.schemaVersion == schema {
+		return
+	}
+	n.schemaVersion = schema
+	rec := store.NodeRecord{ID: id, Endpoint: n.endpoint, Capacity: n.capacity,
+		AlgoVersion: n.algoVersion, SchemaVersion: schema, Draining: n.draining}
+	if err := r.st.PutNode(rec); err != nil {
+		r.storeErr("put_node", err)
+	}
+}
+
+// absorbLoad records the load signals a worker piggybacked on its
+// heartbeat. Observability only: placement spills on the coordinator's own
+// inflight counter, which moves request-by-request.
+func (r *registry) absorbLoad(id string, inflight, shed int64, p99Micros float64) {
+	r.mu.Lock()
+	n, ok := r.nodes[id]
+	r.mu.Unlock()
+	if !ok {
+		return
+	}
+	n.repInflight.Store(inflight)
+	n.repShed.Store(shed)
+	n.repP99.Store(math.Float64bits(p99Micros))
+}
+
+// incInflight/decInflight maintain the coordinator-side outstanding-work
+// count bounded-load placement spills on. Atomic so the proxy hot path
+// never takes the registry lock twice per request.
+func (r *registry) incInflight(id string) {
+	r.mu.Lock()
+	n, ok := r.nodes[id]
+	r.mu.Unlock()
+	if ok {
+		n.inflight.Add(1)
+	}
+}
+
+func (r *registry) decInflight(id string) {
+	r.mu.Lock()
+	n, ok := r.nodes[id]
+	r.mu.Unlock()
+	if ok {
+		n.inflight.Add(-1)
+	}
+}
+
+// setDraining flips a node's drain flag (operator intent from
+// POST /v1/fleet/nodes/{id}/drain and /undrain), persisting it so the
+// decision survives a coordinator restart. False means unknown ID.
+func (r *registry) setDraining(id string, draining bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.nodes[id]
+	if !ok {
+		return false
+	}
+	if n.draining == draining {
+		return true
+	}
+	n.draining = draining
+	rec := store.NodeRecord{ID: id, Endpoint: n.endpoint, Capacity: n.capacity,
+		AlgoVersion: n.algoVersion, SchemaVersion: n.schemaVersion, Draining: draining}
+	if err := r.st.PutNode(rec); err != nil {
+		r.storeErr("put_node", err)
+	}
+	return true
+}
+
+// shedTotal sums the workers' reported 429 counts — the fleet-wide shed
+// signal the scaling advisor watches.
+func (r *registry) shedTotal() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, n := range r.nodes {
+		total += n.repShed.Load()
+	}
+	return total
 }
 
 // deregister removes a node entirely (graceful worker shutdown). The
@@ -266,34 +416,44 @@ func (r *registry) state(id string) NodeState {
 	return NodeDead
 }
 
-// candidate is the placement view of a node: identity, endpoint and
-// algorithm version, snapshotted under the lock so placement itself runs
-// lock-free.
+// candidate is the placement view of a node: identity, endpoint, algorithm
+// version and the in-flight count at snapshot time, taken under the lock so
+// placement itself runs lock-free.
 type candidate struct {
 	id       string
 	endpoint string
 	version  string
+	inflight int64
 }
 
 // candidates returns the placeable nodes: all ready ones, or — when no
 // node is ready — the suspect ones, so a fleet that is merely slow keeps
-// serving instead of answering 503. Dead nodes are never placed on.
+// serving instead of answering 503. Dead nodes are never placed on, and
+// draining nodes only when the whole fleet is draining (an operator who
+// drained everything still wants requests answered, not 503s).
 func (r *registry) candidates() []candidate {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var ready, suspect []candidate
+	var ready, suspect, draining []candidate
 	for _, n := range r.nodes {
-		switch n.state {
-		case NodeReady:
-			ready = append(ready, candidate{id: n.id, endpoint: n.endpoint, version: n.algoVersion})
-		case NodeSuspect:
-			suspect = append(suspect, candidate{id: n.id, endpoint: n.endpoint, version: n.algoVersion})
+		c := candidate{id: n.id, endpoint: n.endpoint, version: n.algoVersion, inflight: n.inflight.Load()}
+		switch {
+		case n.state == NodeDead:
+		case n.draining:
+			draining = append(draining, c)
+		case n.state == NodeReady:
+			ready = append(ready, c)
+		default:
+			suspect = append(suspect, c)
 		}
 	}
 	if len(ready) > 0 {
 		return ready
 	}
-	return suspect
+	if len(suspect) > 0 {
+		return suspect
+	}
+	return draining
 }
 
 // versionOf returns a node's current algorithm version ("" for unknown
@@ -375,10 +535,16 @@ func (r *registry) snapshot() []NodeInfo {
 			Capacity:             n.capacity,
 			State:                n.state.String(),
 			AlgoVersion:          n.algoVersion,
+			SchemaVersion:        n.schemaVersion,
+			Draining:             n.draining,
 			Epoch:                n.epoch,
 			SinceHeartbeatMillis: now.Sub(n.lastHeartbeat).Milliseconds(),
 			Requests:             n.requests.Load(),
 			Failures:             n.failures.Load(),
+			Inflight:             n.inflight.Load(),
+			ReportedInflight:     n.repInflight.Load(),
+			Shed:                 n.repShed.Load(),
+			P99Micros:            math.Float64frombits(n.repP99.Load()),
 		})
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })

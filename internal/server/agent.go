@@ -33,6 +33,12 @@ type RegisterRequest struct {
 	// different versions within one sweep job and uses it to attribute
 	// shadow-verify divergence.
 	AlgoVersion string `json:"algo_version,omitempty"`
+	// SchemaVersion is the worker's wire-codec identity (the SchemaVersion
+	// constant of its build). The coordinator refuses registrations whose
+	// schema differs from the fleet's: mixed codecs could relay bodies a
+	// client of the other generation cannot parse. Empty is legal (a
+	// pre-schema worker) and accepted for compatibility.
+	SchemaVersion string `json:"schema_version,omitempty"`
 	// Epoch is the worker's cache epoch at registration.
 	Epoch uint64 `json:"epoch,omitempty"`
 }
@@ -52,7 +58,24 @@ type HeartbeatRequest struct {
 	// AlgoVersion and Epoch piggyback the worker's current identity on
 	// every heartbeat, so the coordinator's registry tracks them live.
 	AlgoVersion string `json:"algo_version,omitempty"`
-	Epoch       uint64 `json:"epoch,omitempty"`
+	// SchemaVersion piggybacks the worker's wire-codec identity (see
+	// RegisterRequest.SchemaVersion).
+	SchemaVersion string `json:"schema_version,omitempty"`
+	Epoch         uint64 `json:"epoch,omitempty"`
+	// Load, when present, reports the worker's live load signals; the
+	// coordinator surfaces them on GET /v1/fleet/nodes and feeds them into
+	// the /v1/fleet/advice verdict.
+	Load *LoadReport `json:"load,omitempty"`
+}
+
+// LoadReport is a worker's live load signal, piggybacked on heartbeats.
+type LoadReport struct {
+	// Inflight is the number of requests the worker is serving right now.
+	Inflight int64 `json:"inflight"`
+	// Shed is the worker's cumulative 429 count.
+	Shed int64 `json:"shed"`
+	// P99Micros is the rolling p99 latency of served requests.
+	P99Micros float64 `json:"p99_micros"`
 }
 
 // HeartbeatResponse carries the fleet cache epoch back on every beat: a
@@ -90,6 +113,12 @@ type AgentConfig struct {
 	// AlgoVersion is the worker's advertised algorithm identity
 	// (Server.AlgoVersion()). Empty is legal for tests.
 	AlgoVersion string
+	// SchemaVersion is the advertised wire-codec identity. Empty defaults
+	// to the SchemaVersion constant of this build; tests may override.
+	SchemaVersion string
+	// Load, when set, samples the worker's live load signals for each
+	// heartbeat (normally Server.Load).
+	Load func() LoadReport
 	// Epoch, when set, reports the worker's current cache epoch; it is
 	// sent with every register and heartbeat.
 	Epoch func() uint64
@@ -126,6 +155,9 @@ type Agent struct {
 // StartAgent launches the registration loop and returns immediately; the
 // loop keeps retrying until the coordinator accepts the registration.
 func StartAgent(cfg AgentConfig) *Agent {
+	if cfg.SchemaVersion == "" {
+		cfg.SchemaVersion = SchemaVersion
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	a := &Agent{
 		cfg:    cfg,
@@ -160,11 +192,12 @@ func (a *Agent) loop(ctx context.Context) {
 		if !a.registered.Load() {
 			var resp RegisterResponse
 			err := a.post(ctx, "/v1/nodes/register", RegisterRequest{
-				ID:          a.cfg.NodeID,
-				Endpoint:    a.cfg.Endpoint,
-				Capacity:    a.cfg.Capacity,
-				AlgoVersion: a.cfg.AlgoVersion,
-				Epoch:       a.epoch(),
+				ID:            a.cfg.NodeID,
+				Endpoint:      a.cfg.Endpoint,
+				Capacity:      a.cfg.Capacity,
+				AlgoVersion:   a.cfg.AlgoVersion,
+				SchemaVersion: a.cfg.SchemaVersion,
+				Epoch:         a.epoch(),
 			}, &resp)
 			switch {
 			case err == nil:
@@ -179,11 +212,17 @@ func (a *Agent) loop(ctx context.Context) {
 			}
 		} else {
 			var resp HeartbeatResponse
-			err := a.post(ctx, "/v1/nodes/heartbeat", HeartbeatRequest{
-				ID:          a.cfg.NodeID,
-				AlgoVersion: a.cfg.AlgoVersion,
-				Epoch:       a.epoch(),
-			}, &resp)
+			hb := HeartbeatRequest{
+				ID:            a.cfg.NodeID,
+				AlgoVersion:   a.cfg.AlgoVersion,
+				SchemaVersion: a.cfg.SchemaVersion,
+				Epoch:         a.epoch(),
+			}
+			if a.cfg.Load != nil {
+				rep := a.cfg.Load()
+				hb.Load = &rep
+			}
+			err := a.post(ctx, "/v1/nodes/heartbeat", hb, &resp)
 			var se *statusError
 			switch {
 			case err == nil:

@@ -63,16 +63,12 @@ const (
 	BatchClose = "\n]\n"
 )
 
-// ErrorElement renders one failed loop's batch element. The coordinator
-// uses it for loops it cannot forward, producing the same bytes the worker
-// batch path would.
-func ErrorElement(msg string) []byte {
-	b, err := json.Marshal(errorResponse{Error: msg})
-	if err != nil {
-		// errorResponse is a plain string field; Marshal cannot fail.
-		return []byte(`{"error":"unrenderable error"}`)
-	}
-	return b
+// ErrorElement renders one failed loop's batch element in the unified
+// error envelope. The coordinator uses it for loops it cannot forward,
+// producing the same bytes the worker batch path would for the same code
+// and message.
+func ErrorElement(code, msg string) []byte {
+	return MarshalError(code, msg)
 }
 
 // Batch admission: per-loop limits are the singleton ones (each synthesized
@@ -199,7 +195,7 @@ func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 
 	body, release, err := s.readBodyPooled(w, r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "read body: %v", err)
+		s.writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "read body: %v", err)
 		return
 	}
 	defer release()
@@ -223,7 +219,7 @@ func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 
 	items, err := parseBatch(body, s.machines)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		return
 	}
 	s.metrics.batchLoops.Add(int64(len(items)))
@@ -281,9 +277,9 @@ func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(poolErr, ErrSaturated):
 		s.metrics.rejected.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.retryAfter().Round(time.Second)/time.Second)))
-		s.writeError(w, http.StatusTooManyRequests, "scheduling queue is full, retry later")
+		s.writeError(w, http.StatusTooManyRequests, ErrCodeSaturated, "scheduling queue is full, retry later")
 	case errors.Is(poolErr, ErrClosed):
-		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		s.writeError(w, http.StatusServiceUnavailable, ErrCodeShuttingDown, "server is shutting down")
 	default:
 		// Cache the assembled envelope for the verbatim fast path — but
 		// only fully served ones, matching the singleton rule that error
@@ -305,7 +301,7 @@ func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 // ok reporting which. Runs inside the batch's pool slot.
 func (s *Server) batchElement(it *batchItem, epoch uint64) ([]byte, bool) {
 	if it.err != nil {
-		return ErrorElement(it.err.Error()), false
+		return ErrorElement(ErrCodeBadRequest, it.err.Error()), false
 	}
 	key := it.job.cacheKey(keySalt(s.algo, epoch))
 	if cached, ok := s.cache.Get(key); ok {
@@ -315,7 +311,12 @@ func (s *Server) batchElement(it *batchItem, epoch uint64) ([]byte, bool) {
 	s.metrics.cacheMisses.Add(1)
 	out, err := s.compute(key, it.job, epoch)
 	if err != nil {
-		return ErrorElement(err.Error()), false
+		code := ErrCodeInternal
+		var cerr *clientError
+		if errors.As(err, &cerr) {
+			code = ErrCodeBadRequest
+		}
+		return ErrorElement(code, err.Error()), false
 	}
 	return trimElement(out), true
 }

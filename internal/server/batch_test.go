@@ -156,7 +156,7 @@ func TestBatchPartialFailure(t *testing.T) {
 		t.Fatalf("element 0: %v %s", err, elems[0])
 	}
 	var errElem errorResponse
-	if err := json.Unmarshal(elems[1], &errElem); err != nil || errElem.Error == "" {
+	if err := json.Unmarshal(elems[1], &errElem); err != nil || errElem.Error.Code == "" {
 		t.Fatalf("element 1 is not an error object: %s", elems[1])
 	}
 	var tailElem ScheduleResponse

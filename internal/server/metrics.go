@@ -18,6 +18,7 @@ const latencyWindow = 1024
 // counters are monotonic totals in the Prometheus style.
 type metrics struct {
 	requests       atomic.Int64 // every HTTP request seen
+	inflight       atomic.Int64 // requests currently being served (gauge)
 	scheduleReqs   atomic.Int64
 	sweepReqs      atomic.Int64
 	batchReqs      atomic.Int64 // /v1/schedule/batch requests
@@ -105,6 +106,7 @@ func (m *metrics) render(w io.Writer, queueDepth, cacheEntries int, epoch uint64
 			fmt.Fprintf(w, "gpserved_portfolio_wins_total{seed=\"%d\"} %d\n", seed, n)
 		}
 	}
+	fmt.Fprintf(w, "gpserved_inflight %d\n", m.inflight.Load())
 	fmt.Fprintf(w, "gpserved_queue_depth %d\n", queueDepth)
 	fmt.Fprintf(w, "gpserved_latency_p50_seconds %g\n", p50.Seconds())
 	fmt.Fprintf(w, "gpserved_latency_p99_seconds %g\n", p99.Seconds())

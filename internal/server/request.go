@@ -114,9 +114,63 @@ type ScheduleResponse struct {
 	Verified bool `json:"verified"`
 }
 
+// SchemaVersion identifies the wire codec: the request/response JSON
+// shapes, the batch framing, and the error envelope. Bump it on any
+// incompatible change to those shapes. It is folded into every cache key
+// (two codec generations never share an entry), advertised on every
+// response as X-Schema-Version and in the register/heartbeat payloads, and
+// the coordinator refuses mixed-schema fleets the same way it refuses
+// mixed algorithm versions.
+const SchemaVersion = "wire/1"
+
+// Stable machine-readable error codes carried by every error envelope.
+// Clients branch on the code, not the message; the message is for humans.
+const (
+	ErrCodeBadRequest     = "bad_request"     // 400: request failed admission
+	ErrCodeSaturated      = "saturated"       // 429: queue full, Retry-After set
+	ErrCodeShuttingDown   = "shutting_down"   // 503: daemon draining
+	ErrCodeNotFound       = "not_found"       // 404: unknown resource
+	ErrCodeInternal       = "internal"        // 500: scheduling or verify failure
+	ErrCodeNoWorkers      = "no_workers"      // 503: coordinator has no ready workers
+	ErrCodeUpstreamFailed = "upstream_failed" // 502: every placement attempt failed
+	ErrCodeSchemaMismatch = "schema_mismatch" // 409: worker's wire codec differs from the fleet's
+	ErrCodeJobTableFull   = "job_table_full"  // 429: job table at capacity
+)
+
+// ErrorRetryable reports whether a code names a condition a client should
+// retry (possibly after Retry-After) rather than a permanent failure.
+func ErrorRetryable(code string) bool {
+	switch code {
+	case ErrCodeSaturated, ErrCodeShuttingDown, ErrCodeNoWorkers, ErrCodeUpstreamFailed, ErrCodeJobTableFull:
+		return true
+	}
+	return false
+}
+
+// ErrorBody is the inner object of the unified error envelope
+// {"error": {"code", "message", "retryable"}} shared by gpserved and
+// gpcoordd.
+type ErrorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable,omitempty"`
+}
+
 // errorResponse is the JSON body of every non-2xx response.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error ErrorBody `json:"error"`
+}
+
+// MarshalError renders the unified error envelope for a code and message.
+// The coordinator shares it so both daemons' error bodies are shaped — and
+// byte-rendered — identically.
+func MarshalError(code, msg string) []byte {
+	b, err := json.Marshal(errorResponse{Error: ErrorBody{Code: code, Message: msg, Retryable: ErrorRetryable(code)}})
+	if err != nil {
+		// ErrorBody has only plain fields; Marshal cannot fail.
+		return []byte(`{"error":{"code":"internal","message":"unrenderable error"}}`)
+	}
+	return b
 }
 
 // scheduleJob is a decoded, validated schedule request.
@@ -357,12 +411,13 @@ func parseScheme(s string) (core.Algorithm, string, error) {
 	return 0, "", fmt.Errorf("unknown scheme %q (want GP, Fixed or URACAM)", s)
 }
 
-// keySalt builds the algorithm-identity salt folded into every cache key:
-// the algorithm version string and the cache epoch. Two workers running
-// different scheduler generations — or one worker across a flush — can
-// therefore never collide on a key, even for byte-identical requests.
+// keySalt builds the identity salt folded into every cache key: the wire
+// schema version, the algorithm version string and the cache epoch. Two
+// workers running different scheduler generations or codec generations —
+// or one worker across a flush — can therefore never collide on a key,
+// even for byte-identical requests.
 func keySalt(algoVersion string, epoch uint64) string {
-	return algoVersion + "\x00" + strconv.FormatUint(epoch, 10)
+	return SchemaVersion + "\x00" + algoVersion + "\x00" + strconv.FormatUint(epoch, 10)
 }
 
 // cacheKey content-addresses the job under an algorithm-identity salt: the

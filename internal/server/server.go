@@ -156,11 +156,14 @@ func (s *Server) Handler() http.Handler { return s }
 // a specific scheduler generation.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
 	if s.cfg.NodeID != "" {
 		w.Header().Set("X-Node", s.cfg.NodeID)
 	}
 	w.Header().Set("X-Algo-Version", s.algo)
 	w.Header().Set("X-Algo-Epoch", strconv.FormatUint(s.cache.Epoch(), 10))
+	w.Header().Set("X-Schema-Version", SchemaVersion)
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -179,6 +182,19 @@ func (s *Server) Metrics() (cacheHits, cacheMisses, coalesced, rejected int64) {
 // AlgoVersion returns the complete algorithm identity this daemon
 // advertises (compiled-in version plus option suffixes).
 func (s *Server) AlgoVersion() string { return s.algo }
+
+// Load returns the daemon's live load signals: requests currently in
+// flight, the cumulative shed (429) count, and the rolling p99 latency.
+// The agent reports them to the coordinator on every heartbeat, feeding
+// the /v1/fleet/advice scaling verdict.
+func (s *Server) Load() LoadReport {
+	_, p99 := s.metrics.quantiles()
+	return LoadReport{
+		Inflight:  s.metrics.inflight.Load(),
+		Shed:      s.metrics.rejected.Load(),
+		P99Micros: float64(p99) / float64(time.Microsecond),
+	}
+}
 
 // Epoch returns the daemon's current cache epoch.
 func (s *Server) Epoch() uint64 { return s.cache.Epoch() }
@@ -233,13 +249,17 @@ func (s *Server) readBodyPooled(w http.ResponseWriter, r *http.Request) ([]byte,
 	return buf.Bytes(), release, nil
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+// writeError renders the unified error envelope
+// {"error": {"code", "message", "retryable"}}. code is one of the ErrCode
+// constants; retryable derives from it.
+func (s *Server) writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
 	if status == http.StatusBadRequest {
 		s.metrics.badRequests.Add(1)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+	_, _ = w.Write(MarshalError(code, fmt.Sprintf(format, args...)))
+	_, _ = w.Write([]byte("\n"))
 }
 
 // handleCacheFlush is POST /v1/cache/flush: wipe the result cache and
@@ -250,7 +270,7 @@ func (s *Server) writeError(w http.ResponseWriter, status int, format string, ar
 func (s *Server) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
 	body, err := s.readBody(w, r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "read body: %v", err)
+		s.writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "read body: %v", err)
 		return
 	}
 	var req FlushRequest
@@ -258,7 +278,7 @@ func (s *Server) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
 		dec := json.NewDecoder(bytes.NewReader(body))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
-			s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			s.writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "bad request body: %v", err)
 			return
 		}
 	}
@@ -274,7 +294,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 
 	body, release, err := s.readBodyPooled(w, r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "read body: %v", err)
+		s.writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "read body: %v", err)
 		return
 	}
 	defer release()
@@ -293,7 +313,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 
 	job, err := parseScheduleRequestCached(body, s.machines)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		return
 	}
 	if job.mcState != "" {
@@ -346,16 +366,16 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrSaturated):
 		s.metrics.rejected.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.retryAfter().Round(time.Second)/time.Second)))
-		s.writeError(w, http.StatusTooManyRequests, "scheduling queue is full, retry later")
+		s.writeError(w, http.StatusTooManyRequests, ErrCodeSaturated, "scheduling queue is full, retry later")
 		return
 	case errors.Is(err, ErrClosed):
-		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		s.writeError(w, http.StatusServiceUnavailable, ErrCodeShuttingDown, "server is shutting down")
 		return
 	case errors.As(err, &cerr):
-		s.writeError(w, http.StatusBadRequest, "%v", cerr)
+		s.writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", cerr)
 		return
 	case err != nil:
-		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeError(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		return
 	}
 	s.cache.LinkBody(key, bodyHash)
@@ -445,7 +465,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	body, err := s.readBody(w, r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "read body: %v", err)
+		s.writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "read body: %v", err)
 		return
 	}
 	var req SweepRequest
@@ -453,13 +473,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		dec := json.NewDecoder(bytes.NewReader(body))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
-			s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			s.writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "bad request body: %v", err)
 			return
 		}
 	}
 	machines, corpora, err := resolveSweep(&req)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		return
 	}
 
@@ -492,12 +512,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(poolErr, ErrSaturated):
 		s.metrics.rejected.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.retryAfter().Round(time.Second)/time.Second)))
-		s.writeError(w, http.StatusTooManyRequests, "scheduling queue is full, retry later")
+		s.writeError(w, http.StatusTooManyRequests, ErrCodeSaturated, "scheduling queue is full, retry later")
 	case errors.Is(poolErr, ErrClosed):
-		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		s.writeError(w, http.StatusServiceUnavailable, ErrCodeShuttingDown, "server is shutting down")
 	case streamErr != nil && cw.n == 0:
 		// Nothing streamed yet: the status code is still ours to set.
-		s.writeError(w, http.StatusInternalServerError, "sweep: %v", streamErr)
+		s.writeError(w, http.StatusInternalServerError, ErrCodeInternal, "sweep: %v", streamErr)
 	case streamErr != nil:
 		// The 200 and part of the CSV are already on the wire; mark the
 		// truncation in-band so clients can tell it from a complete sweep.

@@ -196,11 +196,12 @@ func TestScheduleMalformedRequests(t *testing.T) {
 			if resp.StatusCode != http.StatusBadRequest {
 				t.Fatalf("status %d (want 400), body %s", resp.StatusCode, body)
 			}
-			var e struct {
-				Error string `json:"error"`
+			var e errorResponse
+			if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != ErrCodeBadRequest || e.Error.Message == "" {
+				t.Fatalf("error body not a bad_request envelope: %s", body)
 			}
-			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
-				t.Fatalf("error body not JSON with error field: %s", body)
+			if e.Error.Retryable {
+				t.Fatalf("bad_request marked retryable: %s", body)
 			}
 		})
 	}

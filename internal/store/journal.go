@@ -345,7 +345,20 @@ func (j *Journal) SetEpoch(epoch uint64) error {
 	return j.mutate(&record{Op: opEpochSet, Epoch: epoch})
 }
 
+// PutPlacement implements Store.
+func (j *Journal) PutPlacement(p PlacementRecord) error {
+	return j.mutate(&record{Op: opPlacePut, Placement: &p})
+}
+
+// DeletePlacement implements Store.
+func (j *Journal) DeletePlacement(key string) error {
+	return j.mutate(&record{Op: opPlaceDel, ID: key})
+}
+
 // Stats implements Store.
+// Durable reports true: journaled mutations survive a restart.
+func (j *Journal) Durable() bool { return true }
+
 func (j *Journal) Stats() Stats {
 	j.mu.Lock()
 	defer j.mu.Unlock()

@@ -78,7 +78,20 @@ func (m *Memory) SetEpoch(epoch uint64) error {
 	return m.mutate(&record{Op: opEpochSet, Epoch: epoch})
 }
 
+// PutPlacement implements Store.
+func (m *Memory) PutPlacement(p PlacementRecord) error {
+	return m.mutate(&record{Op: opPlacePut, Placement: &p})
+}
+
+// DeletePlacement implements Store.
+func (m *Memory) DeletePlacement(key string) error {
+	return m.mutate(&record{Op: opPlaceDel, ID: key})
+}
+
 // Stats implements Store.
+// Durable reports false: Memory forgets everything on restart.
+func (m *Memory) Durable() bool { return false }
+
 func (m *Memory) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()

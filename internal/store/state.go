@@ -17,6 +17,8 @@ const (
 	opJobState = "job_state"
 	opJobDel   = "job_del"
 	opEpochSet = "epoch_set"
+	opPlacePut = "place_put"
+	opPlaceDel = "place_del"
 )
 
 // record is the wire/journal form of one mutation. Seq is the journal's
@@ -32,19 +34,26 @@ type record struct {
 	Cell    *CellRecord `json:"cell,omitempty"`
 	State   string      `json:"state,omitempty"`
 	Epoch   uint64      `json:"epoch,omitempty"`
+
+	Placement *PlacementRecord `json:"placement,omitempty"`
 }
 
 // tables is the in-memory mirror every Store keeps: the state records
 // fold into. Not goroutine-safe; callers lock.
 type tables struct {
-	nodes  map[string]NodeRecord
-	jobs   map[string]*JobRecord
-	jobSeq int64
-	epoch  uint64
+	nodes      map[string]NodeRecord
+	jobs       map[string]*JobRecord
+	placements map[string]PlacementRecord
+	jobSeq     int64
+	epoch      uint64
 }
 
 func newTables() *tables {
-	return &tables{nodes: make(map[string]NodeRecord), jobs: make(map[string]*JobRecord)}
+	return &tables{
+		nodes:      make(map[string]NodeRecord),
+		jobs:       make(map[string]*JobRecord),
+		placements: make(map[string]PlacementRecord),
+	}
 }
 
 // load replaces the tables with a checkpoint snapshot.
@@ -57,6 +66,10 @@ func (t *tables) load(s *State) {
 	for i := range s.Jobs {
 		j := s.Jobs[i] // copy
 		t.jobs[j.ID] = &j
+	}
+	t.placements = make(map[string]PlacementRecord, len(s.Placements))
+	for _, p := range s.Placements {
+		t.placements[p.Key] = p
 	}
 	t.jobSeq = s.JobSeq
 	t.epoch = s.Epoch
@@ -120,6 +133,13 @@ func (t *tables) apply(rec *record) error {
 		if rec.Epoch > t.epoch {
 			t.epoch = rec.Epoch
 		}
+	case opPlacePut:
+		if rec.Placement == nil || rec.Placement.Key == "" || rec.Placement.Node == "" {
+			return fmt.Errorf("store: %s without valid placement", rec.Op)
+		}
+		t.placements[rec.Placement.Key] = *rec.Placement
+	case opPlaceDel:
+		delete(t.placements, rec.ID)
 	default:
 		return fmt.Errorf("store: unknown op %q", rec.Op)
 	}
@@ -145,5 +165,9 @@ func (t *tables) snapshot() *State {
 		s.Jobs = append(s.Jobs, jc)
 	}
 	sort.Slice(s.Jobs, func(i, j int) bool { return s.Jobs[i].Seq < s.Jobs[j].Seq })
+	for _, p := range t.placements {
+		s.Placements = append(s.Placements, p)
+	}
+	sort.Slice(s.Placements, func(i, j int) bool { return s.Placements[i].Key < s.Placements[j].Key })
 	return s
 }

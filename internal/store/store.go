@@ -32,6 +32,26 @@ type NodeRecord struct {
 	// options). A registration fact, not liveness: the coordinator uses it
 	// to refuse mixing fragments from different versions in one job.
 	AlgoVersion string `json:"algo_version,omitempty"`
+	// SchemaVersion is the wire-codec identity the worker advertised at
+	// registration; the coordinator refuses mixed-schema fleets the same
+	// way it refuses mixed algorithm versions inside one job.
+	SchemaVersion string `json:"schema_version,omitempty"`
+	// Draining marks an operator-initiated drain: the node stays registered
+	// and heartbeating but receives no new placements. Persisted so a drain
+	// decision survives a coordinator restart.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// PlacementRecord is one durable placement: a unit of work (a sweep-job
+// cell, keyed by its content-address key) assigned to a node. Journaled at
+// the Preparing transition and deleted at Dropped, so a restarted
+// coordinator re-places in-flight work on the node that already holds its
+// cache entry instead of re-running rendezvous from scratch.
+type PlacementRecord struct {
+	Key     string `json:"key"`
+	Node    string `json:"node"`
+	State   string `json:"state"`
+	Spilled bool   `json:"spilled,omitempty"`
 }
 
 // CellRecord is one completed sweep-job cell: its position in the job's
@@ -81,6 +101,8 @@ type State struct {
 	// and persisted before the flush fans out, so a restarted coordinator
 	// never resurrects a pre-flush view of the fleet's caches.
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Placements are the durable in-flight placements, sorted by Key.
+	Placements []PlacementRecord `json:"placements,omitempty"`
 }
 
 // Stats counts a store's write traffic; the coordinator exposes them on
@@ -120,11 +142,21 @@ type Store interface {
 	// SetEpoch raises the persisted fleet cache epoch. Lowering is a no-op:
 	// the epoch is monotonic by construction.
 	SetEpoch(epoch uint64) error
+	// PutPlacement inserts or replaces a durable placement by Key.
+	PutPlacement(p PlacementRecord) error
+	// DeletePlacement removes a placement (the work finished or was
+	// abandoned). Deleting an unknown key is a no-op.
+	DeletePlacement(key string) error
 	// DeleteJob removes a job and its fragments (retention eviction).
 	// Deleting an unknown ID is a no-op.
 	DeleteJob(id string) error
 	// Stats returns the write-traffic counters.
 	Stats() Stats
+	// Durable reports whether mutations survive a process restart (true
+	// for the journal store, false for the in-memory one). The
+	// coordinator's /healthz surfaces it so an operator can tell at a
+	// glance whether this control plane can keep its durability promises.
+	Durable() bool
 	// Close releases the store. Mutations after Close fail.
 	Close() error
 }

@@ -20,8 +20,14 @@
 # every worker on the new epoch, the same request must recompute (X-Cache
 # miss, byte-identical to the pre-upgrade answer) instead of serving a
 # stale pre-flush entry, and the always-on shadow verifier (-shadow-rate 1)
-# must have sampled replays with zero mismatches. Finally both workers and
-# the coordinator must drain gracefully (exit 0) on SIGTERM.
+# must have sampled replays with zero mismatches.
+#
+# Then the hot-key gate: a third worker joins, a burst of identical
+# requests for one fresh key hammers the fleet, and bounded-load placement
+# (-load-bound 1.25) must spill the hot key past its overloaded HRW owner
+# (gpcoordd_spills_total advances) while every response stays 200 (no
+# shedding) and byte-identical. Finally all workers and the coordinator
+# must drain gracefully (exit 0) on SIGTERM.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,7 +61,7 @@ wait_listen() { # logfile prefix -> base URL
 
 echo "== booting gpcoordd (journaled) + 2 gpserved workers"
 journal="$work/smoke-journal"
-"$work/gpcoordd" -addr 127.0.0.1:0 -heartbeat 500ms -journal "$journal" -shadow-rate 1 >"$work/coordd.log" 2>&1 &
+"$work/gpcoordd" -addr 127.0.0.1:0 -heartbeat 500ms -journal "$journal" -shadow-rate 1 -load-bound 1.25 >"$work/coordd.log" 2>&1 &
 pids+=($!)
 coord_pid=$!
 coord="$(wait_listen "$work/coordd.log" gpcoordd)"
@@ -154,7 +160,7 @@ kill -9 "$coord_pid"
 wait "$coord_pid" 2>/dev/null || true
 
 port="${coord##*:}"
-"$work/gpcoordd" -addr "127.0.0.1:$port" -heartbeat 500ms -journal "$journal" -shadow-rate 1 >"$work/coordd2.log" 2>&1 &
+"$work/gpcoordd" -addr "127.0.0.1:$port" -heartbeat 500ms -journal "$journal" -shadow-rate 1 -load-bound 1.25 >"$work/coordd2.log" 2>&1 &
 pids+=($!)
 coord_pid=$!
 coord2="$(wait_listen "$work/coordd2.log" gpcoordd)"
@@ -246,10 +252,55 @@ printf '%s\n' "$metrics" | grep -q '^gpcoordd_shadow_mismatch_total 0$' ||
     { echo "shadow mismatches across a same-binary upgrade:" >&2
       printf '%s\n' "$metrics" | grep '^gpcoordd_shadow' >&2; exit 1; }
 
+echo "== fleet API: JSON healthz and scaling advice"
+curl -sf "$coord/healthz" | grep -q '"status": "ok"' ||
+    { echo "healthz is not the JSON fleet summary" >&2; curl -s "$coord/healthz" >&2; exit 1; }
+curl -sf "$coord/v1/fleet/advice" | grep -q '"advice": "' ||
+    { echo "/v1/fleet/advice returned no verdict" >&2; curl -s "$coord/v1/fleet/advice" >&2; exit 1; }
+
+echo "== hot-key phase: single-key burst against 3 workers spills without shedding"
+"$work/gpserved" -addr 127.0.0.1:0 -coordinator "$coord" -node-id smoke-c >"$work/worker-c.log" 2>&1 &
+pids+=($!)
+wc_pid=$!
+for i in $(seq 1 200); do
+    ready="$(curl -sf "$coord/v1/fleet/nodes" | grep -c '"state": "ready"' || true)"
+    [ "$ready" = 3 ] && break
+    if [ "$i" = 200 ]; then
+        echo "third worker never became ready:" >&2
+        curl -s "$coord/v1/fleet/nodes" >&2 || true
+        exit 1
+    fi
+    sleep 0.05
+done
+
+# A fresh (uncached) key, hit by 40 concurrent clients: the HRW owner blows
+# past the 1.25×mean in-flight bound and the key must fan down the ranking.
+hotreq='{"loop_text": "loop hotkey 100\nnode 0 Load a[i]\nnode 1 Load b[i]\nnode 2 FPMul *c\nnode 3 FPMul *d\nnode 4 FPAdd +s\nnode 5 FPAdd +t\nnode 6 Store s=\nnode 7 Store t=\nedge 0 2 2 0 data\nedge 1 3 2 0 data\nedge 2 4 4 0 data\nedge 3 5 4 0 data\nedge 4 6 4 0 data\nedge 5 7 4 0 data\nedge 4 4 4 1 data\nedge 5 5 4 1 data\n", "clusters": 4, "regs": 64, "nbus": 2, "latbus": 1}'
+spills_before="$(curl -sf "$coord/metrics" | sed -n 's/^gpcoordd_spills_total //p')"
+: >"$work/hot-codes"
+curl_pids=()
+for i in $(seq 1 40); do
+    curl -s -o "$work/hot-$i" -w '%{http_code}\n' "$coord/v1/schedule" -d "$hotreq" >>"$work/hot-codes" &
+    curl_pids+=($!)
+done
+wait "${curl_pids[@]}"
+bad="$(grep -cv '^200$' "$work/hot-codes" || true)"
+[ "$bad" = 0 ] || { echo "$bad/40 hot-key requests shed or failed:" >&2; sort "$work/hot-codes" | uniq -c >&2; exit 1; }
+for i in $(seq 2 40); do
+    cmp -s "$work/hot-1" "$work/hot-$i" ||
+        { echo "hot-key response $i differs from response 1" >&2; exit 1; }
+done
+spills_after="$(curl -sf "$coord/metrics" | sed -n 's/^gpcoordd_spills_total //p')"
+[ "${spills_after:-0}" -gt "${spills_before:-0}" ] ||
+    { echo "bounded-load never spilled (spills $spills_before -> $spills_after)" >&2
+      curl -s "$coord/metrics" | grep '^gpcoordd_node_inflight' >&2 || true; exit 1; }
+echo "== hot key spilled $((spills_after - spills_before)) time(s), 0 shed, 40/40 byte-identical"
+
 echo "== graceful drain"
-kill -TERM "$wa_pid" "$wb_pid"
+kill -TERM "$wa_pid" "$wb_pid" "$wc_pid"
 wait "$wa_pid" || { echo "worker a exited non-zero" >&2; cat "$work/worker-a.log" >&2; exit 1; }
 wait "$wb_pid" || { echo "worker b exited non-zero" >&2; cat "$work/worker-b.log" >&2; exit 1; }
+wait "$wc_pid" || { echo "worker c exited non-zero" >&2; cat "$work/worker-c.log" >&2; exit 1; }
 kill -TERM "$coord_pid"
 wait "$coord_pid" || { echo "coordinator exited non-zero" >&2; cat "$work/coordd2.log" >&2; exit 1; }
 pids=()
