@@ -40,6 +40,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,8 +48,22 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
+
+// pprofMux serves the net/http/pprof handlers on an explicit mux, so the
+// profiling surface exists only on -debug-addr and never rides on the
+// service listener (http.DefaultServeMux is deliberately unused).
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -69,6 +84,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	shadowRate := fs.Float64("shadow-rate", 0, "fraction of proxied schedule hits replayed against a second worker and byte-compared (0 = off, 1 = all)")
 	shadowCanary := fs.String("shadow-canary", "", "node ID every shadow replay targets (empty = the next HRW-ranked worker)")
 	loadBound := fs.Float64("load-bound", 1.25, "bounded-load factor c: a key spills past its HRW owner once the owner exceeds c×mean in-flight (<=0 disables spilling)")
+	logFormat := fs.String("log-format", "text", "structured log encoding: text or json")
+	debugAddr := fs.String("debug-addr", "", "listen address for the pprof debug server (empty = off)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
 	benchJSON := fs.String("bench-json", "", "measure cluster throughput and write the snapshot to this JSON file, then exit")
 	benchReqs := fs.Int("bench-requests", 400, "total requests of the -bench-json measurement")
@@ -140,14 +157,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		cfg.Store = j
 	}
-	cfg.Logf = func(format string, args ...any) {
-		fmt.Fprintf(stdout, "gpcoordd: "+format+"\n", args...)
+	logger, err := obs.NewLogger(*logFormat, stdout)
+	if err != nil {
+		fmt.Fprintf(stderr, "gpcoordd: %v\n", err)
+		return 2
 	}
+	cfg.Logger = logger
 
 	coord, err := cluster.New(cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "gpcoordd: %v\n", err)
 		return 1
+	}
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "gpcoordd: debug listener: %v\n", err)
+			coord.Close()
+			return 1
+		}
+		defer dln.Close()
+		go func() { _ = http.Serve(dln, pprofMux()) }()
+		fmt.Fprintf(stdout, "gpcoordd debug (pprof) on %s\n", dln.Addr())
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -36,8 +37,22 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
+
+// pprofMux serves the net/http/pprof handlers on an explicit mux, so the
+// profiling surface exists only on -debug-addr and never rides on the
+// service listener (http.DefaultServeMux is deliberately unused).
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -69,6 +84,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	algoVersion := fs.String("algo-version", "", "advertised algorithm version override (default the compiled-in schedule.AlgoVersion; canary deploys set this)")
 	bestFit := fs.Bool("balance-best-fit", false, "use the best-fit partition balancing variant (folded into the advertised algorithm version and every cache key)")
 	portfolio := fs.Int("portfolio", 0, "default portfolio width: race K seeded partition starts per request and keep the best (0 or 1 = sequential; K>1 is folded into the advertised algorithm version)")
+	logFormat := fs.String("log-format", "text", "structured log encoding: text or json")
+	debugAddr := fs.String("debug-addr", "", "listen address for the pprof debug server (empty = off)")
 	benchJSON := fs.String("bench-json", "", "measure sustained throughput and write the snapshot to this JSON file, then exit")
 	benchReqs := fs.Int("bench-requests", 400, "total requests of the -bench-json measurement")
 	benchConc := fs.Int("bench-concurrency", 8, "client goroutines of the -bench-json measurement")
@@ -107,6 +124,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	logger, err := obs.NewLogger(*logFormat, stdout)
+	if err != nil {
+		fmt.Fprintf(stderr, "gpserved: %v\n", err)
+		return 2
+	}
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "gpserved: debug listener: %v\n", err)
+			return 1
+		}
+		defer dln.Close()
+		go func() { _ = http.Serve(dln, pprofMux()) }()
+		fmt.Fprintf(stdout, "gpserved debug (pprof) on %s\n", dln.Addr())
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "gpserved: %v\n", err)
@@ -141,9 +173,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			Load:        srv.Load,
 			Epoch:       srv.Epoch,
 			ApplyEpoch:  func(e uint64) { srv.FlushTo(e) },
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(stdout, "gpserved: agent: "+format+"\n", args...)
-			},
+			Logger:      logger,
 		})
 	}
 

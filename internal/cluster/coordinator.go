@@ -56,6 +56,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -63,6 +64,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -75,8 +77,10 @@ type Config struct {
 	// behavior of a journal-less gpcoordd. The Coordinator takes ownership
 	// and closes it in Close.
 	Store store.Store
-	// Logf, when set, receives recovery and store-failure log lines.
-	Logf func(format string, args ...any)
+	// Logger, when set, receives the coordinator's structured events —
+	// recovery, store failures, failovers, suspect/dead transitions — with
+	// request and node identities as fields. Nil drops them.
+	Logger *slog.Logger
 	// HeartbeatInterval is the cadence workers are told to heartbeat at
 	// (default 2s).
 	HeartbeatInterval time.Duration
@@ -252,6 +256,12 @@ type Coordinator struct {
 	metrics metrics
 	mux     *http.ServeMux
 	client  *http.Client
+	log     *slog.Logger
+
+	// traces is the bounded ring of recent placement traces behind
+	// GET /v1/debug/traces; one request ID indexes the coordinator's view
+	// here and the worker's view in its own ring.
+	traces *obs.Ring
 
 	ctx           context.Context
 	stop          context.CancelFunc
@@ -286,16 +296,23 @@ func New(cfg Config) (*Coordinator, error) {
 	if st == nil {
 		st = store.NewMemory()
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	c := &Coordinator{
 		cfg:           cfg,
 		st:            st,
 		mux:           http.NewServeMux(),
 		client:        &http.Client{},
+		log:           log,
+		traces:        obs.NewRing(coordTraceRingSize),
 		ctx:           ctx,
 		stop:          stop,
 		reconcileDone: make(chan struct{}),
 	}
+	c.metrics.init()
 	c.reg = newRegistry(st, c.storeError)
 	c.shadow.c = c
 	c.jobs.byID = make(map[string]*job)
@@ -318,6 +335,8 @@ func New(cfg Config) (*Coordinator, error) {
 	c.mux.HandleFunc("GET /v1/jobs/{id}/csv", c.handleJobCSV)
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mux.HandleFunc("GET /v1/debug/traces", c.handleDebugTraces)
+	c.mux.HandleFunc("GET /v1/debug/traces/{id}", c.handleDebugTrace)
 	if err := c.recover(); err != nil {
 		stop()
 		close(c.reconcileDone)
@@ -327,17 +346,15 @@ func New(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
-func (c *Coordinator) logf(format string, args ...any) {
-	if c.cfg.Logf != nil {
-		c.cfg.Logf(format, args...)
-	}
-}
+// coordTraceRingSize bounds the coordinator's buffer of recent placement
+// traces served by /v1/debug/traces.
+const coordTraceRingSize = 128
 
 // storeError records a best-effort persistence failure: counted, logged,
 // never fatal to the serving path.
 func (c *Coordinator) storeError(op string, err error) {
 	c.metrics.storeErrors.Add(1)
-	c.logf("store: %s: %v", op, err)
+	c.log.Warn("store operation failed", "op", op, "err", err.Error())
 }
 
 // Handler returns the coordinator's HTTP handler.
@@ -345,9 +362,14 @@ func (c *Coordinator) Handler() http.Handler { return c }
 
 // ServeHTTP dispatches to the coordinator's endpoints. Every response
 // carries the fleet cache epoch, so clients can tell at a glance whether
-// the fleet has converged past a flush they initiated.
+// the fleet has converged past a flush they initiated; every response also
+// echoes the request ID (propagated or minted here — the coordinator is the
+// edge), which the proxy paths forward to workers so one ID stitches the
+// coordinator's placement trace to the worker's phase trace.
 func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	c.metrics.requests.Add(1)
+	id, _ := obs.RequestID(r)
+	w.Header().Set(obs.RequestIDHeader, id)
 	w.Header().Set("X-Algo-Epoch", strconv.FormatUint(c.epoch.Load(), 10))
 	c.mux.ServeHTTP(w, r)
 }
@@ -363,7 +385,7 @@ func (c *Coordinator) Close() {
 	c.jobs.wg.Wait()
 	c.shadow.wg.Wait()
 	if err := c.st.Close(); err != nil {
-		c.logf("store: close: %v", err)
+		c.log.Warn("store close failed", "err", err.Error())
 	}
 }
 
@@ -531,11 +553,7 @@ func (c *Coordinator) setDrain(w http.ResponseWriter, r *http.Request, draining 
 	}
 	c.metrics.drainFlips.Add(1)
 	flipped := c.drainPlacements(id, draining)
-	verb := "draining"
-	if !draining {
-		verb = "undrained"
-	}
-	c.logf("fleet: node %s %s (%d durable placement(s) flipped)", id, verb, flipped)
+	c.log.Info("node drain flag flipped", "node", id, "draining", draining, "placements_flipped", flipped)
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]any{"node": id, "draining": draining, "placements_flipped": flipped})
 }
@@ -547,6 +565,55 @@ func (c *Coordinator) handleNodes(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(c.reg.snapshot())
 }
 
+// handleDebugTraces is GET /v1/debug/traces: the most recent placement
+// traces, newest first. Debug surface only — never part of a relayed body.
+func (c *Coordinator) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(c.traces.Recent(64))
+}
+
+// handleDebugTrace is GET /v1/debug/traces/{id}: one placement trace by
+// request ID, if it is still in the ring.
+func (c *Coordinator) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	t, ok := c.traces.Get(r.PathValue("id"))
+	if !ok {
+		c.writeError(w, http.StatusNotFound, server.ErrCodeNotFound, "no trace for request id %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(&t)
+}
+
+// finishProxy stamps a proxy trace's outcome, exposes its phases in the
+// X-Phase-Timing response header (strictly outside the relayed body — the
+// byte-determinism contract covers bodies only), publishes it to the debug
+// ring, and observes the endpoint/outcome latency cell. Must run before the
+// response status is written.
+func (c *Coordinator) finishProxy(w http.ResponseWriter, tr *obs.Trace, endpoint, outcome string, start time.Time) {
+	tr.SetOutcome(outcome)
+	if st := tr.ServerTiming(); st != "" {
+		w.Header().Set("X-Phase-Timing", st)
+	}
+	c.traces.Publish(tr)
+	c.metrics.observe(endpoint, outcome, time.Since(start))
+}
+
+// outcomeOf classifies how placement resolved a served request, the
+// low-cardinality outcome label of the duration histogram.
+func outcomeOf(fr fleetResult) string {
+	switch {
+	case fr.failedOver:
+		return "failover"
+	case fr.spilled:
+		return "spill"
+	}
+	return "owner"
+}
+
 // handleSchedule proxies one scheduling request to the fleet: rendezvous
 // placement on the content-address key, then failover down the ranking
 // with an exclusion list when workers fail. The worker's response —
@@ -554,8 +621,11 @@ func (c *Coordinator) handleNodes(w http.ResponseWriter, r *http.Request) {
 // header naming the worker that served it.
 func (c *Coordinator) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	c.metrics.scheduleReqs.Add(1)
+	start := time.Now()
+	tr := obs.AcquireTrace(r.Header.Get(obs.RequestIDHeader), "proxy-schedule")
 	var buf bytes.Buffer
 	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, c.cfg.maxBodyBytes())); err != nil {
+		c.finishProxy(w, tr, "schedule", "bad-request", start)
 		c.writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest, "read body: %v", err)
 		return
 	}
@@ -564,15 +634,19 @@ func (c *Coordinator) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	// and the parse yields the placement key.
 	key, err := server.ScheduleCacheKey(reqBody)
 	if err != nil {
+		c.finishProxy(w, tr, "schedule", "bad-request", start)
 		c.writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest, "%v", err)
 		return
 	}
+	tr.Phase("admission", time.Since(start))
 
-	fr := c.scheduleOnFleet(r.Context(), key, reqBody)
+	fr := c.scheduleOnFleet(r.Context(), key, reqBody, tr.ID, tr)
 	if fr.resp != nil {
 		// 2xx and request-defect 4xx relay as-is: a 400 is wrong on
 		// every worker, retrying it elsewhere would just burn the fleet.
+		tr.SetNode(fr.node.id)
 		relayServed(w, fr.node.id, fr.resp)
+		c.finishProxy(w, tr, "schedule", outcomeOf(fr), start)
 		w.WriteHeader(fr.resp.StatusCode)
 		_, _ = w.Write(fr.body)
 		if fr.resp.StatusCode == http.StatusOK {
@@ -583,6 +657,7 @@ func (c *Coordinator) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case fr.noWorkers:
 		c.metrics.noCapacity.Add(1)
+		c.finishProxy(w, tr, "schedule", "no-workers", start)
 		c.writeError(w, http.StatusServiceUnavailable, server.ErrCodeNoWorkers, "no ready workers")
 	case fr.allSaturated:
 		// Every worker shed with 429: the fleet is loaded, not broken.
@@ -590,8 +665,10 @@ func (c *Coordinator) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		// instead of hard-retrying a "failure".
 		c.metrics.noCapacity.Add(1)
 		w.Header().Set("Retry-After", "1")
+		c.finishProxy(w, tr, "schedule", "saturated", start)
 		c.writeError(w, http.StatusTooManyRequests, server.ErrCodeSaturated, "every worker is saturated, retry later")
 	default:
+		c.finishProxy(w, tr, "schedule", "error", start)
 		c.writeError(w, http.StatusBadGateway, server.ErrCodeUpstreamFailed, "all workers failed, last: %v", fr.lastErr)
 	}
 }
@@ -602,6 +679,9 @@ type fleetResult struct {
 	node candidate
 	resp *http.Response
 	body []byte
+
+	spilled    bool // the serving node was a bounded-load spill target
+	failedOver bool // at least one worker failed before one served
 
 	noWorkers    bool  // no placeable candidate remained
 	allSaturated bool  // at least one attempt, every one shed with 429
@@ -615,20 +695,35 @@ type fleetResult struct {
 // the HRW ranking. Both the singleton proxy and the batch fan-out ride on
 // it. The placement is transient: it drives the in-flight accounting and
 // the per-transition metrics, then drops when the response is relayed.
-func (c *Coordinator) scheduleOnFleet(ctx context.Context, key string, reqBody []byte) fleetResult {
+// Every attempt is recorded on tr (nil-safe) and forwarded under reqID, and
+// every failure emits one structured event carrying the request ID, node,
+// attempt number and reason.
+func (c *Coordinator) scheduleOnFleet(ctx context.Context, key string, reqBody []byte, reqID string, tr *obs.Trace) fleetResult {
 	pl := c.newPlacement(key, false)
 	defer pl.drop()
 	var lastErr error
+	var everSpilled, failedOver bool
 	allSaturated := true
+	attempt := 0
 	for {
-		node, spilled, ok := placeBounded(c.reg.candidates(), key, pl.exclude, c.cfg.loadBound())
+		placeStart := time.Now()
+		node, owner, rank, spilled, ok := placeBoundedOwner(c.reg.candidates(), key, pl.exclude, c.cfg.loadBound())
 		if !ok {
 			break
 		}
+		attempt++
 		c.metrics.placements.Add(1)
 		c.reg.countRequest(node.id)
 		pl.prepare(node, spilled)
-		resp, body, err := c.forward(ctx, node, "/v1/schedule", reqBody, c.cfg.scheduleTimeout())
+		if spilled {
+			everSpilled = true
+			c.reg.countSpill(owner, node.id)
+			c.metrics.noteSpill(key)
+		}
+		tr.PhaseNote("place", fmt.Sprintf("node=%s rank=%d owner=%s spilled=%t excluded=%d",
+			node.id, rank, owner, spilled, len(pl.exclude)), time.Since(placeStart))
+		proxyStart := time.Now()
+		resp, body, err := c.forward(ctx, node, "/v1/schedule", reqBody, c.cfg.scheduleTimeout(), reqID)
 		switch {
 		case err != nil:
 			// Transport failure or truncated body: the worker is gone or
@@ -636,26 +731,40 @@ func (c *Coordinator) scheduleOnFleet(ctx context.Context, key string, reqBody [
 			c.reg.reportFailure(node.id)
 			c.metrics.failovers.Add(1)
 			pl.abort()
+			failedOver = true
 			lastErr = fmt.Errorf("worker %s: %v", node.id, err)
 			allSaturated = false
+			tr.PhaseNote("proxy", "node="+node.id+" transport-error", time.Since(proxyStart))
+			c.log.Warn("worker attempt failed, failing over",
+				"request", reqID, "node", node.id, "attempt", attempt, "reason", err.Error())
 		case resp.StatusCode >= 500:
 			c.reg.reportFailure(node.id)
 			c.metrics.failovers.Add(1)
 			pl.abort()
+			failedOver = true
 			lastErr = fmt.Errorf("worker %s answered %d: %s", node.id, resp.StatusCode, firstLine(body))
 			allSaturated = false
+			tr.PhaseNote("proxy", fmt.Sprintf("node=%s http-%d", node.id, resp.StatusCode), time.Since(proxyStart))
+			c.log.Warn("worker attempt failed, failing over",
+				"request", reqID, "node", node.id, "attempt", attempt, "reason", fmt.Sprintf("HTTP %d: %s", resp.StatusCode, firstLine(body)))
 		case resp.StatusCode == http.StatusTooManyRequests:
 			// Saturation is load, not sickness: try another worker without
 			// marking this one suspect.
 			c.metrics.retries.Add(1)
 			pl.abort()
 			lastErr = fmt.Errorf("worker %s saturated", node.id)
+			tr.PhaseNote("proxy", "node="+node.id+" saturated", time.Since(proxyStart))
+			c.log.Info("worker saturated, retrying on another",
+				"request", reqID, "node", node.id, "attempt", attempt)
 		default:
 			pl.ready()
-			return fleetResult{node: node, resp: resp, body: body}
+			tr.PhaseNote("proxy", fmt.Sprintf("node=%s http-%d", node.id, resp.StatusCode), time.Since(proxyStart))
+			return fleetResult{node: node, resp: resp, body: body, spilled: everSpilled, failedOver: failedOver}
 		}
 	}
 	return fleetResult{
+		spilled:      everSpilled,
+		failedOver:   failedOver,
 		noWorkers:    lastErr == nil,
 		allSaturated: lastErr != nil && allSaturated,
 		lastErr:      lastErr,
@@ -675,54 +784,80 @@ func (c *Coordinator) scheduleOnFleet(ctx context.Context, key string, reqBody [
 // results useful. Shadow replay stays a singleton-path concern.
 func (c *Coordinator) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 	c.metrics.batchReqs.Add(1)
+	start := time.Now()
+	tr := obs.AcquireTrace(r.Header.Get(obs.RequestIDHeader), "proxy-batch")
 	var buf bytes.Buffer
 	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, c.cfg.maxBodyBytes())); err != nil {
+		c.finishProxy(w, tr, "batch", "bad-request", start)
 		c.writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest, "read body: %v", err)
 		return
 	}
 	items, err := server.BatchItems(buf.Bytes())
 	if err != nil {
+		c.finishProxy(w, tr, "batch", "bad-request", start)
 		c.writeError(w, http.StatusBadRequest, server.ErrCodeBadRequest, "%v", err)
 		return
 	}
 	c.metrics.batchLoops.Add(int64(len(items)))
+	tr.PhaseNote("admission", fmt.Sprintf("loops=%d", len(items)), time.Since(start))
 
 	flusher, _ := w.(http.Flusher)
 	w.Header().Set("Content-Type", "application/json")
+	// The envelope streams, so X-Phase-Timing goes out before any loop runs
+	// and carries admission only; per-loop place/proxy phases land in the
+	// published trace, each loop forwarded under the deterministic suffixed
+	// request ID (envelope#i) so a client can pull the full fan-out from
+	// /v1/debug/traces by prefix.
+	if st := tr.ServerTiming(); st != "" {
+		w.Header().Set("X-Phase-Timing", st)
+	}
 	_, _ = io.WriteString(w, server.BatchOpen)
 	for i := range items {
 		if i > 0 {
 			_, _ = io.WriteString(w, server.BatchSep)
 		}
-		_, _ = w.Write(c.batchElement(r.Context(), &items[i]))
+		_, _ = w.Write(c.batchElement(r.Context(), &items[i], obs.SuffixID(tr.ID, i), tr))
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
 	_, _ = io.WriteString(w, server.BatchClose)
+	tr.SetOutcome("ok")
+	c.traces.Publish(tr)
 }
 
 // batchElement resolves one batch loop to its element bytes: a loop with a
 // local admission error renders it without burning a worker; otherwise the
 // forwarded singleton response body (success or per-loop 4xx alike) is the
-// element, trailing newline trimmed to fit the framing.
-func (c *Coordinator) batchElement(ctx context.Context, it *server.BatchItem) []byte {
+// element, trailing newline trimmed to fit the framing. Each forwarded loop
+// is observed as one endpoint="batch" histogram sample under its own
+// placement outcome (the envelope itself is not observed again).
+func (c *Coordinator) batchElement(ctx context.Context, it *server.BatchItem, loopID string, tr *obs.Trace) []byte {
 	if it.Err != nil {
 		return server.ErrorElement(server.ErrCodeBadRequest, it.Err.Error())
 	}
-	fr := c.scheduleOnFleet(ctx, it.Key, it.Body)
+	start := time.Now()
+	fr := c.scheduleOnFleet(ctx, it.Key, it.Body, loopID, tr)
+	var outcome string
+	var elem []byte
 	switch {
 	case fr.resp != nil:
-		return bytes.TrimSuffix(fr.body, []byte("\n"))
+		outcome = outcomeOf(fr)
+		elem = bytes.TrimSuffix(fr.body, []byte("\n"))
 	case fr.noWorkers:
 		c.metrics.noCapacity.Add(1)
-		return server.ErrorElement(server.ErrCodeNoWorkers, "no ready workers")
+		outcome = "no-workers"
+		elem = server.ErrorElement(server.ErrCodeNoWorkers, "no ready workers")
 	case fr.allSaturated:
 		c.metrics.noCapacity.Add(1)
-		return server.ErrorElement(server.ErrCodeSaturated, "every worker is saturated, retry later")
+		outcome = "saturated"
+		elem = server.ErrorElement(server.ErrCodeSaturated, "every worker is saturated, retry later")
 	default:
-		return server.ErrorElement(server.ErrCodeUpstreamFailed, fmt.Sprintf("all workers failed, last: %v", fr.lastErr))
+		outcome = "error"
+		elem = server.ErrorElement(server.ErrCodeUpstreamFailed, fmt.Sprintf("all workers failed, last: %v", fr.lastErr))
 	}
+	c.metrics.observe("batch", outcome, time.Since(start))
+	return elem
 }
 
 // relayServed copies the response headers of the attempt actually being
@@ -784,13 +919,14 @@ func (c *Coordinator) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
 	}
 	c.epoch.Store(epoch)
 	c.metrics.cacheFlushes.Add(1)
-	c.logf("cache flush: fleet epoch -> %d", epoch)
+	c.log.Info("cache flush raised fleet epoch",
+		"request", r.Header.Get(obs.RequestIDHeader), "epoch", epoch)
 
 	flushBody, _ := json.Marshal(server.FlushRequest{Epoch: epoch})
 	out := FlushFleetResponse{Epoch: epoch}
 	for _, node := range c.reg.candidates() {
 		res := FlushNodeResult{Node: node.id}
-		resp, body, err := c.forward(r.Context(), node, "/v1/cache/flush", flushBody, c.cfg.scheduleTimeout())
+		resp, body, err := c.forward(r.Context(), node, "/v1/cache/flush", flushBody, c.cfg.scheduleTimeout(), r.Header.Get(obs.RequestIDHeader))
 		switch {
 		case err != nil:
 			res.Error = err.Error()
@@ -819,8 +955,10 @@ func (c *Coordinator) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
 // forward posts body to node's path and reads the full response body
 // before reporting success, so a connection that dies mid-response counts
 // as a node failure while the coordinator can still fail over (nothing has
-// been written to the client yet).
-func (c *Coordinator) forward(ctx context.Context, node candidate, path string, body []byte, timeout time.Duration) (*http.Response, []byte, error) {
+// been written to the client yet). A non-empty reqID propagates as the
+// X-Request-Id header, so the worker's own trace of the forwarded request
+// files under the same identity the coordinator's placement trace carries.
+func (c *Coordinator) forward(ctx context.Context, node candidate, path string, body []byte, timeout time.Duration, reqID string) (*http.Response, []byte, error) {
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node.endpoint+path, bytes.NewReader(body))
@@ -828,6 +966,9 @@ func (c *Coordinator) forward(ctx context.Context, node candidate, path string, 
 		return nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		req.Header.Set(obs.RequestIDHeader, reqID)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return nil, nil, err
@@ -867,9 +1008,14 @@ func (c *Coordinator) reconcileLoop() {
 			return
 		case <-t.C:
 		}
-		died := c.reg.sweepHealth(c.cfg.suspectAfter(), c.cfg.deadAfter())
+		suspected, died := c.reg.sweepHealth(c.cfg.suspectAfter(), c.cfg.deadAfter())
+		for _, id := range suspected {
+			c.log.Warn("node suspected: missed heartbeats", "node", id)
+		}
 		for _, id := range died {
-			c.metrics.reconcilePlaced.Add(c.jobs.cancelInflightOn(id))
+			canceled := c.jobs.cancelInflightOn(id)
+			c.metrics.reconcilePlaced.Add(canceled)
+			c.log.Warn("node dead, re-placing its work", "node", id, "cells_canceled", canceled)
 		}
 		c.reg.expireDead(c.cfg.deadExpiry())
 		// Fold this tick's fleet observation into the scaling advisor.

@@ -66,9 +66,20 @@ func hrwRank(nodes []candidate, key string) []candidate {
 // < 1 can starve everyone) the owner serves anyway: bounded load must never
 // turn a placeable fleet into a 503.
 func placeBounded(nodes []candidate, key string, exclude map[string]bool, bound float64) (picked candidate, spilled, ok bool) {
+	picked, _, _, spilled, ok = placeBoundedOwner(nodes, key, exclude, bound)
+	return picked, spilled, ok
+}
+
+// placeBoundedOwner is placeBounded, additionally reporting the key's HRW
+// owner among the non-excluded candidates and the picked node's rank in the
+// failover order (0 = the owner itself). The decision is identical to
+// placeBounded's; the extra returns exist so callers can attribute a spill —
+// which node shed the key, which absorbed it, how far down the ranking it
+// traveled — in traces and per-node metrics.
+func placeBoundedOwner(nodes []candidate, key string, exclude map[string]bool, bound float64) (picked candidate, owner string, rank int, spilled, ok bool) {
 	if bound <= 0 {
 		picked, ok = place(nodes, key, exclude)
-		return picked, false, ok
+		return picked, picked.id, 0, false, ok
 	}
 	eligible := make([]candidate, 0, len(nodes))
 	var total int64
@@ -80,16 +91,16 @@ func placeBounded(nodes []candidate, key string, exclude map[string]bool, bound 
 		total += n.inflight
 	}
 	if len(eligible) == 0 {
-		return candidate{}, false, false
+		return candidate{}, "", 0, false, false
 	}
 	threshold := int64(math.Ceil(bound * float64(total+1) / float64(len(eligible))))
 	ranked := hrwRank(eligible, key)
 	for i, n := range ranked {
 		if n.inflight+1 <= threshold {
-			return n, i > 0, true
+			return n, ranked[0].id, i, i > 0, true
 		}
 	}
-	return ranked[0], false, true
+	return ranked[0], ranked[0].id, 0, false, true
 }
 
 func place(nodes []candidate, key string, exclude map[string]bool) (candidate, bool) {

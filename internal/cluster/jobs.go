@@ -579,17 +579,18 @@ func (c *Coordinator) runCell(j *job, cl *jobCell) {
 		// cell on — wins over a fresh placement while it is placeable, so
 		// resumed cells land where their work (and cache residency) is.
 		var node candidate
+		var owner string
 		var spilled, ok bool
 		if hint := c.placementHint(cl.key); hint != "" && !exclude[hint] {
 			for _, cand := range cands {
 				if cand.id == hint {
-					node, ok = cand, true
+					node, owner, ok = cand, cand.id, true
 					break
 				}
 			}
 		}
 		if !ok {
-			node, spilled, ok = placeBounded(cands, cl.key, exclude, c.cfg.loadBound())
+			node, owner, _, spilled, ok = placeBoundedOwner(cands, cl.key, exclude, c.cfg.loadBound())
 		}
 		if !ok {
 			if len(exclude) > 0 {
@@ -642,8 +643,18 @@ func (c *Coordinator) runCell(j *job, cl *jobCell) {
 		c.metrics.placements.Add(1)
 		c.reg.countRequest(node.id)
 		pl.prepare(node, spilled)
+		if spilled {
+			c.reg.countSpill(owner, node.id)
+			c.metrics.noteSpill(cl.key)
+		}
 
-		resp, out, err := c.forward(attemptCtx, node, "/v1/sweep", cl.reqBody, c.cfg.cellTimeout())
+		// Every cell attempt forwards under one deterministic request ID
+		// (<job>.cell<index>), so the worker's sweep trace for this cell is
+		// retrievable by an ID derivable from the job listing alone — and
+		// retried attempts republish under it, newest winning, exactly like
+		// singleton failover.
+		cellID := fmt.Sprintf("%s.cell%d", j.id, cl.index)
+		resp, out, err := c.forward(attemptCtx, node, "/v1/sweep", cl.reqBody, c.cfg.cellTimeout(), cellID)
 		cancel()
 		j.mu.Lock()
 		cl.cancel = nil
@@ -654,7 +665,7 @@ func (c *Coordinator) runCell(j *job, cl *jobCell) {
 			// Transport error, reconciler cancel or timeout: node-shaped.
 			c.reg.reportFailure(node.id)
 			pl.abort()
-			c.requeueCell(j, cl, node.id)
+			c.requeueCell(j, cl, node.id, err.Error())
 		case resp.StatusCode == http.StatusOK:
 			rows, ok := cellRows(out)
 			if !ok {
@@ -662,7 +673,7 @@ func (c *Coordinator) runCell(j *job, cl *jobCell) {
 				// row: the worker failed mid-stream.
 				c.reg.reportFailure(node.id)
 				pl.abort()
-				c.requeueCell(j, cl, node.id)
+				c.requeueCell(j, cl, node.id, "truncated or error CSV")
 				continue
 			}
 			if v := c.reg.versionOf(node.id); v != node.version {
@@ -704,7 +715,7 @@ func (c *Coordinator) runCell(j *job, cl *jobCell) {
 		case resp.StatusCode >= 500:
 			c.reg.reportFailure(node.id)
 			pl.abort()
-			c.requeueCell(j, cl, node.id)
+			c.requeueCell(j, cl, node.id, fmt.Sprintf("HTTP %d: %s", resp.StatusCode, firstLine(out)))
 		default:
 			// 4xx: the cell itself is bad; every worker would agree.
 			c.finishCell(j, cl, nil, fmt.Sprintf("worker %s rejected cell: %d %s", node.id, resp.StatusCode, firstLine(out)))
@@ -713,13 +724,21 @@ func (c *Coordinator) runCell(j *job, cl *jobCell) {
 	}
 }
 
-func (c *Coordinator) requeueCell(j *job, cl *jobCell, nodeID string) {
+// requeueCell walks a cell's failover edge after a node-shaped failure,
+// excluding the failed node, and emits the one structured event that
+// attributes the retry: which cell, which node, which attempt, why.
+func (c *Coordinator) requeueCell(j *job, cl *jobCell, nodeID, reason string) {
 	c.metrics.failovers.Add(1)
 	c.metrics.cellsRequeued.Add(1)
 	j.mu.Lock()
 	cl.exclude[nodeID] = true
 	cl.state = cellPending
+	attempt := cl.attempts
 	j.mu.Unlock()
+	c.log.Warn("cell attempt failed, requeueing",
+		"request", fmt.Sprintf("%s.cell%d", j.id, cl.index),
+		"job", j.id, "cell", cl.index, "node", nodeID,
+		"attempt", attempt, "reason", reason)
 }
 
 // finishCell terminates a cell: done with its CSV fragment, or failed with

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
@@ -16,6 +17,15 @@ import (
 	"repro/internal/server"
 	"repro/internal/store"
 )
+
+// testLogWriter funnels a coordinator's structured log lines into the test
+// log, trailing newline trimmed.
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimSuffix(p, []byte("\n")))
+	return len(p), nil
+}
 
 // jobMachines picks two machines whose four cells (× two corpora) HRW-map
 // to both workers, so sharding and failover tests are guaranteed to involve
@@ -392,7 +402,7 @@ func TestJobResumesAfterCoordinatorRestart(t *testing.T) {
 	// Successor: same journal, same address.
 	cfgB := testConfig()
 	cfgB.Store = openJournal()
-	cfgB.Logf = t.Logf
+	cfgB.Logger = slog.New(slog.NewTextHandler(testLogWriter{t}, nil))
 	coordB, err := New(cfgB)
 	if err != nil {
 		t.Fatal(err)

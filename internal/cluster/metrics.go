@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -48,6 +50,73 @@ type metrics struct {
 	versionRefusals atomic.Int64 // placements refused to avoid mixing algorithm versions in a job
 	shadowSampled   atomic.Int64 // schedule responses replayed against a shadow worker
 	shadowMismatch  atomic.Int64 // shadow replays whose bytes diverged
+
+	// durations is gpcoordd_request_duration_seconds{endpoint,outcome}: the
+	// proxy path's latency histograms over the fleet-shared bucket layout
+	// (obs.LatencyBuckets), from which the p50/p99 gauges are derived.
+	// Outcomes classify how placement resolved: owner (served by the HRW
+	// owner), spill (bounded load moved it), failover (at least one worker
+	// failed first), and the terminal failures.
+	durations *obs.Vec
+
+	// spillClasses tracks which key classes (first 8 hex chars of the
+	// content-address key) spill most, as a space-saving top-K counter so
+	// gpcoordd_spills_total{key_class=...} stays bounded-cardinality no
+	// matter how many distinct keys pass through.
+	spillClasses *obs.TopK
+}
+
+// spillClassK bounds the labeled spill series; spillClassLen is the key
+// prefix used as the class label.
+const (
+	spillClassK   = 8
+	spillClassLen = 8
+)
+
+// keyClass is the low-cardinality spill-attribution label for a
+// content-address key.
+func keyClass(key string) string {
+	if len(key) > spillClassLen {
+		return key[:spillClassLen]
+	}
+	return key
+}
+
+// init wires the histogram family and the spill-class counter; must run
+// before any observation.
+func (m *metrics) init() {
+	m.durations = obs.NewVec()
+	m.spillClasses = obs.NewTopK(spillClassK)
+}
+
+// observe records one proxied request's duration under its endpoint and
+// placement outcome.
+func (m *metrics) observe(endpoint, outcome string, d time.Duration) {
+	m.durations.With(fmt.Sprintf("endpoint=%q,outcome=%q", endpoint, outcome)).Observe(d)
+}
+
+// noteSpill feeds the per-key-class spill counter.
+func (m *metrics) noteSpill(key string) {
+	m.spillClasses.Add(keyClass(key))
+}
+
+// coordGauges is the lint allowlist for gpcoordd metric names that are
+// neither counters nor histogram series. The metrics test and the smoke
+// observability phase check /metrics against it.
+var coordGauges = map[string]bool{
+	"gpcoordd_fleet_advice":            true,
+	"gpcoordd_jobs_running":            true,
+	"gpcoordd_fleet_epoch":             true,
+	"gpcoordd_recovery_nodes_adopted":  true,
+	"gpcoordd_recovery_jobs_resumed":   true,
+	"gpcoordd_recovery_cells_restored": true,
+	"gpcoordd_nodes":                   true,
+	"gpcoordd_node_health":             true,
+	"gpcoordd_node_epoch":              true,
+	"gpcoordd_node_inflight":           true,
+	"gpcoordd_node_draining":           true,
+	"gpcoordd_latency_p50_seconds":     true,
+	"gpcoordd_latency_p99_seconds":     true,
 }
 
 // render writes the coordinator metrics in the Prometheus text exposition
@@ -60,7 +129,13 @@ func (m *metrics) render(w io.Writer, nodes []NodeInfo, jobsRunning int, epoch u
 	fmt.Fprintf(w, "gpcoordd_batch_requests_total %d\n", m.batchReqs.Load())
 	fmt.Fprintf(w, "gpcoordd_batch_loops_total %d\n", m.batchLoops.Load())
 	fmt.Fprintf(w, "gpcoordd_placements_total %d\n", m.placements.Load())
+	// The unlabeled total renders first — existing scrapers (and the smoke
+	// script's sed) parse it positionally — then the bounded top-K key-class
+	// attribution as labeled series of the same family.
 	fmt.Fprintf(w, "gpcoordd_spills_total %d\n", m.spills.Load())
+	for _, e := range m.spillClasses.Snapshot() {
+		fmt.Fprintf(w, "gpcoordd_spills_total{key_class=%q} %d\n", e.Key, e.Count)
+	}
 	for from := placementState(0); from < placeStates; from++ {
 		for to := placementState(0); to < placeStates; to++ {
 			if n := m.placeTransitions[from][to].Load(); n > 0 {
@@ -114,8 +189,17 @@ func (m *metrics) render(w io.Writer, nodes []NodeInfo, jobsRunning int, epoch u
 		fmt.Fprintf(w, "gpcoordd_node_failures_total{node=%q} %d\n", n.ID, n.Failures)
 		fmt.Fprintf(w, "gpcoordd_node_epoch{node=%q} %d\n", n.ID, n.Epoch)
 		fmt.Fprintf(w, "gpcoordd_node_inflight{node=%q} %d\n", n.ID, n.Inflight)
+		if n.SpillOut > 0 {
+			fmt.Fprintf(w, "gpcoordd_node_spill_out_total{node=%q} %d\n", n.ID, n.SpillOut)
+		}
+		if n.SpillIn > 0 {
+			fmt.Fprintf(w, "gpcoordd_node_spill_in_total{node=%q} %d\n", n.ID, n.SpillIn)
+		}
 		if n.Draining {
 			fmt.Fprintf(w, "gpcoordd_node_draining{node=%q} 1\n", n.ID)
 		}
 	}
+	fmt.Fprintf(w, "gpcoordd_latency_p50_seconds %g\n", m.durations.Quantile(0.50).Seconds())
+	fmt.Fprintf(w, "gpcoordd_latency_p99_seconds %g\n", m.durations.Quantile(0.99).Seconds())
+	m.durations.Write(w, "gpcoordd_request_duration_seconds")
 }

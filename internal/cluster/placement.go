@@ -101,7 +101,8 @@ func (c *Coordinator) newPlacement(key string, durable bool) *placement {
 func (p *placement) transition(to placementState) {
 	if !validPlaceEdge(p.state, to) {
 		p.c.metrics.placeInvalid.Add(1)
-		p.c.logf("placement %s: illegal transition %s -> %s", p.key, p.state, to)
+		p.c.log.Warn("illegal placement transition refused",
+			"key", p.key, "from", p.state.String(), "to", to.String())
 		return
 	}
 	p.c.metrics.placeTransitions[p.state][to].Add(1)

@@ -38,7 +38,7 @@ func (c *Coordinator) recover() error {
 		for _, rec := range state.Placements {
 			c.placements.byKey[rec.Key] = rec
 		}
-		c.logf("recovery: restored %d placement record(s)", len(state.Placements))
+		c.log.Info("recovery restored placement records", "placements", len(state.Placements))
 	}
 
 	resumed, restored := 0, 0
@@ -59,8 +59,9 @@ func (c *Coordinator) recover() error {
 	c.metrics.jobsResumed.Add(int64(resumed))
 	c.metrics.cellsRestored.Add(int64(restored))
 	if adopted > 0 || len(state.Jobs) > 0 {
-		c.logf("recovery: adopted %d node(s), rebuilt %d job(s) (%d resumed), restored %d done cell(s)",
-			adopted, len(state.Jobs), resumed, restored)
+		c.log.Info("recovery complete",
+			"nodes_adopted", adopted, "jobs_rebuilt", len(state.Jobs),
+			"jobs_resumed", resumed, "cells_restored", restored)
 	}
 	return nil
 }
@@ -79,7 +80,7 @@ func (c *Coordinator) rebuildJob(rec *store.JobRecord) (*job, int) {
 	j.ctx, j.cancel = context.WithCancel(c.ctx)
 
 	fail := func(reason string) (*job, int) {
-		c.logf("recovery: job %s unrecoverable: %s", rec.ID, reason)
+		c.log.Warn("recovery: job unrecoverable", "job", rec.ID, "reason", reason)
 		j.state = jobFailed
 		j.cancel()
 		close(j.done)
@@ -102,12 +103,14 @@ func (c *Coordinator) rebuildJob(rec *store.JobRecord) (*job, int) {
 	restored := 0
 	for _, frag := range rec.Cells {
 		if frag.Index < 0 || frag.Index >= len(j.cells) {
-			c.logf("recovery: job %s cell %d out of range, recomputing", rec.ID, frag.Index)
+			c.log.Warn("recovery: journaled cell out of range, recomputing",
+				"job", rec.ID, "cell", frag.Index)
 			continue
 		}
 		cl := j.cells[frag.Index]
 		if cl.key != frag.Key {
-			c.logf("recovery: job %s cell %d key mismatch, recomputing", rec.ID, frag.Index)
+			c.log.Warn("recovery: journaled cell key mismatch, recomputing",
+				"job", rec.ID, "cell", frag.Index)
 			continue
 		}
 		// Restored fragments must all come from one scheduler generation:
@@ -117,8 +120,9 @@ func (c *Coordinator) rebuildJob(rec *store.JobRecord) (*job, int) {
 		if restored == 0 {
 			j.algoVersion = frag.AlgoVersion
 		} else if frag.AlgoVersion != j.algoVersion {
-			c.logf("recovery: job %s cell %d version mismatch (%q vs %q), recomputing",
-				rec.ID, frag.Index, frag.AlgoVersion, j.algoVersion)
+			c.log.Warn("recovery: journaled cell version mismatch, recomputing",
+				"job", rec.ID, "cell", frag.Index,
+				"cell_version", frag.AlgoVersion, "job_version", j.algoVersion)
 			continue
 		}
 		cl.state = cellDone

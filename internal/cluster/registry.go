@@ -80,6 +80,12 @@ type node struct {
 	// load signal bounded-load placement spills on: locally maintained, so
 	// it moves request-by-request instead of once per heartbeat.
 	inflight atomic.Int64
+	// spillOut counts placements this node — as the key's HRW owner — shed
+	// to a lower-ranked node because it was over the load bound; spillIn
+	// counts placements this node absorbed from an overloaded owner.
+	// Together they show where a skewed workload's heat actually flows.
+	spillOut atomic.Int64
+	spillIn  atomic.Int64
 
 	// Load signals the worker itself reported on its last heartbeat
 	// (observability only — placement uses the coordinator-side inflight).
@@ -106,6 +112,10 @@ type NodeInfo struct {
 	// Inflight is the coordinator's live count of work outstanding on this
 	// node — the signal bounded-load placement spills on.
 	Inflight int64 `json:"inflight"`
+	// SpillOut counts placements this node (as HRW owner) shed over the load
+	// bound; SpillIn counts placements it absorbed from overloaded owners.
+	SpillOut int64 `json:"spill_out,omitempty"`
+	SpillIn  int64 `json:"spill_in,omitempty"`
 	// ReportedInflight, Shed and P99Micros are the worker's own last
 	// heartbeat-reported load signals.
 	ReportedInflight int64   `json:"reported_inflight,omitempty"`
@@ -361,13 +371,14 @@ func (r *registry) reportFailure(id string) {
 }
 
 // sweepHealth applies the missed-heartbeat thresholds and returns the IDs
-// of nodes that transitioned to dead in this pass (the reconciler re-places
-// their work exactly once per transition).
-func (r *registry) sweepHealth(suspectAfter, deadAfter time.Duration) []string {
+// of nodes that transitioned in this pass: suspected is every ready node
+// that just went suspect (logged once per transition), died every node that
+// just went dead (the reconciler re-places their work exactly once per
+// transition).
+func (r *registry) sweepHealth(suspectAfter, deadAfter time.Duration) (suspected, died []string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	now := r.now()
-	var died []string
 	for _, n := range r.nodes {
 		age := now.Sub(n.lastHeartbeat)
 		switch {
@@ -379,11 +390,13 @@ func (r *registry) sweepHealth(suspectAfter, deadAfter time.Duration) []string {
 		case age >= suspectAfter:
 			if n.state == NodeReady {
 				n.state = NodeSuspect
+				suspected = append(suspected, n.id)
 			}
 		}
 	}
+	sort.Strings(suspected)
 	sort.Strings(died)
-	return died
+	return suspected, died
 }
 
 // expireDead garbage-collects nodes that have been silent longer than
@@ -511,6 +524,22 @@ func (r *registry) setNodeEpoch(id string, epoch uint64) {
 	}
 }
 
+// countSpill attributes one bounded-load spill: the key's HRW owner shed it
+// (spill-out), the picked node absorbed it (spill-in). Atomic counters, same
+// discipline as the request/failure tallies.
+func (r *registry) countSpill(ownerID, pickedID string) {
+	r.mu.Lock()
+	owner, okOwner := r.nodes[ownerID]
+	picked, okPicked := r.nodes[pickedID]
+	r.mu.Unlock()
+	if okOwner {
+		owner.spillOut.Add(1)
+	}
+	if okPicked {
+		picked.spillIn.Add(1)
+	}
+}
+
 // countRequest bumps a node's routed-request counter.
 func (r *registry) countRequest(id string) {
 	r.mu.Lock()
@@ -542,6 +571,8 @@ func (r *registry) snapshot() []NodeInfo {
 			Requests:             n.requests.Load(),
 			Failures:             n.failures.Load(),
 			Inflight:             n.inflight.Load(),
+			SpillOut:             n.spillOut.Load(),
+			SpillIn:              n.spillIn.Load(),
 			ReportedInflight:     n.repInflight.Load(),
 			Shed:                 n.repShed.Load(),
 			P99Micros:            math.Float64frombits(n.repP99.Load()),

@@ -34,7 +34,7 @@ func TestLifecycleTransitions(t *testing.T) {
 
 	// Below the suspect threshold nothing changes.
 	clk.advance(testSuspectAfter - time.Second)
-	if died := r.sweepHealth(testSuspectAfter, testDeadAfter); len(died) != 0 {
+	if _, died := r.sweepHealth(testSuspectAfter, testDeadAfter); len(died) != 0 {
 		t.Fatalf("premature deaths: %v", died)
 	}
 	if got := r.state("w1"); got != NodeReady {
@@ -58,10 +58,10 @@ func TestLifecycleTransitions(t *testing.T) {
 
 	// Crossing dead reports the transition exactly once.
 	clk.advance(testDeadAfter)
-	if died := r.sweepHealth(testSuspectAfter, testDeadAfter); !reflect.DeepEqual(died, []string{"w1"}) {
+	if _, died := r.sweepHealth(testSuspectAfter, testDeadAfter); !reflect.DeepEqual(died, []string{"w1"}) {
 		t.Fatalf("died = %v, want [w1]", died)
 	}
-	if died := r.sweepHealth(testSuspectAfter, testDeadAfter); len(died) != 0 {
+	if _, died := r.sweepHealth(testSuspectAfter, testDeadAfter); len(died) != 0 {
 		t.Fatalf("death reported twice: %v", died)
 	}
 	if got := r.state("w1"); got != NodeDead {
@@ -213,7 +213,7 @@ func TestAdoptSuspectUntilHeartbeat(t *testing.T) {
 	clk.advance(testDeadAfter)
 	r.heartbeat("live", "", 0)
 	r.heartbeat("ghost", "", 0)
-	if died := r.sweepHealth(testSuspectAfter, testDeadAfter); !reflect.DeepEqual(died, []string{"silent"}) {
+	if _, died := r.sweepHealth(testSuspectAfter, testDeadAfter); !reflect.DeepEqual(died, []string{"silent"}) {
 		t.Fatalf("died = %v, want [silent]", died)
 	}
 }

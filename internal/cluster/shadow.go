@@ -3,6 +3,7 @@ package cluster
 import (
 	"math"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -86,7 +87,7 @@ func (s *shadowVerifier) pick(primary candidate, key string) (candidate, bool) {
 // own (not the original request's — the client is long gone), so Close
 // aborts in-flight replays.
 func (s *shadowVerifier) replay(primary, shadow candidate, reqBody, served []byte) {
-	resp, body, err := s.c.forward(s.c.ctx, shadow, "/v1/schedule", reqBody, s.c.cfg.scheduleTimeout())
+	resp, body, err := s.c.forward(s.c.ctx, shadow, "/v1/schedule", reqBody, s.c.cfg.scheduleTimeout(), "")
 	match := false
 	switch {
 	case err != nil || resp.StatusCode != http.StatusOK:
@@ -128,6 +129,8 @@ func (s *shadowVerifier) diverged(primary, shadow candidate) {
 	for _, id := range suspects {
 		s.c.reg.markSuspect(id)
 	}
-	s.c.logf("shadow verify: %s (%s) and %s (%s) diverge on identical request (dominant version %s); suspect: %v",
-		primary.id, pv, shadow.id, sv, dominant, suspects)
+	s.c.log.Warn("shadow verify: identical request diverged",
+		"primary", primary.id, "primary_version", pv,
+		"shadow", shadow.id, "shadow_version", sv,
+		"dominant_version", dominant, "suspects", strings.Join(suspects, ","))
 }

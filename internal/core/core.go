@@ -127,6 +127,27 @@ type Result struct {
 	PortfolioSeed int
 	// Elapsed is the wall-clock scheduling time, the paper's Table 2 metric.
 	Elapsed time.Duration
+
+	// Phase wall times within Elapsed: MII computation, partitioning
+	// (cumulative over recomputations; for portfolio search, the wall time
+	// of the parallel partition phases, not the sum over racers), and
+	// scheduling attempts. Feeds the serving daemons' trace phases.
+	MIIDur, PartitionDur, ScheduleDur time.Duration
+	// RefineMoves totals refinement transformations across every partition
+	// computed for this loop (all portfolio racers included).
+	RefineMoves int64
+	// Candidate-screening tallies summed over the same partitions; see
+	// partition.Result.
+	ScreenLowerBound, ScreenExact, ScreenFull int64
+}
+
+// addPartStats folds one partition computation's work counters into the
+// result.
+func (r *Result) addPartStats(p *partition.Result) {
+	r.RefineMoves += int64(p.Moves)
+	r.ScreenLowerBound += p.ScreenLowerBound
+	r.ScreenExact += p.ScreenExact
+	r.ScreenFull += p.ScreenFull
 }
 
 // IPC returns executed operations per cycle for the loop's profiled trip
@@ -161,6 +182,7 @@ func ScheduleLoopContext(ctx context.Context, g *ddg.Graph, m *machine.Config, o
 	}
 	start := time.Now()
 	res := &Result{MII: g.MII(m)}
+	res.MIIDur = time.Since(start)
 
 	if opts.portfolio() > 1 && opts.Algorithm != URACAM {
 		return schedulePortfolio(ctx, g, m, opts, start, res)
@@ -172,7 +194,10 @@ func ScheduleLoopContext(ctx context.Context, g *ddg.Graph, m *machine.Config, o
 	mode := schedule.ModeURACAM
 	switch opts.Algorithm {
 	case GP, FixedPartition:
+		pt0 := time.Now()
 		part = partitioner.Partition(res.MII)
+		res.PartitionDur += time.Since(pt0)
+		res.addPartStats(part)
 		res.Partitions++
 		assign = part.Assign
 		res.IIBus = part.IIBus
@@ -193,7 +218,9 @@ func ScheduleLoopContext(ctx context.Context, g *ddg.Graph, m *machine.Config, o
 		}
 		res.Attempts++
 		sopts := &schedule.Options{Mode: mode, Assign: assign, MeritThreshold: opts.MeritThreshold}
+		st0 := time.Now()
 		s, fail := schedule.TrySchedule(g, m, ii, sopts)
+		res.ScheduleDur += time.Since(st0)
 		if fail == nil {
 			res.Schedule = s
 			res.Assign = assign
@@ -203,7 +230,10 @@ func ScheduleLoopContext(ctx context.Context, g *ddg.Graph, m *machine.Config, o
 		// II will be raised; the GP scheme recomputes the partition when
 		// the bus bound exceeds the raised II (§3.1).
 		if opts.Algorithm == GP && part != nil && part.IIBus > ii+1 {
+			pt0 := time.Now()
 			part = partitioner.Partition(ii + 1)
+			res.PartitionDur += time.Since(pt0)
+			res.addPartStats(part)
 			res.Partitions++
 			assign = part.Assign
 			res.IIBus = part.IIBus

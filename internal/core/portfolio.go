@@ -55,6 +55,7 @@ func schedulePortfolio(ctx context.Context, g *ddg.Graph, m *machine.Config, opt
 
 	cands := make([]candidate, k)
 	var wg sync.WaitGroup
+	pt0 := time.Now()
 	for s := 0; s < k; s++ {
 		wg.Add(1)
 		go func(s int) {
@@ -70,12 +71,16 @@ func schedulePortfolio(ctx context.Context, g *ddg.Graph, m *machine.Config, opt
 		}(s)
 	}
 	wg.Wait()
+	res.PartitionDur += time.Since(pt0)
 	defer func() {
 		for i := range cands {
 			cands[i].ar.Release()
 		}
 	}()
 	res.Partitions += k
+	for s := 0; s < k; s++ {
+		res.addPartStats(cands[s].part)
+	}
 	res.IIBus = cands[0].part.IIBus
 
 	limit := res.MII + opts.window()
@@ -84,6 +89,7 @@ func schedulePortfolio(ctx context.Context, g *ddg.Graph, m *machine.Config, opt
 			return nil, fmt.Errorf("core: %s at II=%d: %w", g.Name, ii, err)
 		}
 		res.Attempts++
+		st0 := time.Now()
 		for s := 0; s < k; s++ {
 			wg.Add(1)
 			go func(s int) {
@@ -97,6 +103,7 @@ func schedulePortfolio(ctx context.Context, g *ddg.Graph, m *machine.Config, opt
 			}(s)
 		}
 		wg.Wait()
+		res.ScheduleDur += time.Since(st0)
 
 		// All successes share this II, so the tie-break reduces to: best
 		// partition execution-time bound, then lowest seed (strict < keeps
@@ -122,11 +129,14 @@ func schedulePortfolio(ctx context.Context, g *ddg.Graph, m *machine.Config, opt
 		// The II will be raised; each GP candidate applies the §3.1
 		// repartition rule against its own bus bound.
 		if opts.Algorithm == GP {
+			rt0 := time.Now()
+			var redone []int
 			for s := 0; s < k; s++ {
 				if cands[s].part.IIBus <= ii+1 {
 					continue
 				}
 				res.Partitions++
+				redone = append(redone, s)
 				wg.Add(1)
 				go func(s int) {
 					defer wg.Done()
@@ -134,6 +144,12 @@ func schedulePortfolio(ctx context.Context, g *ddg.Graph, m *machine.Config, opt
 				}(s)
 			}
 			wg.Wait()
+			if len(redone) > 0 {
+				res.PartitionDur += time.Since(rt0)
+				for _, s := range redone {
+					res.addPartStats(cands[s].part)
+				}
+			}
 			res.IIBus = cands[0].part.IIBus
 		}
 	}

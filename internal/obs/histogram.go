@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets is the one fixed bucket layout every latency histogram in
+// the fleet shares (upper bounds, seconds). A shared layout means
+// histograms from different daemons, endpoints and label sets aggregate
+// exactly — summing bucket counts across series is lossless — which is what
+// lets p50/p99 gauges be derived from any union of series. The range spans
+// a body-hash cache hit (~100µs) to a full sweep cell (minutes).
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a fixed-bucket latency histogram over LatencyBuckets with
+// atomic counters: observation is lock-free and allocation-free, fit for
+// the schedule hot path. It renders in the Prometheus text exposition as
+// the _bucket/_sum/_count triple.
+type Histogram struct {
+	counts []atomic.Int64 // len(LatencyBuckets)+1; last is +Inf
+	count  atomic.Int64
+	sumNS  atomic.Int64
+}
+
+// NewHistogram returns an empty histogram over the shared bucket layout.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]atomic.Int64, len(LatencyBuckets)+1)}
+}
+
+// Observe records one duration. le bounds are inclusive, matching
+// Prometheus semantics: a value exactly on a bound lands in that bucket.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	// First bucket whose upper bound is ≥ s; past the last finite bound
+	// this is the +Inf bucket.
+	i := sort.SearchFloat64s(LatencyBuckets, s)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// snapshotInto accumulates this histogram's per-bucket counts into cum
+// (same length as counts). Used for both rendering and quantiles, and for
+// aggregating a Vec's cells (exact, thanks to the shared layout).
+func (h *Histogram) snapshotInto(cum []int64) {
+	for i := range h.counts {
+		cum[i] += h.counts[i].Load()
+	}
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) from the buckets the way
+// Prometheus' histogram_quantile does: find the bucket the target rank
+// falls in and interpolate linearly inside it. Observations beyond the
+// last finite bound report that bound. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	cum := make([]int64, len(h.counts))
+	h.snapshotInto(cum)
+	return quantileFromBuckets(cum, q)
+}
+
+func quantileFromBuckets(perBucket []int64, q float64) time.Duration {
+	var total int64
+	for _, n := range perBucket {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range perBucket {
+		cum += n
+		if float64(cum) < target {
+			continue
+		}
+		if i >= len(LatencyBuckets) {
+			// +Inf bucket: the last finite bound is the best estimate.
+			return secondsToDuration(LatencyBuckets[len(LatencyBuckets)-1])
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = LatencyBuckets[i-1]
+		}
+		hi := LatencyBuckets[i]
+		if n == 0 {
+			return secondsToDuration(hi)
+		}
+		frac := (target - float64(cum-n)) / float64(n)
+		return secondsToDuration(lo + (hi-lo)*frac)
+	}
+	return secondsToDuration(LatencyBuckets[len(LatencyBuckets)-1])
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// Write renders the histogram as name_bucket/name_sum/name_count. labels
+// is a pre-rendered label body (`endpoint="schedule",cache="hit"`) or "".
+func (h *Histogram) Write(w io.Writer, name, labels string) {
+	cum := make([]int64, len(h.counts))
+	h.snapshotInto(cum)
+	writeBuckets(w, name, labels, cum, float64(h.sumNS.Load())/1e9)
+}
+
+func writeBuckets(w io.Writer, name, labels string, perBucket []int64, sumSeconds float64) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for i, bound := range LatencyBuckets {
+		cum += perBucket[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatBound(bound), cum)
+	}
+	cum += perBucket[len(LatencyBuckets)]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, sumSeconds)
+		fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, sumSeconds)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, cum)
+	}
+}
+
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
+
+// Vec is a family of Histograms keyed by a pre-rendered label body. Hot
+// paths resolve their cell once (With at setup time) and observe lock-free
+// afterwards; Write and Quantile walk the cells under the lock.
+type Vec struct {
+	mu    sync.Mutex
+	cells map[string]*Histogram
+}
+
+// NewVec returns an empty histogram family.
+func NewVec() *Vec { return &Vec{cells: make(map[string]*Histogram)} }
+
+// With returns (creating if needed) the cell for a pre-rendered label body
+// like `endpoint="schedule",cache="hit"`. Callers on hot paths should call
+// this once at setup and keep the *Histogram.
+func (v *Vec) With(labels string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.cells[labels]
+	if !ok {
+		h = NewHistogram()
+		v.cells[labels] = h
+	}
+	return h
+}
+
+// Write renders every cell of the family under name, label bodies in
+// sorted order so the exposition is deterministic.
+func (v *Vec) Write(w io.Writer, name string) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.cells))
+	for k := range v.cells {
+		keys = append(keys, k)
+	}
+	cells := make([]*Histogram, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		cells = append(cells, v.cells[k])
+	}
+	v.mu.Unlock()
+	for i, k := range keys {
+		cells[i].Write(w, name, k)
+	}
+}
+
+// Quantile estimates the q-quantile across the union of every cell's
+// observations — exact aggregation, since all cells share one bucket
+// layout. This is how the legacy p50/p99 gauges are derived from buckets.
+func (v *Vec) Quantile(q float64) time.Duration {
+	cum := make([]int64, len(LatencyBuckets)+1)
+	v.mu.Lock()
+	for _, h := range v.cells {
+		h.snapshotInto(cum)
+	}
+	v.mu.Unlock()
+	return quantileFromBuckets(cum, q)
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CheckMetrics lints a Prometheus text exposition against the fleet's
+// naming contract: every family must be
+//
+//   - a counter, named *_total,
+//   - a histogram, emitting the complete _bucket/_sum/_count triple, or
+//   - an explicitly allowlisted gauge.
+//
+// It returns one human-readable violation per offending family (empty
+// means clean). Both daemons' metric tests and the cluster smoke's
+// observability phase run every /metrics page through this, so a counter
+// that loses its _total suffix — or a histogram missing a member of its
+// triple — fails CI instead of silently confusing dashboards.
+func CheckMetrics(text string, gauges map[string]bool) []string {
+	families := make(map[string]bool)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if name != "" {
+			families[name] = true
+		}
+	}
+
+	var violations []string
+	histBases := make(map[string]bool)
+	for name := range families {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) {
+				histBases[strings.TrimSuffix(name, suffix)] = true
+			}
+		}
+	}
+	for base := range histBases {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if !families[base+suffix] {
+				violations = append(violations,
+					fmt.Sprintf("histogram %s is missing its %s%s series", base, base, suffix))
+			}
+		}
+	}
+	for name := range families {
+		switch {
+		case strings.HasSuffix(name, "_total"):
+		case strings.HasSuffix(name, "_bucket"), strings.HasSuffix(name, "_sum"), strings.HasSuffix(name, "_count"):
+			// Judged per-base above.
+		case gauges[name]:
+		default:
+			violations = append(violations,
+				fmt.Sprintf("metric %s is neither a *_total counter, a histogram series, nor an allowlisted gauge", name))
+		}
+	}
+	sort.Strings(violations)
+	return violations
+}

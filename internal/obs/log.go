@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds a daemon's structured logger writing to w: format "json"
+// emits one JSON object per line (machine-shippable), "text" the slog text
+// handler (human-first). Any other format is an error, so a typoed flag
+// fails startup instead of silently logging in the wrong shape.
+func NewLogger(format string, w io.Writer) (*slog.Logger, error) {
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+}
+
+// NopLogger returns a logger that drops everything. The daemons' libraries
+// take a *slog.Logger and fall back to this when none is configured, so
+// call sites never nil-check.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }

@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketBoundariesInclusive(t *testing.T) {
+	h := NewHistogram()
+	// A value exactly on a bound must land in that bound's bucket
+	// (Prometheus le semantics), and a value just above must not.
+	h.Observe(time.Millisecond)        // == 0.001 bound
+	h.Observe(1100 * time.Microsecond) // just above 0.001
+	h.Observe(90 * time.Microsecond)   // below first bound
+	h.Observe(2 * time.Minute)         // beyond last finite bound → +Inf
+
+	var sb strings.Builder
+	h.Write(&sb, "x_seconds", "")
+	text := sb.String()
+
+	mustContain := []string{
+		`x_seconds_bucket{le="0.0001"} 1`,
+		`x_seconds_bucket{le="0.001"} 2`,
+		`x_seconds_bucket{le="0.0025"} 3`,
+		`x_seconds_bucket{le="60"} 3`,
+		`x_seconds_bucket{le="+Inf"} 4`,
+		"x_seconds_count 4",
+	}
+	for _, want := range mustContain {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if got := h.Count(); got != 4 {
+		t.Errorf("Count() = %d, want 4", got)
+	}
+}
+
+func TestHistogramEmitsCompleteTriple(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(3 * time.Millisecond)
+	var sb strings.Builder
+	h.Write(&sb, "y_seconds", `endpoint="schedule"`)
+	text := sb.String()
+	for _, want := range []string{
+		`y_seconds_bucket{endpoint="schedule",le="+Inf"} 1`,
+		`y_seconds_sum{endpoint="schedule"} 0.003`,
+		`y_seconds_count{endpoint="schedule"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if v := CheckMetrics(text, nil); len(v) != 0 {
+		t.Errorf("complete histogram triple flagged by lint: %v", v)
+	}
+}
+
+// TestHistogramQuantileVsExact compares bucket-interpolated quantiles with
+// the exact sorted-sample quantiles the old latency ring computed. The
+// histogram can only be as precise as its buckets, so the assertion is
+// "same bucket": the estimate must land within the bucket containing the
+// exact value.
+func TestHistogramQuantileVsExact(t *testing.T) {
+	h := NewHistogram()
+	var samples []float64
+	// Deterministic spread over several buckets.
+	for i := 1; i <= 1000; i++ {
+		s := float64(i%97+1) * 150e-6 // 150µs .. 14.7ms
+		samples = append(samples, s)
+		h.Observe(time.Duration(s * float64(time.Second)))
+	}
+	sort.Float64s(samples)
+
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := samples[int(q*float64(len(samples)-1))]
+		est := h.Quantile(q).Seconds()
+		lo, hi := bucketFor(exact)
+		if est < lo-1e-9 || est > hi+1e-9 {
+			t.Errorf("q=%g: estimate %g outside bucket [%g, %g] of exact %g", q, est, lo, hi, exact)
+		}
+	}
+}
+
+func bucketFor(s float64) (lo, hi float64) {
+	i := sort.SearchFloat64s(LatencyBuckets, s)
+	if i >= len(LatencyBuckets) {
+		return LatencyBuckets[len(LatencyBuckets)-1], math.Inf(1)
+	}
+	if i > 0 {
+		lo = LatencyBuckets[i-1]
+	}
+	return lo, LatencyBuckets[i]
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	if got := NewHistogram().Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram Quantile = %v, want 0", got)
+	}
+}
+
+func TestVecAggregatesAcrossCells(t *testing.T) {
+	v := NewVec()
+	v.With(`cache="hit"`).Observe(200 * time.Microsecond)
+	v.With(`cache="miss"`).Observe(40 * time.Millisecond)
+	v.With(`cache="miss"`).Observe(45 * time.Millisecond)
+
+	// Union has 3 observations; the median is the 40ms one → (25ms, 50ms]
+	// bucket.
+	p50 := v.Quantile(0.5).Seconds()
+	if p50 <= 0.025 || p50 > 0.05 {
+		t.Errorf("cross-cell p50 = %g, want within (0.025, 0.05]", p50)
+	}
+
+	var sb strings.Builder
+	v.Write(&sb, "z_seconds")
+	text := sb.String()
+	hitIdx := strings.Index(text, `z_seconds_bucket{cache="hit"`)
+	missIdx := strings.Index(text, `z_seconds_bucket{cache="miss"`)
+	if hitIdx < 0 || missIdx < 0 || hitIdx > missIdx {
+		t.Errorf("cells missing or not rendered in sorted label order:\n%s", text)
+	}
+}
+
+func TestTracePhaseOverflowDrops(t *testing.T) {
+	tr := AcquireTrace("req-1", "schedule")
+	for i := 0; i < MaxPhases+3; i++ {
+		tr.Phase(fmt.Sprintf("p%d", i), time.Millisecond)
+	}
+	if got := len(tr.Phases()); got != MaxPhases {
+		t.Errorf("retained %d phases, want %d", got, MaxPhases)
+	}
+	if tr.Dropped != 3 {
+		t.Errorf("Dropped = %d, want 3", tr.Dropped)
+	}
+	ReleaseTrace(tr)
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Phase("x", time.Millisecond)
+	tr.PhaseNote("x", "n", time.Millisecond)
+	tr.SetNode("w1")
+	tr.SetOutcome("hit")
+	if tr.Phases() != nil || tr.ServerTiming() != "" {
+		t.Error("nil trace must report no phases")
+	}
+	ReleaseTrace(tr)
+}
+
+func TestServerTimingFormat(t *testing.T) {
+	tr := AcquireTrace("req-2", "schedule")
+	tr.Phase("queue", 310*time.Microsecond)
+	tr.Phase("schedule", 1050*time.Microsecond)
+	got := tr.ServerTiming()
+	if got != "queue;dur=0.31, schedule;dur=1.05" {
+		t.Errorf("ServerTiming = %q", got)
+	}
+	ReleaseTrace(tr)
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		tr := AcquireTrace(fmt.Sprintf("id-%d", i), "schedule")
+		r.Publish(tr)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	// id-0 and id-1 were evicted; id-2..id-5 remain.
+	for i := 0; i < 2; i++ {
+		if _, ok := r.Get(fmt.Sprintf("id-%d", i)); ok {
+			t.Errorf("id-%d should be evicted", i)
+		}
+	}
+	for i := 2; i < 6; i++ {
+		if _, ok := r.Get(fmt.Sprintf("id-%d", i)); !ok {
+			t.Errorf("id-%d should be retrievable", i)
+		}
+	}
+	recent := r.Recent(0)
+	if len(recent) != 4 || recent[0].ID != "id-5" || recent[3].ID != "id-2" {
+		ids := make([]string, len(recent))
+		for i, tr := range recent {
+			ids[i] = tr.ID
+		}
+		t.Errorf("Recent order = %v, want [id-5 id-4 id-3 id-2]", ids)
+	}
+}
+
+func TestRingSameIDRepublish(t *testing.T) {
+	// Failover retries publish under one ID; the index must follow the
+	// newest copy and survive eviction of the older one.
+	r := NewRing(2)
+	first := AcquireTrace("dup", "schedule")
+	first.SetOutcome("error")
+	r.Publish(first)
+	second := AcquireTrace("dup", "schedule")
+	second.SetOutcome("failover")
+	r.Publish(second)
+	got, ok := r.Get("dup")
+	if !ok || got.Outcome != "failover" {
+		t.Errorf("Get(dup) = %+v ok=%v, want newest (failover)", got, ok)
+	}
+	// Evict the older dup slot; the newer must stay indexed.
+	r.Publish(AcquireTrace("other", "schedule"))
+	if got, ok := r.Get("dup"); !ok || got.Outcome != "failover" {
+		t.Errorf("after eviction Get(dup) = %+v ok=%v, want newest retained", got, ok)
+	}
+}
+
+func TestRequestIDResolution(t *testing.T) {
+	id := NewRequestID()
+	if len(id) != 16 {
+		t.Errorf("NewRequestID length = %d, want 16 hex chars: %q", len(id), id)
+	}
+	if SuffixID("abc", 3) != "abc#3" {
+		t.Errorf("SuffixID = %q", SuffixID("abc", 3))
+	}
+}
+
+func TestCheckMetrics(t *testing.T) {
+	good := strings.Join([]string{
+		"a_total 3",
+		`a_labeled_total{x="y"} 1`,
+		`h_seconds_bucket{le="+Inf"} 2`,
+		"h_seconds_sum 0.5",
+		"h_seconds_count 2",
+		"g_depth 7",
+		"# HELP ignored",
+	}, "\n")
+	if v := CheckMetrics(good, map[string]bool{"g_depth": true}); len(v) != 0 {
+		t.Errorf("clean exposition flagged: %v", v)
+	}
+
+	if v := CheckMetrics("spills 3\n", nil); len(v) != 1 {
+		t.Errorf("bare counter not flagged: %v", v)
+	}
+	if v := CheckMetrics("g_depth 7\n", nil); len(v) != 1 {
+		t.Errorf("unallowlisted gauge not flagged: %v", v)
+	}
+	incomplete := "h_seconds_bucket{le=\"+Inf\"} 2\nh_seconds_sum 0.5\n"
+	if v := CheckMetrics(incomplete, nil); len(v) != 1 || !strings.Contains(v[0], "h_seconds_count") {
+		t.Errorf("incomplete histogram triple not flagged: %v", v)
+	}
+}
+
+func TestTopKSpaceSaving(t *testing.T) {
+	k := NewTopK(2)
+	for i := 0; i < 5; i++ {
+		k.Add("hot")
+	}
+	k.Add("warm")
+	k.Add("warm")
+
+	snap := k.Snapshot()
+	if len(snap) != 2 || snap[0].Key != "hot" || snap[0].Count != 5 || snap[1].Key != "warm" || snap[1].Count != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	// A newcomer at capacity evicts the current minimum and inherits
+	// min+1 — the space-saving overestimate that keeps truly-hot keys from
+	// being churned out by a stream of singletons.
+	k.Add("new")
+	snap = k.Snapshot()
+	if len(snap) != 2 || snap[0].Key != "hot" {
+		t.Fatalf("after eviction snapshot = %+v", snap)
+	}
+	if snap[1].Key != "new" || snap[1].Count != 3 {
+		t.Fatalf("newcomer = %+v, want {new 3}", snap[1])
+	}
+
+	// Snapshot order is deterministic: count desc, then key asc.
+	k2 := NewTopK(4)
+	for _, key := range []string{"b", "a", "c", "a"} {
+		k2.Add(key)
+	}
+	snap = k2.Snapshot()
+	want := []TopKEntry{{"a", 2}, {"b", 1}, {"c", 1}}
+	for i, e := range want {
+		if snap[i] != e {
+			t.Fatalf("snapshot[%d] = %+v, want %+v (full: %+v)", i, snap[i], e, snap)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// RequestIDHeader carries one request's identity end to end: minted at the
+// edge (coordinator, or a directly-hit worker), propagated on every
+// coordinator→worker forward — including failover retries, batch fan-out
+// loops and sweep cells — and echoed on every response, so one ID stitches
+// the coordinator's placement trace to the worker's phase trace.
+const RequestIDHeader = "X-Request-Id"
+
+var reqSeq atomic.Uint64
+
+// NewRequestID mints a 16-hex-char request ID. Random, not sequential: IDs
+// must not collide across coordinator restarts or between independent
+// edges. Falls back to a process-local counter if the entropy source
+// fails.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("seq-%016x", reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// RequestID resolves a request's ID: the propagated header when present,
+// a freshly minted one otherwise (this daemon is the edge). The resolved
+// ID is written back onto r's headers so later reads agree, and minted
+// reports which case happened.
+func RequestID(r *http.Request) (id string, minted bool) {
+	if id = r.Header.Get(RequestIDHeader); id != "" {
+		return id, false
+	}
+	id = NewRequestID()
+	r.Header.Set(RequestIDHeader, id)
+	return id, true
+}
+
+// SuffixID derives the deterministic per-loop request ID of a batch
+// fan-out: loop i of request id traces as "id#i" on the worker it lands
+// on, while the envelope keeps id. Deterministic so a retried envelope
+// produces identical loop IDs.
+func SuffixID(id string, i int) string { return fmt.Sprintf("%s#%d", id, i) }

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// durSince is the trace's total wall time at publish.
+func durSince(t *Trace) time.Duration { return time.Since(t.Start) }
+
+// Ring is a bounded buffer of the most recent published traces, indexed by
+// request ID for GET /v1/debug/traces/{id}. Publishing copies the trace
+// into a preallocated slot and recycles the *Trace, so a serving daemon's
+// steady-state trace cost is bounded: no growth, no retained pointers into
+// request-scoped state.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Trace
+	n    int // slots filled (≤ len(buf))
+	pos  int // next slot to overwrite
+	byID map[string]int
+}
+
+// NewRing returns a ring retaining the last capacity traces (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Trace, capacity), byID: make(map[string]int, capacity)}
+}
+
+// Publish finalizes t (total duration from its start), copies it into the
+// ring — evicting the oldest trace — and recycles t. The caller must not
+// touch t afterwards. A nil t is a no-op.
+func (r *Ring) Publish(t *Trace) {
+	if t == nil {
+		return
+	}
+	t.DurUS = durSince(t).Microseconds()
+	r.mu.Lock()
+	if old := &r.buf[r.pos]; old.ID != "" {
+		// The evicted slot's ID leaves the index unless a newer trace
+		// reused it (same-ID republish, e.g. retries of one request).
+		if i, ok := r.byID[old.ID]; ok && i == r.pos {
+			delete(r.byID, old.ID)
+		}
+	}
+	r.buf[r.pos] = *t
+	r.byID[t.ID] = r.pos
+	r.pos = (r.pos + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+	tracePool.Put(t)
+}
+
+// Get returns a copy of the trace published under id, if it is still in
+// the ring.
+func (r *Ring) Get(id string) (Trace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.byID[id]
+	if !ok {
+		return Trace{}, false
+	}
+	return r.buf[i], true
+}
+
+// Recent returns up to max traces, newest first.
+func (r *Ring) Recent(max int) []Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.n
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Trace, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (r.pos - 1 - i + len(r.buf)*2) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// Len returns the number of retained traces.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// TopK is a space-saving heavy-hitter counter: it tracks at most k keys and,
+// when a new key arrives with the table full, evicts the current minimum and
+// credits the newcomer with min+1 (the classic Metwally et al. scheme). Counts
+// are therefore overestimates bounded by the evicted minimum — exactly the
+// right trade for labeling a Prometheus counter by "which keys spill most"
+// without unbounded label cardinality: the hot keys' counts are accurate, the
+// cold ones never become series at all.
+type TopK struct {
+	mu     sync.Mutex
+	k      int
+	counts map[string]int64
+}
+
+// TopKEntry is one tracked key and its (over)count.
+type TopKEntry struct {
+	Key   string
+	Count int64
+}
+
+// NewTopK returns a counter tracking at most k keys (minimum 1).
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, counts: make(map[string]int64, k)}
+}
+
+// Add credits one occurrence of key, evicting the current minimum if key is
+// untracked and the table is full.
+func (t *TopK) Add(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.counts[key]; ok {
+		t.counts[key]++
+		return
+	}
+	if len(t.counts) < t.k {
+		t.counts[key] = 1
+		return
+	}
+	minKey, minN := "", int64(-1)
+	for k2, n := range t.counts {
+		if minN < 0 || n < minN || (n == minN && k2 < minKey) {
+			minKey, minN = k2, n
+		}
+	}
+	delete(t.counts, minKey)
+	t.counts[key] = minN + 1
+}
+
+// Snapshot returns the tracked keys ordered by descending count (ties by
+// ascending key, so renderings are deterministic).
+func (t *TopK) Snapshot() []TopKEntry {
+	t.mu.Lock()
+	out := make([]TopKEntry, 0, len(t.counts))
+	for k, n := range t.counts {
+		out = append(out, TopKEntry{Key: k, Count: n})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

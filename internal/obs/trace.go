@@ -1,0 +1,175 @@
+// Package obs is the fleet's observability toolkit: a zero-alloc-on-hot-path
+// per-request span recorder with a bounded ring of recent traces, fixed-bucket
+// Prometheus histograms with a shared layout, request-ID minting and
+// propagation helpers, and a metric-name lint shared by both daemons' tests.
+//
+// Everything here is strictly out-of-band: traces travel in headers
+// (X-Request-Id, X-Phase-Timing) and debug endpoints, histograms in /metrics
+// — never inside a response body. The byte-determinism invariants the
+// schedulers are gated on (golden CSVs, cache replay, shadow byte-compare)
+// are therefore untouched by instrumentation.
+package obs
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MaxPhases is the fixed phase capacity of one Trace. Recording past it
+// drops the extra phases (counted in Dropped) instead of growing: the hot
+// path must never allocate for instrumentation.
+const MaxPhases = 16
+
+// Phase is one recorded span of a request: a name, its offset from the
+// trace start and its duration (both microseconds), and an optional
+// free-form note ("node=w1 rank=1 spilled=true").
+type Phase struct {
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	Note    string `json:"note,omitempty"`
+}
+
+// Trace is one request's span record: fixed-capacity phase slots plus
+// identity and outcome metadata. Acquire one from the pool with
+// AcquireTrace, record phases while serving, and hand it to a Ring with
+// Publish (which recycles it). All methods are nil-receiver-safe so
+// call sites that trace optionally need no branches.
+type Trace struct {
+	ID      string    `json:"id"`
+	Op      string    `json:"op"`
+	Node    string    `json:"node,omitempty"`
+	Start   time.Time `json:"start"`
+	Outcome string    `json:"outcome,omitempty"`
+	DurUS   int64     `json:"dur_us"`
+	Dropped int       `json:"dropped_phases,omitempty"`
+
+	n      int
+	phases [MaxPhases]Phase
+}
+
+var tracePool = sync.Pool{New: func() any { return new(Trace) }}
+
+// AcquireTrace returns a pooled, reset Trace stamped with the request
+// identity and the current time. Steady-state it allocates nothing.
+func AcquireTrace(id, op string) *Trace {
+	t := tracePool.Get().(*Trace)
+	*t = Trace{ID: id, Op: op, Start: time.Now()}
+	return t
+}
+
+// ReleaseTrace recycles a trace that will not be published (error paths
+// that bail before the ring). Publish releases on its own.
+func ReleaseTrace(t *Trace) {
+	if t != nil {
+		tracePool.Put(t)
+	}
+}
+
+// Phase records one completed span of duration d ending now.
+func (t *Trace) Phase(name string, d time.Duration) { t.PhaseNote(name, "", d) }
+
+// PhaseNote is Phase with a free-form annotation attached.
+func (t *Trace) PhaseNote(name, note string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	if t.n >= MaxPhases {
+		t.Dropped++
+		return
+	}
+	off := time.Since(t.Start) - d
+	if off < 0 {
+		off = 0
+	}
+	t.phases[t.n] = Phase{Name: name, StartUS: off.Microseconds(), DurUS: d.Microseconds(), Note: note}
+	t.n++
+}
+
+// SetNode stamps the serving node's identity on the trace.
+func (t *Trace) SetNode(node string) {
+	if t != nil {
+		t.Node = node
+	}
+}
+
+// SetOutcome records how the request ended ("hit", "miss", "failover",
+// "error", ...).
+func (t *Trace) SetOutcome(outcome string) {
+	if t != nil {
+		t.Outcome = outcome
+	}
+}
+
+// Phases returns the recorded spans (a view into the trace's own storage;
+// valid until the trace is released).
+func (t *Trace) Phases() []Phase {
+	if t == nil {
+		return nil
+	}
+	return t.phases[:t.n]
+}
+
+// ServerTiming renders the phases as a Server-Timing-style header value:
+//
+//	queue;dur=0.31, partition;dur=2.70, schedule;dur=1.05
+//
+// Durations are milliseconds, matching the Server-Timing convention. The
+// value goes in the X-Phase-Timing response header — out-of-band by
+// construction, so cached bodies stay byte-identical.
+func (t *Trace) ServerTiming() string {
+	if t == nil || t.n == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < t.n; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.phases[i].Name)
+		b.WriteString(";dur=")
+		b.WriteString(strconv.FormatFloat(float64(t.phases[i].DurUS)/1000, 'f', 2, 64))
+	}
+	return b.String()
+}
+
+// traceJSON is the wire shape of a Trace: the fixed phase array rendered as
+// only its populated slots.
+type traceJSON struct {
+	ID      string    `json:"id"`
+	Op      string    `json:"op"`
+	Node    string    `json:"node,omitempty"`
+	Start   time.Time `json:"start"`
+	Outcome string    `json:"outcome,omitempty"`
+	DurUS   int64     `json:"dur_us"`
+	Dropped int       `json:"dropped_phases,omitempty"`
+	Phases  []Phase   `json:"phases"`
+}
+
+// MarshalJSON renders the trace with only its populated phase slots.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(traceJSON{t.ID, t.Op, t.Node, t.Start, t.Outcome, t.DurUS, t.Dropped, t.phases[:t.n]})
+}
+
+// UnmarshalJSON is MarshalJSON's inverse, so debug-endpoint clients (and
+// the tests driving them) can decode a published trace back into a Trace.
+// Phases beyond MaxPhases are dropped and counted, like recording.
+func (t *Trace) UnmarshalJSON(b []byte) error {
+	var w traceJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*t = Trace{ID: w.ID, Op: w.Op, Node: w.Node, Start: w.Start, Outcome: w.Outcome, DurUS: w.DurUS, Dropped: w.Dropped}
+	for _, p := range w.Phases {
+		if t.n >= MaxPhases {
+			t.Dropped++
+			continue
+		}
+		t.phases[t.n] = p
+		t.n++
+	}
+	return nil
+}

@@ -101,6 +101,12 @@ type Result struct {
 	Levels int
 	// Moves is the total number of refinement transformations applied.
 	Moves int
+	// Candidate-screening stage tallies for the refinement inner loop:
+	// ScreenLowerBound counts candidates rejected by the closed-form lower
+	// bound, ScreenExact those rejected by the exact-t forward analysis,
+	// and ScreenFull those that survived to the full evaluation (ALAP
+	// slack pass). Their sum is the number of candidates considered.
+	ScreenLowerBound, ScreenExact, ScreenFull int64
 }
 
 // Partitioner computes cluster assignments for one loop on one machine.
@@ -125,6 +131,10 @@ type Partitioner struct {
 	// screening) for every refinement candidate. Test hook: the engine
 	// equivalence suite pins that both paths choose the same moves.
 	debugFullEval bool
+
+	// Per-run screening tallies, reset by Partition and copied into its
+	// Result. Mutated only by the (single-goroutine) refinement loop.
+	screenLB, screenExact, screenFull int64
 }
 
 // New returns a partitioner for graph g on machine m with a private arena.
@@ -159,6 +169,7 @@ func NewWithArena(g *ddg.Graph, m *machine.Config, opts *Options, ar *Arena) *Pa
 // MII on the first call; a raised II on recomputation, per §3.1).
 func (p *Partitioner) Partition(ii int) *Result {
 	n := p.g.N()
+	p.screenLB, p.screenExact, p.screenFull = 0, 0, 0
 	res := &Result{Assign: make([]int, n), Levels: 1}
 	if p.m.Clusters <= 1 || n == 0 {
 		est := p.evaluate(res.Assign, ii)
@@ -214,6 +225,7 @@ func (p *Partitioner) Partition(ii int) *Result {
 	final := p.evaluate(res.Assign, ii)
 	res.IIBus, res.NComm = final.iiBus, final.nComm
 	res.EstTime, res.EstII = final.t, final.ii
+	res.ScreenLowerBound, res.ScreenExact, res.ScreenFull = p.screenLB, p.screenExact, p.screenFull
 	return res
 }
 

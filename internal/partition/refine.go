@@ -386,16 +386,20 @@ func (p *Partitioner) minimizeCut(lv *level, en *engine, ii int) int {
 		//     for candidates still in the running.
 		evalCandidate := func() (estimate, bool) {
 			if p.debugFullEval {
+				p.screenFull++
 				return p.evaluate(en.assign, ii), true
 			}
 			lb := en.lowerBoundT(ii)
 			if lb >= cur.t || (haveBest && lb > best.est.t) {
+				p.screenLB++
 				return estimate{}, false
 			}
 			e := en.estimateFast(ii)
 			if e.t >= cur.t || (haveBest && e.t > best.est.t) {
+				p.screenExact++
 				return estimate{}, false
 			}
+			p.screenFull++
 			en.finishSlack(&e)
 			return e, true
 		}

@@ -7,9 +7,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // The node-lifecycle wire protocol between a gpserved worker and the
@@ -127,8 +130,9 @@ type AgentConfig struct {
 	// a worker that missed a flush converges instead of serving stale
 	// bytes forever.
 	ApplyEpoch func(epoch uint64)
-	// Logf, when set, receives agent lifecycle messages.
-	Logf func(format string, args ...any)
+	// Logger, when set, receives structured agent lifecycle events (node
+	// and coordinator identities as fields). Nil drops them.
+	Logger *slog.Logger
 }
 
 func (c AgentConfig) interval() time.Duration {
@@ -146,6 +150,7 @@ func (c AgentConfig) interval() time.Duration {
 // graceful worker shutdown never has to wait out the dead-node detector.
 type Agent struct {
 	cfg        AgentConfig
+	log        *slog.Logger
 	client     *http.Client
 	cancel     context.CancelFunc
 	done       chan struct{}
@@ -158,9 +163,14 @@ func StartAgent(cfg AgentConfig) *Agent {
 	if cfg.SchemaVersion == "" {
 		cfg.SchemaVersion = SchemaVersion
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	a := &Agent{
 		cfg:    cfg,
+		log:    log.With("node", cfg.NodeID, "coordinator", cfg.Coordinator),
 		client: &http.Client{Timeout: 5 * time.Second},
 		cancel: cancel,
 		done:   make(chan struct{}),
@@ -206,9 +216,9 @@ func (a *Agent) loop(ctx context.Context) {
 					interval = time.Duration(resp.HeartbeatMillis) * time.Millisecond
 				}
 				a.converge(resp.Epoch)
-				a.logf("registered with %s as %s (heartbeat %v)", a.cfg.Coordinator, a.cfg.NodeID, interval)
+				a.log.Info("registered with coordinator", "heartbeat", interval.String())
 			case ctx.Err() == nil:
-				a.logf("register with %s failed, will retry: %v", a.cfg.Coordinator, err)
+				a.log.Warn("register failed, will retry", "err", err.Error())
 			}
 		} else {
 			var resp HeartbeatResponse
@@ -231,9 +241,9 @@ func (a *Agent) loop(ctx context.Context) {
 				// The coordinator restarted and lost the registry: fall back
 				// to the register path next tick.
 				a.registered.Store(false)
-				a.logf("coordinator forgot %s, re-registering", a.cfg.NodeID)
+				a.log.Warn("coordinator forgot node, re-registering")
 			case ctx.Err() == nil:
-				a.logf("heartbeat to %s failed: %v", a.cfg.Coordinator, err)
+				a.log.Warn("heartbeat failed", "err", err.Error())
 			}
 		}
 		select {
@@ -259,7 +269,7 @@ func (a *Agent) converge(fleet uint64) {
 		return
 	}
 	a.cfg.ApplyEpoch(fleet)
-	a.logf("converged to fleet cache epoch %d", fleet)
+	a.log.Info("converged to fleet cache epoch", "epoch", fleet)
 }
 
 // post sends a JSON body and decodes a JSON response into out (when
@@ -290,12 +300,6 @@ func (a *Agent) post(ctx context.Context, path string, in, out any) error {
 		}
 	}
 	return nil
-}
-
-func (a *Agent) logf(format string, args ...any) {
-	if a.cfg.Logf != nil {
-		a.cfg.Logf(format, args...)
-	}
 }
 
 type statusError struct{ code int }

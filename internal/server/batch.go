@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/ddgio"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 )
 
@@ -192,9 +193,12 @@ func BatchItems(body []byte) ([]BatchItem, error) {
 func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.batchReqs.Add(1)
 	start := time.Now()
+	tr := obs.AcquireTrace(r.Header.Get(obs.RequestIDHeader), "batch")
+	tr.SetNode(s.cfg.NodeID)
 
 	body, release, err := s.readBodyPooled(w, r)
 	if err != nil {
+		s.finishTrace(w, tr, "bad-request")
 		s.writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "read body: %v", err)
 		return
 	}
@@ -206,22 +210,28 @@ func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 	// path singletons take, amortized over the whole compilation unit.
 	// (No per-loop bookkeeping happens here, so batchLoops only counts
 	// parsed fan-outs.)
+	lookup := time.Now()
 	bodyHash := sha256.Sum256(body)
 	if cached, ok := s.cache.GetByBody(bodyHash); ok {
 		s.metrics.cacheHits.Add(1)
 		s.metrics.bodyHits.Add(1)
+		tr.PhaseNote("cache-lookup", "body-hit", time.Since(lookup))
+		s.finishTrace(w, tr, "hit")
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Cache", "hit")
 		_, _ = w.Write(cached)
-		s.metrics.observe(time.Since(start))
+		s.metrics.batchHit.Observe(time.Since(start))
 		return
 	}
 
+	parse := time.Now()
 	items, err := parseBatch(body, s.machines)
 	if err != nil {
+		s.finishTrace(w, tr, "bad-request")
 		s.writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		return
 	}
+	tr.PhaseNote("parse", fmt.Sprintf("loops=%d", len(items)), time.Since(parse))
 	s.metrics.batchLoops.Add(int64(len(items)))
 	for i := range items {
 		if items[i].job == nil {
@@ -253,7 +263,16 @@ func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 	defer encBufPool.Put(buf)
 	clean := true
 	flusher, _ := w.(http.Flusher)
+	queued := time.Now()
 	poolErr := s.pool.Do(context.Background(), func() {
+		tr.Phase("queue-wait", time.Since(queued))
+		// The envelope streams from here on: only the phases so far make
+		// the header. Per-loop compute phases keep accumulating in the
+		// trace (past MaxPhases they count as Dropped — the ring entry
+		// still shows the first loops' spans and the drop tally).
+		if st := tr.ServerTiming(); st != "" {
+			w.Header().Set("X-Phase-Timing", st)
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Cache", "miss")
 		mw := io.MultiWriter(w, buf)
@@ -262,7 +281,7 @@ func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 			if i > 0 {
 				_, _ = io.WriteString(mw, BatchSep)
 			}
-			elem, ok := s.batchElement(&items[i], epoch)
+			elem, ok := s.batchElement(&items[i], epoch, tr)
 			if !ok {
 				clean = false
 			}
@@ -273,13 +292,16 @@ func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		_, _ = io.WriteString(mw, BatchClose)
 	})
+	outcome := "miss"
 	switch {
 	case errors.Is(poolErr, ErrSaturated):
 		s.metrics.rejected.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.retryAfter().Round(time.Second)/time.Second)))
 		s.writeError(w, http.StatusTooManyRequests, ErrCodeSaturated, "scheduling queue is full, retry later")
+		outcome = "shed"
 	case errors.Is(poolErr, ErrClosed):
 		s.writeError(w, http.StatusServiceUnavailable, ErrCodeShuttingDown, "server is shutting down")
+		outcome = "shutting-down"
 	default:
 		// Cache the assembled envelope for the verbatim fast path — but
 		// only fully served ones, matching the singleton rule that error
@@ -292,14 +314,17 @@ func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 				s.cache.LinkBody(key, bodyHash)
 			}
 		}
-		s.metrics.observe(time.Since(start))
+		s.metrics.batchMiss.Observe(time.Since(start))
 	}
+	tr.SetOutcome(outcome)
+	s.traces.Publish(tr)
 }
 
 // batchElement produces one loop's element: the singleton response body
 // (shared cache entry, trailing newline trimmed) or an error object, with
-// ok reporting which. Runs inside the batch's pool slot.
-func (s *Server) batchElement(it *batchItem, epoch uint64) ([]byte, bool) {
+// ok reporting which. Runs inside the batch's pool slot; tr is the
+// envelope's trace, accumulating each computed loop's scheduler phases.
+func (s *Server) batchElement(it *batchItem, epoch uint64, tr *obs.Trace) ([]byte, bool) {
 	if it.err != nil {
 		return ErrorElement(ErrCodeBadRequest, it.err.Error()), false
 	}
@@ -309,7 +334,7 @@ func (s *Server) batchElement(it *batchItem, epoch uint64) ([]byte, bool) {
 		return trimElement(cached), true
 	}
 	s.metrics.cacheMisses.Add(1)
-	out, err := s.compute(key, it.job, epoch)
+	out, err := s.compute(key, it.job, epoch, tr)
 	if err != nil {
 		code := ErrCodeInternal
 		var cerr *clientError

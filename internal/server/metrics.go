@@ -3,19 +3,16 @@ package server
 import (
 	"fmt"
 	"io"
-	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// latencyWindow is the number of recent request latencies kept for the
-// p50/p99 estimates. A fixed ring keeps /metrics allocation-bounded under
-// sustained traffic.
-const latencyWindow = 1024
-
-// metrics holds the daemon's counters and the recent-latency ring. All
-// counters are monotonic totals in the Prometheus style.
+// metrics holds the daemon's counters and latency histograms. All counters
+// are monotonic totals in the Prometheus style; latencies live in
+// fixed-bucket histogram families (obs.LatencyBuckets) labeled by endpoint
+// and cache outcome, from which the legacy p50/p99 gauges are derived.
 type metrics struct {
 	requests       atomic.Int64 // every HTTP request seen
 	inflight       atomic.Int64 // requests currently being served (gauge)
@@ -35,50 +32,61 @@ type metrics struct {
 	machineCacheHits   atomic.Int64 // parsed-machine cache hits
 	machineCacheMisses atomic.Int64
 
+	// Scheduler-internal work counters, summed over every computed
+	// schedule: refinement transformations applied, and the refinement
+	// candidate screen's per-stage tallies (see partition.Result).
+	refineMoves atomic.Int64
+	screenLB    atomic.Int64
+	screenExact atomic.Int64
+	screenFull  atomic.Int64
+
 	// portfolioWins counts, per seed index, how often that seed produced
 	// the served schedule of a portfolio (K>1) computation.
 	portfolioWins [maxRequestPortfolio]atomic.Int64
 
-	mu      sync.Mutex
-	ring    [latencyWindow]time.Duration
-	ringLen int
-	ringPos int
+	// durations is gpserved_request_duration_seconds{endpoint,cache}; the
+	// hot-path cells are resolved once here. Body-hash hits count as
+	// cache="hit" — the finer split stays in cache_body_hits_total.
+	durations *obs.Vec
+	schedHit  *obs.Histogram
+	schedMiss *obs.Histogram
+	batchHit  *obs.Histogram
+	batchMiss *obs.Histogram
+	sweepDur  *obs.Histogram
+
+	// portfolioWinSec is gpserved_portfolio_win_seconds{seed}: the
+	// scheduling latency of portfolio computations, bucketed by which seed
+	// won. Cells appear as seeds win.
+	portfolioWinSec *obs.Vec
 }
 
-// observe records one served /v1/schedule latency.
-func (m *metrics) observe(d time.Duration) {
-	m.mu.Lock()
-	m.ring[m.ringPos] = d
-	m.ringPos = (m.ringPos + 1) % latencyWindow
-	if m.ringLen < latencyWindow {
-		m.ringLen++
-	}
-	m.mu.Unlock()
+// init wires the histogram families; must run before any observation.
+func (m *metrics) init() {
+	m.durations = obs.NewVec()
+	m.schedHit = m.durations.With(`endpoint="schedule",cache="hit"`)
+	m.schedMiss = m.durations.With(`endpoint="schedule",cache="miss"`)
+	m.batchHit = m.durations.With(`endpoint="batch",cache="hit"`)
+	m.batchMiss = m.durations.With(`endpoint="batch",cache="miss"`)
+	m.sweepDur = m.durations.With(`endpoint="sweep",cache="none"`)
+	m.portfolioWinSec = obs.NewVec()
 }
 
-// quantiles returns the p50 and p99 of the recent-latency window.
+// quantiles returns the p50 and p99 across every endpoint and outcome —
+// derived from the shared-layout buckets, replacing the old sorted ring.
 func (m *metrics) quantiles() (p50, p99 time.Duration) {
-	m.mu.Lock()
-	n := m.ringLen
-	buf := make([]time.Duration, n)
-	copy(buf, m.ring[:n])
-	m.mu.Unlock()
-	if n == 0 {
-		return 0, 0
-	}
-	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
-	return buf[quantileIndex(n, 0.50)], buf[quantileIndex(n, 0.99)]
+	return m.durations.Quantile(0.50), m.durations.Quantile(0.99)
 }
 
-func quantileIndex(n int, q float64) int {
-	i := int(q * float64(n-1))
-	if i < 0 {
-		i = 0
-	}
-	if i >= n {
-		i = n - 1
-	}
-	return i
+// workerGauges is the lint allowlist for gpserved metric names that are
+// neither counters nor histogram series. The metrics test and the smoke
+// observability phase check /metrics against it.
+var workerGauges = map[string]bool{
+	"gpserved_cache_entries":       true,
+	"gpserved_algo_epoch":          true,
+	"gpserved_inflight":            true,
+	"gpserved_queue_depth":         true,
+	"gpserved_latency_p50_seconds": true,
+	"gpserved_latency_p99_seconds": true,
 }
 
 // render writes the metrics in the Prometheus text exposition format.
@@ -101,6 +109,10 @@ func (m *metrics) render(w io.Writer, queueDepth, cacheEntries int, epoch uint64
 	fmt.Fprintf(w, "gpserved_rejected_total %d\n", m.rejected.Load())
 	fmt.Fprintf(w, "gpserved_bad_requests_total %d\n", m.badRequests.Load())
 	fmt.Fprintf(w, "gpserved_verify_failures_total %d\n", m.verifyFailures.Load())
+	fmt.Fprintf(w, "gpserved_refine_moves_total %d\n", m.refineMoves.Load())
+	fmt.Fprintf(w, "gpserved_refine_screen_total{stage=\"lower_bound\"} %d\n", m.screenLB.Load())
+	fmt.Fprintf(w, "gpserved_refine_screen_total{stage=\"exact_t\"} %d\n", m.screenExact.Load())
+	fmt.Fprintf(w, "gpserved_refine_screen_total{stage=\"full_eval\"} %d\n", m.screenFull.Load())
 	for seed := range m.portfolioWins {
 		if n := m.portfolioWins[seed].Load(); n > 0 {
 			fmt.Fprintf(w, "gpserved_portfolio_wins_total{seed=\"%d\"} %d\n", seed, n)
@@ -110,6 +122,8 @@ func (m *metrics) render(w io.Writer, queueDepth, cacheEntries int, epoch uint64
 	fmt.Fprintf(w, "gpserved_queue_depth %d\n", queueDepth)
 	fmt.Fprintf(w, "gpserved_latency_p50_seconds %g\n", p50.Seconds())
 	fmt.Fprintf(w, "gpserved_latency_p99_seconds %g\n", p99.Seconds())
+	m.durations.Write(w, "gpserved_request_duration_seconds")
+	m.portfolioWinSec.Write(w, "gpserved_portfolio_win_seconds")
 }
 
 // hitRate returns cache hits / (hits + misses), or 0 before any lookup.

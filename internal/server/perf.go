@@ -272,3 +272,15 @@ func perfRequestBodies() ([][]byte, error) {
 	}
 	return bodies, nil
 }
+
+// quantileIndex is the index of the q-quantile in a sorted n-sample slice.
+func quantileIndex(n int, q float64) int {
+	i := int(q * float64(n-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/schedule"
 )
@@ -120,6 +121,7 @@ type Server struct {
 	flight   flightGroup
 	pool     *workerPool
 	metrics  metrics
+	traces   *obs.Ring
 	mux      *http.ServeMux
 
 	// computeHook, when set, observes every actual schedule computation
@@ -136,16 +138,24 @@ func New(cfg Config) *Server {
 		cache:    newLRUCache(cfg.cacheEntries()),
 		machines: newMachineCache(),
 		pool:     newWorkerPool(cfg.workers(), cfg.queueDepth()),
+		traces:   obs.NewRing(traceRingSize),
 		mux:      http.NewServeMux(),
 	}
+	s.metrics.init()
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /v1/schedule/batch", s.handleScheduleBatch)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/cache/flush", s.handleCacheFlush)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/debug/traces", s.handleDebugTraces)
+	s.mux.HandleFunc("GET /v1/debug/traces/{id}", s.handleDebugTrace)
 	return s
 }
+
+// traceRingSize bounds the per-daemon buffer of recent request traces
+// served by /v1/debug/traces.
+const traceRingSize = 128
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s }
@@ -158,6 +168,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
+	// Resolve the request ID: keep a propagated one (the coordinator is the
+	// edge), mint otherwise (this worker is). Handlers read it back off
+	// r.Header; every response echoes it.
+	id, _ := obs.RequestID(r)
+	w.Header().Set(obs.RequestIDHeader, id)
 	if s.cfg.NodeID != "" {
 		w.Header().Set("X-Node", s.cfg.NodeID)
 	}
@@ -217,6 +232,44 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.metrics.render(w, s.pool.QueueDepth(), s.cache.Len(), s.cache.Epoch())
+}
+
+// handleDebugTraces is GET /v1/debug/traces: the most recent request
+// traces, newest first. Debug surface only — never part of a cached body.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.traces.Recent(64))
+}
+
+// handleDebugTrace is GET /v1/debug/traces/{id}: one trace by request ID,
+// if it is still in the ring.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.traces.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, ErrCodeBadRequest, "no trace for request id %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(&t)
+}
+
+// finishTrace stamps the trace's outcome, exposes its phases in the
+// X-Phase-Timing response header (Server-Timing syntax; strictly outside
+// the body, so cached bytes are untouched), and publishes it to the ring.
+// Must run before the response body is written.
+func (s *Server) finishTrace(w http.ResponseWriter, tr *obs.Trace, outcome string) {
+	if tr == nil {
+		return
+	}
+	tr.SetOutcome(outcome)
+	if st := tr.ServerTiming(); st != "" {
+		w.Header().Set("X-Phase-Timing", st)
+	}
+	s.traces.Publish(tr)
 }
 
 // readBody reads at most MaxBodyBytes of the request body.
@@ -291,9 +344,12 @@ func (s *Server) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	s.metrics.scheduleReqs.Add(1)
 	start := time.Now()
+	tr := obs.AcquireTrace(r.Header.Get(obs.RequestIDHeader), "schedule")
+	tr.SetNode(s.cfg.NodeID)
 
 	body, release, err := s.readBodyPooled(w, r)
 	if err != nil {
+		s.finishTrace(w, tr, "bad-request")
 		s.writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "read body: %v", err)
 		return
 	}
@@ -302,20 +358,26 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	// Parse-free fast path: a verbatim repeat of a previously served body
 	// is answered from the body-hash alias index with zero schedule-side
 	// allocations — one sha256 over the bytes, one map probe, write.
+	lookup := time.Now()
 	bodyHash := sha256.Sum256(body)
 	if cached, ok := s.cache.GetByBody(bodyHash); ok {
 		s.metrics.cacheHits.Add(1)
 		s.metrics.bodyHits.Add(1)
+		tr.PhaseNote("cache-lookup", "body-hit", time.Since(lookup))
+		s.finishTrace(w, tr, "hit")
 		s.writeScheduleBody(w, cached, "hit")
-		s.metrics.observe(time.Since(start))
+		s.metrics.schedHit.Observe(time.Since(start))
 		return
 	}
 
+	parse := time.Now()
 	job, err := parseScheduleRequestCached(body, s.machines)
 	if err != nil {
+		s.finishTrace(w, tr, "bad-request")
 		s.writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		return
 	}
+	tr.PhaseNote("machine-parse", "machine-cache="+job.mcState, time.Since(parse))
 	if job.mcState != "" {
 		// Only machine-description requests touch the parsed-machine
 		// cache; grid requests construct their config directly.
@@ -332,26 +394,35 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	epoch := s.cache.Epoch()
 	key := job.cacheKey(keySalt(s.algo, epoch))
 
+	lookup = time.Now()
 	if cached, ok := s.cache.Get(key); ok {
 		s.metrics.cacheHits.Add(1)
 		s.cache.LinkBody(key, bodyHash)
+		tr.PhaseNote("cache-lookup", "key-hit", time.Since(lookup))
+		s.finishTrace(w, tr, "hit")
 		s.writeScheduleBody(w, cached, "hit")
-		s.metrics.observe(time.Since(start))
+		s.metrics.schedHit.Observe(time.Since(start))
 		return
 	}
 	s.metrics.cacheMisses.Add(1)
+	tr.PhaseNote("cache-lookup", "miss", time.Since(lookup))
 
 	// Coalesce concurrent identical requests: one leader computes on the
 	// pool, followers share its bytes without occupying a worker slot. The
 	// leader waits with a detached context: a compute is short, its result
 	// is cached for everyone, and tying the wait to the leader's request
 	// context would turn one client's disconnect into spurious
-	// context-canceled errors for every coalesced follower.
+	// context-canceled errors for every coalesced follower. The closure
+	// runs on the leader's goroutine, so the leader's trace records the
+	// queue wait and compute phases; followers record only the fold.
+	flightStart := time.Now()
 	resp, shared, err := s.flight.Do(key, func() ([]byte, error) {
+		queued := time.Now()
 		var out []byte
 		var computeErr error
 		poolErr := s.pool.Do(context.Background(), func() {
-			out, computeErr = s.compute(key, job, epoch)
+			tr.Phase("queue-wait", time.Since(queued))
+			out, computeErr = s.compute(key, job, epoch, tr)
 		})
 		if poolErr != nil {
 			return nil, poolErr
@@ -360,27 +431,33 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	})
 	if shared {
 		s.metrics.coalesced.Add(1)
+		tr.PhaseNote("coalesced-wait", "folded into in-flight twin", time.Since(flightStart))
 	}
 	var cerr *clientError
 	switch {
 	case errors.Is(err, ErrSaturated):
 		s.metrics.rejected.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.retryAfter().Round(time.Second)/time.Second)))
+		s.finishTrace(w, tr, "shed")
 		s.writeError(w, http.StatusTooManyRequests, ErrCodeSaturated, "scheduling queue is full, retry later")
 		return
 	case errors.Is(err, ErrClosed):
+		s.finishTrace(w, tr, "shutting-down")
 		s.writeError(w, http.StatusServiceUnavailable, ErrCodeShuttingDown, "server is shutting down")
 		return
 	case errors.As(err, &cerr):
+		s.finishTrace(w, tr, "bad-request")
 		s.writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", cerr)
 		return
 	case err != nil:
+		s.finishTrace(w, tr, "error")
 		s.writeError(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
 		return
 	}
 	s.cache.LinkBody(key, bodyHash)
+	s.finishTrace(w, tr, "miss")
 	s.writeScheduleBody(w, resp, "miss")
-	s.metrics.observe(time.Since(start))
+	s.metrics.schedMiss.Observe(time.Since(start))
 }
 
 func (s *Server) writeScheduleBody(w http.ResponseWriter, body []byte, xcache string) {
@@ -397,15 +474,18 @@ var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // compute schedules the job, Verify-checks the result, marshals the
 // deterministic response body and inserts it into the cache under the
 // epoch the request was keyed with (a flush in between rejects the
-// insert). It runs on a pool worker.
-func (s *Server) compute(key string, job *scheduleJob, epoch uint64) ([]byte, error) {
+// insert). It runs on a pool worker; tr (nil-safe) collects the scheduler
+// phase spans.
+func (s *Server) compute(key string, job *scheduleJob, epoch uint64, tr *obs.Trace) ([]byte, error) {
 	if s.computeHook != nil {
 		s.computeHook(key)
 	}
 	// The expensive half of admission, deliberately behind backpressure.
+	adm := time.Now()
 	if err := job.admissionCheck(); err != nil {
 		return nil, err
 	}
+	tr.Phase("admission", time.Since(adm))
 	// The partitioner runs out of a pooled arena: across requests the
 	// coarsening levels, engine state and work lists reuse their capacity.
 	// The portfolio path acquires its own arena per racer and ignores this
@@ -424,14 +504,30 @@ func (s *Server) compute(key string, job *scheduleJob, epoch uint64) ([]byte, er
 	if err != nil {
 		return nil, fmt.Errorf("schedule: %v", err)
 	}
+	tr.Phase("mii", res.MIIDur)
+	tr.PhaseNote("partition",
+		fmt.Sprintf("partitions=%d moves=%d screen=%d/%d/%d",
+			res.Partitions, res.RefineMoves, res.ScreenLowerBound, res.ScreenExact, res.ScreenFull),
+		res.PartitionDur)
+	tr.PhaseNote("schedule",
+		fmt.Sprintf("attempts=%d ii=%d seed=%d", res.Attempts, res.Schedule.II, res.PortfolioSeed),
+		res.ScheduleDur)
+	s.metrics.refineMoves.Add(res.RefineMoves)
+	s.metrics.screenLB.Add(res.ScreenLowerBound)
+	s.metrics.screenExact.Add(res.ScreenExact)
+	s.metrics.screenFull.Add(res.ScreenFull)
 	// The oracle gate: nothing unverified is ever served or cached.
+	ver := time.Now()
 	if err := schedule.Verify(job.g, job.m, res.Schedule); err != nil {
 		s.metrics.verifyFailures.Add(1)
 		return nil, fmt.Errorf("schedule failed verification: %v", err)
 	}
+	tr.Phase("verify", time.Since(ver))
 	if k > 1 && res.PortfolioSeed >= 0 && res.PortfolioSeed < len(s.metrics.portfolioWins) {
 		s.metrics.portfolioWins[res.PortfolioSeed].Add(1)
+		s.metrics.portfolioWinSec.With(fmt.Sprintf("seed=%q", strconv.Itoa(res.PortfolioSeed))).Observe(res.Elapsed)
 	}
+	encT := time.Now()
 	buf := encBufPool.Get().(*bytes.Buffer)
 	defer encBufPool.Put(buf)
 	buf.Reset()
@@ -442,6 +538,7 @@ func (s *Server) compute(key string, job *scheduleJob, epoch uint64) ([]byte, er
 	}
 	body := append(make([]byte, 0, buf.Len()), buf.Bytes()...)
 	s.cache.Add(key, body, epoch)
+	tr.Phase("encode", time.Since(encT))
 	return body, nil
 }
 
@@ -462,9 +559,13 @@ type SweepRequest struct {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.metrics.sweepReqs.Add(1)
+	start := time.Now()
+	tr := obs.AcquireTrace(r.Header.Get(obs.RequestIDHeader), "sweep")
+	tr.SetNode(s.cfg.NodeID)
 
 	body, err := s.readBody(w, r)
 	if err != nil {
+		s.finishTrace(w, tr, "bad-request")
 		s.writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "read body: %v", err)
 		return
 	}
@@ -492,8 +593,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	cw := &countingWriter{w: w}
 	var streamErr error
+	queued := time.Now()
 	poolErr := s.pool.Do(context.Background(), func() {
+		tr.Phase("queue-wait", time.Since(queued))
+		// Streaming starts now, so only the phases recorded so far can make
+		// the header; the stream phase itself lands in the published trace.
+		if st := tr.ServerTiming(); st != "" {
+			w.Header().Set("X-Phase-Timing", st)
+		}
 		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		streamStart := time.Now()
+		defer func() { tr.Phase("stream", time.Since(streamStart)) }()
 		if streamErr = bench.WriteSweepHeader(cw); streamErr != nil {
 			return
 		}
@@ -508,21 +618,29 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return nil
 		})
 	})
+	outcome := "ok"
 	switch {
 	case errors.Is(poolErr, ErrSaturated):
 		s.metrics.rejected.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.retryAfter().Round(time.Second)/time.Second)))
 		s.writeError(w, http.StatusTooManyRequests, ErrCodeSaturated, "scheduling queue is full, retry later")
+		outcome = "shed"
 	case errors.Is(poolErr, ErrClosed):
 		s.writeError(w, http.StatusServiceUnavailable, ErrCodeShuttingDown, "server is shutting down")
+		outcome = "shutting-down"
 	case streamErr != nil && cw.n == 0:
 		// Nothing streamed yet: the status code is still ours to set.
 		s.writeError(w, http.StatusInternalServerError, ErrCodeInternal, "sweep: %v", streamErr)
+		outcome = "error"
 	case streamErr != nil:
 		// The 200 and part of the CSV are already on the wire; mark the
 		// truncation in-band so clients can tell it from a complete sweep.
 		fmt.Fprintf(w, "ERROR,%q,,,,,\n", streamErr.Error())
+		outcome = "truncated"
 	}
+	tr.SetOutcome(outcome)
+	s.traces.Publish(tr)
+	s.metrics.sweepDur.Observe(time.Since(start))
 }
 
 // maxSweepMachines bounds a sweep request's machine list (a sweep runs one

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/ddgio"
+	"repro/internal/obs"
 )
 
 // tinyLoopText is a small, fast-to-schedule loop in the ddgio text format.
@@ -432,6 +433,40 @@ func TestMetricsEndpoint(t *testing.T) {
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestMetricsLint holds a traffic-warmed /metrics page to the fleet naming
+// contract: counters end _total, gauges are allowlisted, histogram families
+// emit their complete _bucket/_sum/_count triple — including the
+// endpoint/cache-labeled duration histogram over the shared bucket layout.
+func TestMetricsLint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := scheduleBody(t, nil)
+	for i := 0; i < 2; i++ { // one miss, one hit: both cache label values
+		if resp, _ := postSchedule(t, ts, body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("schedule %d: %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	text := string(raw)
+	if problems := obs.CheckMetrics(text, workerGauges); len(problems) != 0 {
+		t.Fatalf("metrics lint:\n%s", strings.Join(problems, "\n"))
+	}
+	for _, want := range []string{
+		`gpserved_request_duration_seconds_bucket{endpoint="schedule",cache="miss",le="+Inf"}`,
+		`gpserved_request_duration_seconds_bucket{endpoint="schedule",cache="hit",le="+Inf"}`,
+		`gpserved_request_duration_seconds_sum{endpoint="schedule",cache="miss"}`,
+		`gpserved_request_duration_seconds_count{endpoint="schedule",cache="miss"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
 		}
 	}
 }

@@ -117,7 +117,14 @@ cmp "$work/batch-single" "$work/batch-cluster" ||
 curl -sf -o "$work/batch-cluster2" "$coord/v1/schedule/batch" -d "$batch"
 cmp "$work/batch-cluster" "$work/batch-cluster2" ||
     { echo "distributed batch not byte-stable across repeats" >&2; exit 1; }
-curl -sf "$coord/metrics" | grep -q '^gpcoordd_batch_loops_total [1-9]' ||
+loops_counted=0
+for _ in 1 2 3; do
+    if curl -sf "$coord/metrics" | grep -q '^gpcoordd_batch_loops_total [1-9]'; then
+        loops_counted=1; break
+    fi
+    sleep 1
+done
+[ "$loops_counted" = 1 ] ||
     { echo "coordinator did not count fanned-out batch loops" >&2; exit 1; }
 kill -TERM "$sa_pid"
 wait "$sa_pid" || { echo "standalone gpserved failed to drain" >&2; cat "$work/standalone.log" >&2; exit 1; }
@@ -257,6 +264,54 @@ curl -sf "$coord/healthz" | grep -q '"status": "ok"' ||
     { echo "healthz is not the JSON fleet summary" >&2; curl -s "$coord/healthz" >&2; exit 1; }
 curl -sf "$coord/v1/fleet/advice" | grep -q '"advice": "' ||
     { echo "/v1/fleet/advice returned no verdict" >&2; curl -s "$coord/v1/fleet/advice" >&2; exit 1; }
+
+echo "== observability: one X-Request-Id stitches coordinator and worker traces"
+rid="smoke0000feedbeef"
+obsreq='{"loop_text": "loop obskey 100\nnode 0 Load a[i]\nnode 1 FPAdd +s\nnode 2 Store s=\nedge 0 1 2 0 data\nedge 1 2 4 0 data\nedge 1 1 4 1 data\n", "clusters": 2, "regs": 32, "nbus": 1, "latbus": 1}'
+curl -sf -D "$work/h5" -o /dev/null -H "X-Request-Id: $rid" "$coord/v1/schedule" -d "$obsreq"
+[ "$(tr -d '\r' <"$work/h5" | sed -n 's/^X-Request-Id: //p' | head -1)" = "$rid" ] ||
+    { echo "coordinator did not echo the request ID" >&2; cat "$work/h5" >&2; exit 1; }
+grep -qi '^X-Phase-Timing: ' "$work/h5" ||
+    { echo "response missing X-Phase-Timing" >&2; cat "$work/h5" >&2; exit 1; }
+served_by="$(tr -d '\r' <"$work/h5" | sed -n 's/^X-Node: //p' | head -1)"
+[ -n "$served_by" ] || { echo "no X-Node on traced response" >&2; exit 1; }
+
+curl -sf -o "$work/ctrace.json" "$coord/v1/debug/traces/$rid" ||
+    { echo "coordinator has no trace for $rid" >&2; exit 1; }
+grep -q "\"id\": \"$rid\"" "$work/ctrace.json" &&
+    grep -q '"op": "proxy-schedule"' "$work/ctrace.json" &&
+    grep -q '"name": "place"' "$work/ctrace.json" ||
+    { echo "coordinator trace malformed:" >&2; cat "$work/ctrace.json" >&2; exit 1; }
+
+worker_ep="$(curl -sf "$coord/v1/fleet/nodes" |
+    tr -d '\n' | sed -n "s/.*\"id\": \"$served_by\",[[:space:]]*\"endpoint\": \"\([^\"]*\)\".*/\1/p")"
+[ -n "$worker_ep" ] || { echo "no endpoint for node $served_by" >&2; exit 1; }
+curl -sf -o "$work/wtrace.json" "$worker_ep/v1/debug/traces/$rid" ||
+    { echo "worker $served_by has no trace for $rid" >&2; exit 1; }
+grep -q "\"id\": \"$rid\"" "$work/wtrace.json" &&
+    grep -q '"op": "schedule"' "$work/wtrace.json" ||
+    { echo "worker trace malformed:" >&2; cat "$work/wtrace.json" >&2; exit 1; }
+echo "== trace $rid present on coordinator (proxy-schedule) and worker $served_by (schedule)"
+
+echo "== observability: metric families complete on both /metrics pages"
+curl -sf "$coord/metrics" >"$work/coord-metrics"
+curl -sf "$worker_ep/metrics" >"$work/worker-metrics"
+for fam in gpcoordd_request_duration_seconds_bucket gpcoordd_request_duration_seconds_sum gpcoordd_request_duration_seconds_count; do
+    grep -q "^$fam" "$work/coord-metrics" ||
+        { echo "coordinator /metrics missing $fam" >&2; exit 1; }
+done
+for fam in gpserved_request_duration_seconds_bucket gpserved_request_duration_seconds_sum gpserved_request_duration_seconds_count; do
+    grep -q "^$fam" "$work/worker-metrics" ||
+        { echo "worker /metrics missing $fam" >&2; exit 1; }
+done
+# Metric-name lint: every family must be a *_total counter, a histogram
+# series, a known gauge, or carry a label block (per-node gauges). A typoed
+# family name fails here the way the Go-side obs.CheckMetrics test does.
+bad_names="$(grep -vE '^#|^$' "$work/coord-metrics" "$work/worker-metrics" | sed 's/^[^:]*://' |
+    awk '{print $1}' | grep -v '{' |
+    grep -vE '_(total|bucket|sum|count)$' |
+    grep -vE '^(gpcoordd_fleet_advice|gpcoordd_jobs_running|gpcoordd_fleet_epoch|gpcoordd_recovery_(nodes_adopted|jobs_resumed|cells_restored)|gpcoordd_nodes|gpcoordd_latency_p(50|99)_seconds|gpserved_cache_entries|gpserved_algo_epoch|gpserved_queue_depth|gpserved_inflight|gpserved_latency_p(50|99)_seconds)$' || true)"
+[ -z "$bad_names" ] || { echo "unrecognized metric families:" >&2; printf '%s\n' "$bad_names" >&2; exit 1; }
 
 echo "== hot-key phase: single-key burst against 3 workers spills without shedding"
 "$work/gpserved" -addr 127.0.0.1:0 -coordinator "$coord" -node-id smoke-c >"$work/worker-c.log" 2>&1 &
